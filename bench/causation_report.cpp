@@ -1,0 +1,96 @@
+// Application analytics report (paper §3, "Runtime Instrumentation"): the
+// provenance/causation table the collector derives — "we store that packet
+// out messages are emitted by the learning switch application upon
+// receiving 80% of packet in's". We run the decoupled TE pipeline and a
+// learning-switch workload, then print emissions-per-input for every
+// (app, input type, output type) edge the collector observed.
+#include <cstdio>
+
+#include "apps/discovery.h"
+#include "apps/learning_switch.h"
+#include "apps/te_decoupled.h"
+#include "cluster/sim.h"
+#include "instrument/collector.h"
+#include "net/driver.h"
+#include "net/fabric.h"
+#include "util/rng.h"
+
+using namespace beehive;
+
+int main() {
+  constexpr std::size_t kHives = 8;
+  constexpr std::size_t kSwitches = 40;
+
+  AppSet apps;
+  TreeTopology topology(kSwitches, 4, kHives);
+  NetworkFabric fabric{TreeTopology(topology)};
+  apps.emplace<OpenFlowDriverApp>(&fabric);
+  apps.emplace<DiscoveryApp>(&topology);
+  apps.emplace<TEDecoupledApp>();
+  apps.emplace<LearningSwitchApp>();
+  apps.emplace<CollectorApp>(std::make_shared<NoopStrategy>(), kHives);
+
+  ClusterConfig config;
+  config.n_hives = kHives;
+  config.hive.metrics_period = kSecond;
+  config.hive.timers_until = 15 * kSecond;
+  SimCluster sim(config, apps);
+  sim.start();
+  fabric.connect_all([&sim](HiveId hive, MessageEnvelope env) {
+    sim.hive(hive).inject(std::move(env));
+  });
+
+  // A dataplane packet workload: 20% unknown destinations (floods).
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    auto sw = static_cast<SwitchId>(rng.next_below(kSwitches));
+    std::uint64_t src = rng.next_below(32);
+    std::uint64_t dst = rng.next_below(40);  // some never learned
+    fabric.punt_packet(sw, src, dst, static_cast<std::uint16_t>(src),
+                       [&sim](HiveId hive, MessageEnvelope env) {
+                         sim.hive(hive).inject(std::move(env));
+                       },
+                       sim.now());
+  }
+  sim.run_until(15 * kSecond);
+  sim.run_to_idle();
+
+  // Locate the collector bee and pull its analytics state.
+  AppId collector_id = apps.find_by_name("platform.collector")->id();
+  const StateStore* store = nullptr;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app != collector_id) continue;
+    if (Bee* bee = sim.hive(rec.hive).find_bee(rec.id)) {
+      store = &bee->store();
+    }
+  }
+  if (store == nullptr) {
+    std::printf("no collector bee found\n");
+    return 1;
+  }
+
+  auto rows = CollectorApp::causation_from_store(*store);
+  const auto& registry = MsgTypeRegistry::instance();
+  auto app_name = [&apps](AppId id) -> std::string {
+    const App* app = apps.find(id);
+    return app != nullptr ? app->name() : std::to_string(id);
+  };
+
+  std::printf("Causation analytics (emissions per received input):\n\n");
+  std::printf("%-16s %-24s -> %-24s %9s %9s %7s\n", "app", "on receiving",
+              "emits", "inputs", "emitted", "ratio");
+  for (const auto& row : rows) {
+    std::printf("%-16s %-24.*s -> %-24.*s %9llu %9llu %7.2f\n",
+                app_name(row.app).c_str(),
+                static_cast<int>(registry.name_of(row.in).size()),
+                registry.name_of(row.in).data(),
+                static_cast<int>(registry.name_of(row.out).size()),
+                registry.name_of(row.out).data(),
+                static_cast<unsigned long long>(row.inputs),
+                static_cast<unsigned long long>(row.emitted), row.ratio);
+  }
+  std::printf("\n(%zu causation edges observed; timer-driven emissions "
+              "attribute to platform.timer_tick)\n",
+              rows.size());
+  return 0;
+}

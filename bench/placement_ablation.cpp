@@ -1,0 +1,125 @@
+// Ablation of the placement strategy (paper §3 notes the heuristic is
+// pluggable): decoupled TE with cells pinned to one hive at start, then
+// three optimizers compared — none, random moves, and the paper's greedy
+// follow-the-sources. Expected shape: greedy recovers locality and cuts
+// control bandwidth; random does not (it just spends migration traffic);
+// none stays stuck on the pinned hive.
+#include <cstdio>
+#include <memory>
+
+#include "bench/te_harness.h"
+
+namespace {
+
+using namespace beehive;
+using namespace beehive::bench;
+
+// Variant of run_te_scenario that always pins stat cells to one hive and
+// takes an arbitrary strategy.
+TEResult run_pinned(std::shared_ptr<PlacementStrategy> strategy,
+                    const TEParams& params) {
+  AppSet apps;
+  TreeTopology topology(params.n_switches, params.tree_fanout,
+                        params.n_hives);
+  FabricConfig fabric_config;
+  fabric_config.sw.n_flows = params.flows_per_switch;
+  fabric_config.sw.delta_kbps = params.delta_kbps;
+  fabric_config.seed = params.seed;
+  NetworkFabric fabric(topology, fabric_config);
+
+  apps.emplace<OpenFlowDriverApp>(&fabric);
+  apps.emplace<DiscoveryApp>(&topology);
+  TEConfig te_config;
+  te_config.delta_kbps = params.delta_kbps;
+  apps.emplace<TEDecoupledApp>(te_config);
+  apps.emplace<CollectorApp>(strategy, params.n_hives,
+                             CollectorConfig{params.optimize_period});
+
+  ClusterConfig cluster_config;
+  cluster_config.n_hives = params.n_hives;
+  cluster_config.seed = params.seed;
+  cluster_config.hive.metrics_period = kSecond;
+  cluster_config.hive.timers_until = params.duration;
+  SimCluster sim(cluster_config, apps);
+
+  const AppId te_id = apps.find_by_name("te.decoupled")->id();
+  const std::string stats_dict(TEDecoupledApp::kStatsDict);
+  sim.registry().set_placement_hook(
+      [te_id, &params, stats_dict](AppId app, const CellSet& cells,
+                                   HiveId requester) -> HiveId {
+        if (app == te_id && !cells.empty() &&
+            cells.begin()->dict == stats_dict) {
+          return params.pin_hive;
+        }
+        return requester;
+      });
+
+  sim.start();
+  fabric.connect_all([&sim](HiveId hive, MessageEnvelope env) {
+    sim.hive(hive).inject(std::move(env));
+  });
+  sim.run_until(params.duration);
+  sim.run_to_idle();
+
+  TEResult result;
+  result.n_hives = params.n_hives;
+  std::uint64_t local = 0, remote = 0;
+  for (HiveId i = 0; i < params.n_hives; ++i) {
+    local += sim.hive(i).counters().routed_local;
+    remote += sim.hive(i).counters().routed_remote;
+    result.migrations += sim.hive(i).counters().migrations_in;
+  }
+  result.kbps = sim.meter().bandwidth_kbps();
+  result.hotspot_share = sim.meter().hotspot_share();
+  result.locality = (local + remote) == 0
+                        ? 0.0
+                        : static_cast<double>(local) /
+                              static_cast<double>(local + remote);
+  result.wire_bytes = sim.meter().total_bytes();
+  result.flow_mods = fabric.total_flow_mods();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  TEParams params;
+  params.n_hives = 20;
+  params.n_switches = 200;
+  params.duration = 30 * kSecond;
+
+  struct Row {
+    const char* name;
+    std::shared_ptr<PlacementStrategy> strategy;
+  };
+  Row rows[] = {
+      {"none", std::make_shared<NoopStrategy>()},
+      {"random", std::make_shared<RandomStrategy>(7, 0.2)},
+      {"loadbal", std::make_shared<LoadBalanceStrategy>(
+                      LoadBalanceConfig{.min_messages = 2})},
+      {"greedy", std::make_shared<GreedyFollowSources>(
+                     GreedyConfig{.majority_fraction = 0.5,
+                                  .min_messages = 2})},
+  };
+
+  std::printf("Placement ablation: decoupled TE, stat cells pinned to hive "
+              "%u at start; %zu hives, %zu switches, 30 s\n\n",
+              params.pin_hive, params.n_hives, params.n_switches);
+  std::printf("%-8s %12s %10s %10s %12s %12s\n", "policy", "wire(KB)",
+              "locality", "hotspot", "migrations", "tailKB/s");
+
+  for (Row& row : rows) {
+    TEResult r = run_pinned(row.strategy, params);
+    // Mean of the last third of the series: steady state after migrations.
+    double tail = 0.0;
+    std::size_t n = r.kbps.size();
+    std::size_t from = 2 * n / 3;
+    for (std::size_t i = from; i < n; ++i) tail += r.kbps[i];
+    if (n > from) tail /= static_cast<double>(n - from);
+    std::printf("%-8s %12.1f %10.2f %10.2f %12llu %12.1f\n", row.name,
+                static_cast<double>(r.wire_bytes) / 1024.0, r.locality,
+                r.hotspot_share,
+                static_cast<unsigned long long>(r.migrations), tail);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Scalability sweep (extension beyond Figure 4): how the three TE designs
+// behave as the cluster grows. For each hive count we report control-plane
+// wire traffic, locality, hotspot share and TE bee count. Expected shape:
+// naive stays centralized (hotspot ~1.0 regardless of hives), decoupled
+// and optimized keep locality high as the cluster grows — the platform's
+// scaling argument in one table.
+#include <cstdio>
+
+#include "bench/te_harness.h"
+
+int main() {
+  using namespace beehive;
+  using namespace beehive::bench;
+
+  const std::size_t hive_counts[] = {5, 10, 20, 40, 80};
+
+  std::printf("TE scaling sweep: 10 switches per hive, 100 flows/switch, "
+              "20 s simulated\n\n");
+  std::printf("%-10s %6s %12s %10s %9s %9s %8s\n", "design", "hives",
+              "wire(KB)", "KB/s avg", "hotspot", "locality", "te_bees");
+
+  for (TEMode mode :
+       {TEMode::kNaive, TEMode::kDecoupled, TEMode::kOptimized}) {
+    const char* name = mode == TEMode::kNaive       ? "naive"
+                       : mode == TEMode::kDecoupled ? "decoupled"
+                                                    : "optimized";
+    for (std::size_t hives : hive_counts) {
+      TEParams params;
+      params.n_hives = hives;
+      params.n_switches = hives * 10;
+      params.duration = 20 * kSecond;
+      TEResult r = run_te_scenario(mode, params);
+      double avg = 0.0;
+      for (double v : r.kbps) avg += v;
+      if (!r.kbps.empty()) avg /= static_cast<double>(r.kbps.size());
+      std::printf("%-10s %6zu %12.1f %10.1f %9.2f %9.2f %8zu\n", name, hives,
+                  static_cast<double>(r.wire_bytes) / 1024.0, avg,
+                  r.hotspot_share, r.locality, r.te_bees);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,226 @@
+// Shared harness for the Traffic Engineering experiments (paper §5).
+//
+// Builds the paper's evaluation setup — N controllers, M switches in a
+// simple tree, 100 fixed-rate flows per switch with 10% above the
+// re-routing threshold — runs one of the three TE designs on it, and
+// extracts the Figure 4 artifacts: the inter-hive traffic matrix and the
+// control-channel bandwidth series.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/discovery.h"
+#include "apps/te_decoupled.h"
+#include "apps/te_naive.h"
+#include "cluster/sim.h"
+#include "instrument/collector.h"
+#include "net/driver.h"
+#include "net/fabric.h"
+#include "placement/strategy.h"
+
+namespace beehive::bench {
+
+enum class TEMode {
+  kNaive,      // Figure 4 a/d: shared S, whole-dict Route
+  kDecoupled,  // Figure 4 b/e: alarms decouple Route from Collect/Query
+  kOptimized,  // Figure 4 c/f: decoupled + cells pinned to hive 1 at start
+               // + greedy runtime optimization
+};
+
+struct TEParams {
+  std::size_t n_hives = 40;
+  std::size_t n_switches = 400;
+  std::size_t tree_fanout = 4;
+  std::size_t flows_per_switch = 100;
+  double delta_kbps = 1000.0;
+  double frac_above = 0.10;
+  Duration duration = 30 * kSecond;
+  Duration optimize_period = 5 * kSecond;
+  std::uint64_t seed = 42;
+  /// Hive that artificially receives all stat cells in kOptimized mode
+  /// ("we artificially assign the cells of all switches to the bees on the
+  /// first hive", paper §5).
+  HiveId pin_hive = 1;
+};
+
+struct TEResult {
+  std::size_t n_hives = 0;
+  /// matrix[i][j]: control bytes i -> j; diagonal = locally routed
+  /// messages' logical bytes (message processing that never left hive i).
+  std::vector<std::vector<std::uint64_t>> matrix;
+  std::vector<double> kbps;          ///< cluster control BW per second
+  double hotspot_share = 0.0;        ///< busiest hive's share of wire bytes
+  double locality = 0.0;             ///< local deliveries / all deliveries
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_messages = 0;
+  std::uint64_t flow_mods = 0;       ///< FlowMods applied by switches
+  std::uint64_t migrations = 0;      ///< bee migrations executed
+  std::size_t te_bees = 0;           ///< live bees of the TE app
+  std::string heatmap;               ///< ASCII rendering of the matrix
+  /// Steady-state metrics over the final third of the run — after joins,
+  /// initial merges and (in kOptimized) the migration wave have settled.
+  double tail_locality = 0.0;
+  double tail_kbps = 0.0;
+};
+
+inline TEResult run_te_scenario(TEMode mode, const TEParams& params) {
+  AppSet apps;
+  TreeTopology topology(params.n_switches, params.tree_fanout,
+                        params.n_hives);
+  FabricConfig fabric_config;
+  fabric_config.sw.n_flows = params.flows_per_switch;
+  fabric_config.sw.delta_kbps = params.delta_kbps;
+  fabric_config.sw.frac_above = params.frac_above;
+  fabric_config.seed = params.seed;
+  NetworkFabric fabric(topology, fabric_config);
+
+  apps.emplace<OpenFlowDriverApp>(&fabric);
+  apps.emplace<DiscoveryApp>(&topology);
+
+  TEConfig te_config;
+  te_config.delta_kbps = params.delta_kbps;
+  std::string te_name;
+  std::string stats_dict;
+  if (mode == TEMode::kNaive) {
+    apps.emplace<TENaiveApp>(te_config);
+    te_name = "te.naive";
+    stats_dict = std::string(TENaiveApp::kStatsDict);
+  } else {
+    apps.emplace<TEDecoupledApp>(te_config);
+    te_name = "te.decoupled";
+    stats_dict = std::string(TEDecoupledApp::kStatsDict);
+  }
+
+  std::shared_ptr<PlacementStrategy> strategy;
+  if (mode == TEMode::kOptimized) {
+    strategy = std::make_shared<GreedyFollowSources>(
+        GreedyConfig{.majority_fraction = 0.5, .min_messages = 2});
+  } else {
+    strategy = std::make_shared<NoopStrategy>();
+  }
+  apps.emplace<CollectorApp>(strategy, params.n_hives,
+                             CollectorConfig{params.optimize_period});
+
+  ClusterConfig cluster_config;
+  cluster_config.n_hives = params.n_hives;
+  cluster_config.seed = params.seed;
+  cluster_config.hive.metrics_period = kSecond;
+  cluster_config.hive.timers_until = params.duration;
+  SimCluster sim(cluster_config, apps);
+
+  if (mode == TEMode::kOptimized) {
+    const AppId te_id = apps.find_by_name(te_name)->id();
+    const HiveId pin = params.pin_hive;
+    sim.registry().set_placement_hook(
+        [te_id, pin, stats_dict](AppId app, const CellSet& cells,
+                                 HiveId requester) -> HiveId {
+          if (app == te_id && !cells.empty() &&
+              cells.begin()->dict == stats_dict) {
+            return pin;
+          }
+          return requester;
+        });
+  }
+
+  sim.start();
+  fabric.connect_all([&sim](HiveId hive, MessageEnvelope env) {
+    sim.hive(hive).inject(std::move(env));
+  });
+
+  // Run to the 2/3 mark, snapshot routing counters, then finish: the delta
+  // gives steady-state (tail) locality after startup transients.
+  const TimePoint tail_from = params.duration * 2 / 3;
+  sim.run_until(tail_from);
+  std::uint64_t local_at_mark = 0;
+  std::uint64_t remote_at_mark = 0;
+  for (HiveId i = 0; i < params.n_hives; ++i) {
+    local_at_mark += sim.hive(i).counters().routed_local;
+    remote_at_mark += sim.hive(i).counters().routed_remote;
+  }
+  sim.run_until(params.duration);
+  sim.run_to_idle();
+
+  // -- Extract the Figure 4 artifacts -------------------------------------
+  TEResult result;
+  result.n_hives = params.n_hives;
+  result.matrix.assign(params.n_hives,
+                       std::vector<std::uint64_t>(params.n_hives, 0));
+  std::uint64_t local = 0;
+  std::uint64_t remote = 0;
+  for (HiveId i = 0; i < params.n_hives; ++i) {
+    for (HiveId j = 0; j < params.n_hives; ++j) {
+      result.matrix[i][j] = sim.meter().matrix_bytes(i, j);
+    }
+    const Hive::Counters& counters = sim.hive(i).counters();
+    // Diagonal: messages processed without leaving the hive.
+    result.matrix[i][i] = counters.routed_local;
+    local += counters.routed_local;
+    remote += counters.routed_remote;
+    result.migrations += counters.migrations_in;
+  }
+  result.kbps = sim.meter().bandwidth_kbps();
+  result.hotspot_share = sim.meter().hotspot_share();
+  result.locality = (local + remote) == 0
+                        ? 0.0
+                        : static_cast<double>(local) /
+                              static_cast<double>(local + remote);
+  result.wire_bytes = sim.meter().total_bytes();
+  result.wire_messages = sim.meter().total_messages();
+  result.flow_mods = fabric.total_flow_mods();
+  result.heatmap = sim.meter().ascii_heatmap(20);
+
+  const std::uint64_t tail_local = local - local_at_mark;
+  const std::uint64_t tail_remote = remote - remote_at_mark;
+  result.tail_locality =
+      (tail_local + tail_remote) == 0
+          ? 1.0
+          : static_cast<double>(tail_local) /
+                static_cast<double>(tail_local + tail_remote);
+  const std::size_t tail_bucket =
+      static_cast<std::size_t>(tail_from / kSecond);
+  double tail_sum = 0.0;
+  std::size_t tail_n = 0;
+  for (std::size_t t = tail_bucket; t < result.kbps.size(); ++t) {
+    tail_sum += result.kbps[t];
+    ++tail_n;
+  }
+  result.tail_kbps = tail_n == 0 ? 0.0 : tail_sum / static_cast<double>(tail_n);
+
+  const AppId te_id = apps.find_by_name(te_name)->id();
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app == te_id) ++result.te_bees;
+  }
+  return result;
+}
+
+inline void print_series(const char* label, const std::vector<double>& kbps) {
+  std::printf("%s: t(s) -> control-channel KB/s\n", label);
+  for (std::size_t t = 0; t < kbps.size(); ++t) {
+    std::printf("  %2zu  %10.1f\n", t, kbps[t]);
+  }
+}
+
+inline void print_summary(const char* label, const TEResult& r) {
+  double avg_kbps = 0.0;
+  double peak = 0.0;
+  for (double v : r.kbps) {
+    avg_kbps += v;
+    if (v > peak) peak = v;
+  }
+  if (!r.kbps.empty()) avg_kbps /= static_cast<double>(r.kbps.size());
+  std::printf(
+      "%s: wire=%.1f MB msgs=%llu avg=%.1f KB/s peak=%.1f KB/s "
+      "tail=%.1f KB/s hotspot=%.2f locality=%.2f tail_locality=%.2f "
+      "te_bees=%zu flow_mods=%llu migrations=%llu\n",
+      label, static_cast<double>(r.wire_bytes) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(r.wire_messages), avg_kbps, peak,
+      r.tail_kbps, r.hotspot_share, r.locality, r.tail_locality, r.te_bees,
+      static_cast<unsigned long long>(r.flow_mods),
+      static_cast<unsigned long long>(r.migrations));
+}
+
+}  // namespace beehive::bench

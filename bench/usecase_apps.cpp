@@ -1,0 +1,188 @@
+// Use-case application benchmark (paper §4): throughput and placement
+// locality of the four application archetypes running on the platform —
+// Kandoo-style local app (learning switch), ONIX NIB, per-VN network
+// virtualization, and per-prefix routing. For each we drive a fixed
+// workload across a multi-hive cluster and report events/sec of simulated
+// processing, locality, and the bee population the platform derived.
+#include <cstdio>
+
+#include "apps/learning_switch.h"
+#include "apps/messages.h"
+#include "apps/netvirt.h"
+#include "apps/nib.h"
+#include "apps/routing.h"
+#include "cluster/sim.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace beehive;
+
+struct Row {
+  const char* app;
+  std::size_t events;
+  std::uint64_t wire_bytes;
+  double locality;
+  std::size_t bees;
+  double sim_seconds;
+};
+
+Row run_case(const char* name, const std::function<void(SimCluster&)>& drive,
+             const AppSet& apps, AppId app_id) {
+  ClusterConfig config;
+  config.n_hives = 8;
+  config.hive.metrics_period = 0;
+  SimCluster sim(config, apps);
+  sim.start();
+  drive(sim);
+  sim.run_to_idle();
+
+  Row row{};
+  row.app = name;
+  std::uint64_t local = 0, remote = 0;
+  for (HiveId h = 0; h < 8; ++h) {
+    local += sim.hive(h).counters().routed_local;
+    remote += sim.hive(h).counters().routed_remote;
+    row.events += sim.hive(h).counters().handler_runs;
+  }
+  row.locality = (local + remote) == 0
+                     ? 0.0
+                     : static_cast<double>(local) /
+                           static_cast<double>(local + remote);
+  row.wire_bytes = sim.meter().total_bytes();
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app == app_id) ++row.bees;
+  }
+  row.sim_seconds =
+      static_cast<double>(sim.now()) / static_cast<double>(kSecond);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Use-case applications on an 8-hive cluster (paper §4)\n\n");
+  std::printf("%-16s %10s %12s %10s %6s %10s\n", "app", "handlers",
+              "wire(KB)", "locality", "bees", "sim(s)");
+
+  constexpr int kEvents = 20000;
+
+  {
+    AppSet apps;
+    apps.emplace<LearningSwitchApp>();
+    AppId id = apps.find_by_name("learning_switch")->id();
+    Row row = run_case(
+        "learning_switch",
+        [](SimCluster& sim) {
+          Xoshiro256 rng(1);
+          for (int i = 0; i < kEvents; ++i) {
+            auto sw = static_cast<SwitchId>(rng.next_below(64));
+            auto hive = static_cast<HiveId>(sw / 8);  // master-local punt
+            PacketIn pkt{sw, rng.next_below(32), rng.next_below(32),
+                         static_cast<std::uint16_t>(rng.next_below(48))};
+            sim.hive(hive).inject(MessageEnvelope::make(
+                pkt, 0, kNoBee, hive, sim.now()));
+            if (i % 256 == 0) sim.run_to_idle();
+          }
+        },
+        apps, id);
+    std::printf("%-16s %10zu %12.1f %10.2f %6zu %10.2f\n", row.app,
+                row.events, static_cast<double>(row.wire_bytes) / 1024.0,
+                row.locality, row.bees, row.sim_seconds);
+  }
+
+  {
+    AppSet apps;
+    apps.emplace<NibApp>();
+    AppId id = apps.find_by_name("nib")->id();
+    Row row = run_case(
+        "onix_nib",
+        [](SimCluster& sim) {
+          Xoshiro256 rng(2);
+          for (int i = 0; i < kEvents; ++i) {
+            auto node = static_cast<NodeId>(rng.next_below(512));
+            auto hive = static_cast<HiveId>(rng.next_below(8));
+            if (i % 3 == 0) {
+              sim.hive(hive).inject(MessageEnvelope::make(
+                  NibLinkAdd{node, rng.next_below(512)}, 0, kNoBee, hive,
+                  sim.now()));
+            } else {
+              sim.hive(hive).inject(MessageEnvelope::make(
+                  NibNodeUpdate{node, "a", std::to_string(i)}, 0, kNoBee,
+                  hive, sim.now()));
+            }
+            if (i % 256 == 0) sim.run_to_idle();
+          }
+        },
+        apps, id);
+    std::printf("%-16s %10zu %12.1f %10.2f %6zu %10.2f\n", row.app,
+                row.events, static_cast<double>(row.wire_bytes) / 1024.0,
+                row.locality, row.bees, row.sim_seconds);
+  }
+
+  {
+    AppSet apps;
+    apps.emplace<NetVirtApp>();
+    AppId id = apps.find_by_name("netvirt")->id();
+    Row row = run_case(
+        "netvirt",
+        [](SimCluster& sim) {
+          Xoshiro256 rng(3);
+          for (VnId vn = 0; vn < 128; ++vn) {
+            auto hive = static_cast<HiveId>(vn % 8);
+            sim.hive(hive).inject(MessageEnvelope::make(
+                VnCreate{vn}, 0, kNoBee, hive, sim.now()));
+          }
+          sim.run_to_idle();
+          for (int i = 0; i < kEvents; ++i) {
+            auto vn = static_cast<VnId>(rng.next_below(128));
+            auto hive = static_cast<HiveId>(vn % 8);  // VN affinity
+            VnAttach attach{vn, static_cast<SwitchId>(rng.next_below(64)),
+                            static_cast<std::uint16_t>(rng.next_below(16)),
+                            rng.next()};
+            sim.hive(hive).inject(MessageEnvelope::make(
+                attach, 0, kNoBee, hive, sim.now()));
+            if (i % 256 == 0) sim.run_to_idle();
+          }
+        },
+        apps, id);
+    std::printf("%-16s %10zu %12.1f %10.2f %6zu %10.2f\n", row.app,
+                row.events, static_cast<double>(row.wire_bytes) / 1024.0,
+                row.locality, row.bees, row.sim_seconds);
+  }
+
+  {
+    AppSet apps;
+    apps.emplace<RoutingApp>();
+    AppId id = apps.find_by_name("routing")->id();
+    Row row = run_case(
+        "routing",
+        [](SimCluster& sim) {
+          Xoshiro256 rng(4);
+          for (int i = 0; i < kEvents; ++i) {
+            auto octet = static_cast<std::uint32_t>(rng.next_below(64));
+            auto hive = static_cast<HiveId>(octet % 8);
+            std::uint32_t prefix =
+                (octet << 24) |
+                (static_cast<std::uint32_t>(rng.next_below(256)) << 16);
+            if (i % 4 == 0) {
+              sim.hive(hive).inject(MessageEnvelope::make(
+                  RouteQuery{prefix | 0x0101u, static_cast<std::uint64_t>(i)},
+                  0, kNoBee, hive, sim.now()));
+            } else {
+              sim.hive(hive).inject(MessageEnvelope::make(
+                  RouteAnnounce{prefix, 16,
+                                static_cast<std::uint32_t>(rng.next()), 1},
+                  0, kNoBee, hive, sim.now()));
+            }
+            if (i % 256 == 0) sim.run_to_idle();
+          }
+        },
+        apps, id);
+    std::printf("%-16s %10zu %12.1f %10.2f %6zu %10.2f\n", row.app,
+                row.events, static_cast<double>(row.wire_bytes) / 1024.0,
+                row.locality, row.bees, row.sim_seconds);
+  }
+
+  return 0;
+}

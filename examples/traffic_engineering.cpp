@@ -1,0 +1,151 @@
+// The paper's running example end-to-end: Traffic Engineering on a
+// simulated SDN, with the platform's instrumentation feedback.
+//
+// Phase 1 runs the *naive* TE of Figure 2 and prints the feedback a
+// developer would get: the app collapsed to one bee, most control traffic
+// involves one hive — the design bottleneck of §5.
+// Phase 2 runs the *decoupled* redesign and shows the same metrics healthy,
+// plus the optimizer live-migrating stat bees next to their switches.
+//
+// Build & run:  ./build/examples/traffic_engineering
+#include <cstdio>
+
+#include "apps/discovery.h"
+#include "apps/te_decoupled.h"
+#include "apps/te_naive.h"
+#include "cluster/sim.h"
+#include "instrument/collector.h"
+#include "net/driver.h"
+#include "net/fabric.h"
+
+using namespace beehive;
+
+namespace {
+
+struct Outcome {
+  std::size_t te_bees = 0;
+  double hotspot = 0.0;
+  double locality = 0.0;
+  std::uint64_t wire_kb = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t flow_mods = 0;
+};
+
+Outcome run(bool decoupled, bool optimize, bool pin_to_one_hive = false) {
+  constexpr std::size_t kHives = 10;
+  constexpr std::size_t kSwitches = 100;
+
+  AppSet apps;
+  TreeTopology topology(kSwitches, 4, kHives);
+  NetworkFabric fabric{TreeTopology(topology)};
+  apps.emplace<OpenFlowDriverApp>(&fabric);
+  apps.emplace<DiscoveryApp>(&topology);
+  std::string te_name;
+  if (decoupled) {
+    apps.emplace<TEDecoupledApp>();
+    te_name = "te.decoupled";
+  } else {
+    apps.emplace<TENaiveApp>();
+    te_name = "te.naive";
+  }
+  std::shared_ptr<PlacementStrategy> strategy;
+  if (optimize) {
+    strategy = std::make_shared<GreedyFollowSources>(
+        GreedyConfig{.min_messages = 2});
+  } else {
+    strategy = std::make_shared<NoopStrategy>();
+  }
+  apps.emplace<CollectorApp>(strategy, kHives,
+                             CollectorConfig{5 * kSecond});
+
+  ClusterConfig config;
+  config.n_hives = kHives;
+  config.hive.metrics_period = kSecond;
+  config.hive.timers_until = 20 * kSecond;
+  SimCluster sim(config, apps);
+  if (pin_to_one_hive) {
+    // Paper §5, "Optimization": start from a pathological placement —
+    // every stat cell on hive 1 — and let the optimizer fix it.
+    const AppId te_id = apps.find_by_name(te_name)->id();
+    sim.registry().set_placement_hook(
+        [te_id](AppId app, const CellSet& cells, HiveId requester) -> HiveId {
+          if (app == te_id && !cells.empty() &&
+              cells.begin()->dict == TEDecoupledApp::kStatsDict) {
+            return 1;
+          }
+          return requester;
+        });
+  }
+  sim.start();
+  fabric.connect_all([&sim](HiveId hive, MessageEnvelope env) {
+    sim.hive(hive).inject(std::move(env));
+  });
+  sim.run_until(20 * kSecond);
+  sim.run_to_idle();
+
+  Outcome out;
+  AppId te = apps.find_by_name(te_name)->id();
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app == te) ++out.te_bees;
+  }
+  std::uint64_t local = 0, remote = 0;
+  for (HiveId h = 0; h < kHives; ++h) {
+    local += sim.hive(h).counters().routed_local;
+    remote += sim.hive(h).counters().routed_remote;
+    out.migrations += sim.hive(h).counters().migrations_in;
+  }
+  out.locality = (local + remote) == 0
+                     ? 0.0
+                     : static_cast<double>(local) /
+                           static_cast<double>(local + remote);
+  out.hotspot = sim.meter().hotspot_share();
+  out.wire_kb = sim.meter().total_bytes() / 1024;
+  out.flow_mods = fabric.total_flow_mods();
+  return out;
+}
+
+void report(const char* title, const Outcome& o) {
+  std::printf("%s\n", title);
+  std::printf("  TE bees:               %zu\n", o.te_bees);
+  std::printf("  busiest hive's share:  %.0f%% of control traffic\n",
+              o.hotspot * 100);
+  std::printf("  locally processed:     %.0f%% of messages\n",
+              o.locality * 100);
+  std::printf("  control channel used:  %llu KB\n",
+              static_cast<unsigned long long>(o.wire_kb));
+  std::printf("  bee migrations:        %llu\n",
+              static_cast<unsigned long long>(o.migrations));
+  std::printf("  flows re-routed:       %llu\n\n",
+              static_cast<unsigned long long>(o.flow_mods));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Traffic Engineering on Beehive: 10 controllers, 100 "
+              "switches, 100 flows each, 20 s\n\n");
+
+  Outcome naive = run(/*decoupled=*/false, /*optimize=*/false);
+  report("[1/3] naive TE (Figure 2, verbatim):", naive);
+  std::printf("  >> feedback: Route maps to (S,*) and (T,*); every stats "
+              "cell was collocated\n"
+              "     with it. The app is effectively centralized — redesign "
+              "needed (paper §5).\n\n");
+
+  Outcome decoupled = run(/*decoupled=*/true, /*optimize=*/false);
+  report("[2/3] decoupled TE (Collect -> FlowRateAlarm -> Route):",
+         decoupled);
+  std::printf("  >> stat cells stayed per-switch; Route only receives rare "
+              "aggregated alarms.\n\n");
+
+  Outcome optimized =
+      run(/*decoupled=*/true, /*optimize=*/true, /*pin_to_one_hive=*/true);
+  report(
+      "[3/3] decoupled TE, stat cells artificially pinned to hive 1, then "
+      "greedy runtime optimization:",
+      optimized);
+  std::printf("  >> the platform migrated stat bees toward the hives whose "
+              "drivers feed them,\n     with no manual intervention (paper "
+              "§5, 'Optimization').\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "apps/discovery.h"
+
+#include "apps/messages.h"
+#include "core/context.h"
+
+namespace beehive {
+
+DiscoveryApp::DiscoveryApp(const TreeTopology* topology) : App("discovery") {
+  register_app_messages();
+  const std::string dict(kDict);
+
+  on<SwitchJoined>(
+      [dict](const SwitchJoined& m) {
+        return CellSet::single(dict, switch_key(m.sw));
+      },
+      [topology, dict](AppContext& ctx, const SwitchJoined& m) {
+        // Announce once per switch: the uplink toward the parent.
+        if (ctx.state().contains(dict, switch_key(m.sw))) return;
+        ctx.state().put_as(dict, switch_key(m.sw), m);
+        if (m.sw != 0) {
+          ctx.emit(LinkDiscovered{topology->parent(m.sw), m.sw});
+        }
+      });
+}
+
+}  // namespace beehive

@@ -1,0 +1,23 @@
+// Link discovery application.
+//
+// Announces topology: when a switch joins, its uplink to the parent switch
+// is advertised as a LinkDiscovered message (the paper's TE "builds its own
+// view of the network topology whenever a switch joins the network or when
+// a link is detected by a discovery application"). One cell per switch, so
+// discovery bees distribute with the switches.
+#pragma once
+
+#include "core/app.h"
+#include "net/topology.h"
+
+namespace beehive {
+
+class DiscoveryApp : public App {
+ public:
+  /// `topology` must outlive the app.
+  explicit DiscoveryApp(const TreeTopology* topology);
+
+  static constexpr std::string_view kDict = "disc.sw";
+};
+
+}  // namespace beehive

@@ -1,0 +1,68 @@
+// Kandoo emulation (paper §1/§4): elephant-flow detection.
+//
+// Kandoo's motivating application splits control logic in two:
+//   * appdetection — a *local* app on each switch's controller that polls
+//     flow stats frequently and detects elephant flows without ever
+//     leaving the switch's local scope;
+//   * appreroute — a *root* (centralized) app that receives rare
+//     ElephantDetected events and installs re-routes network-wide.
+//
+// In Kandoo the developer places these manually (local controllers near
+// switches, one root controller). In Beehive the same split falls out of
+// the Map functions: the detector maps everything to per-switch cells
+// (→ one bee per switch, naturally near its driver), while the rerouter
+// maps to a whole-dict cell (→ one centralized bee). The emulation bench
+// compares this against streaming all stats to the root directly — the
+// comparison Kandoo's paper makes.
+#pragma once
+
+#include "apps/messages.h"
+#include "apps/te_common.h"
+#include "core/app.h"
+
+namespace beehive {
+
+/// Rare event from detector to rerouter: an elephant flow appeared.
+struct ElephantDetected {
+  static constexpr std::string_view kTypeName = "kandoo.elephant";
+  SwitchId sw = 0;
+  std::uint32_t flow = 0;
+  double rate_kbps = 0.0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(sw);
+    w.u32(flow);
+    w.f64(rate_kbps);
+  }
+  static ElephantDetected decode(ByteReader& r) {
+    ElephantDetected m;
+    m.sw = r.u32();
+    m.flow = r.u32();
+    m.rate_kbps = r.f64();
+    return m;
+  }
+};
+
+struct KandooConfig {
+  double elephant_kbps = 1000.0;   ///< detection threshold
+  Duration poll_period = kSecond;  ///< local stats polling (frequent)
+  double clear_fraction = 0.8;
+};
+
+/// The local app: per-switch cells, frequent polling, local detection.
+class ElephantDetectorApp : public App {
+ public:
+  explicit ElephantDetectorApp(KandooConfig config = {});
+
+  static constexpr std::string_view kDict = "kandoo.local";
+};
+
+/// The root app: one centralized bee consuming rare elephant events.
+class ElephantRerouteApp : public App {
+ public:
+  ElephantRerouteApp();
+
+  static constexpr std::string_view kDict = "kandoo.root";
+};
+
+}  // namespace beehive

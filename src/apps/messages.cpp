@@ -1,0 +1,33 @@
+#include "apps/messages.h"
+
+#include "msg/registry.h"
+
+namespace beehive {
+
+void register_app_messages() {
+  auto& reg = MsgTypeRegistry::instance();
+  reg.ensure<SwitchConnected>();
+  reg.ensure<SwitchJoined>();
+  reg.ensure<FlowStatQuery>();
+  reg.ensure<FlowStat>();
+  reg.ensure<FlowStatReply>();
+  reg.ensure<FlowMod>();
+  reg.ensure<LinkDiscovered>();
+  reg.ensure<FlowRateAlarm>();
+  reg.ensure<PacketIn>();
+  reg.ensure<PacketOut>();
+  reg.ensure<RouteAnnounce>();
+  reg.ensure<RouteWithdraw>();
+  reg.ensure<RouteQuery>();
+  reg.ensure<RouteResult>();
+  reg.ensure<VnCreate>();
+  reg.ensure<VnAttach>();
+  reg.ensure<VnDetach>();
+  reg.ensure<TunnelInstall>();
+  reg.ensure<NibNodeUpdate>();
+  reg.ensure<NibLinkAdd>();
+  reg.ensure<NibQuery>();
+  reg.ensure<NibReply>();
+}
+
+}  // namespace beehive

@@ -1,0 +1,475 @@
+// OpenFlow-like message set shared by the network substrate and the
+// control applications. Names follow the paper's TE pseudo-code
+// (SwitchJoined, StatReply, FlowMod, ...) plus the messages the use-case
+// applications of §4 need (PacketIn/Out for Kandoo-style local apps, NIB
+// and routing updates, virtual-network events).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msg/codec.h"
+#include "util/types.h"
+
+namespace beehive {
+
+/// Canonical state-dictionary key for a switch.
+inline std::string switch_key(SwitchId sw) { return std::to_string(sw); }
+
+/// Canonical state-dictionary key for a link between two switches.
+inline std::string link_key(SwitchId a, SwitchId b) {
+  return std::to_string(a) + "-" + std::to_string(b);
+}
+
+// ---------------------------------------------------------------------------
+// Switch lifecycle & statistics (TE pipeline, paper Figure 2)
+// ---------------------------------------------------------------------------
+
+/// Raw IO event: a switch's control connection reached its master hive.
+/// Consumed by the OpenFlow driver, which emits SwitchJoined for apps.
+struct SwitchConnected {
+  static constexpr std::string_view kTypeName = "of.switch_connected";
+  SwitchId sw = 0;
+
+  void encode(ByteWriter& w) const { w.u32(sw); }
+  static SwitchConnected decode(ByteReader& r) { return {r.u32()}; }
+};
+
+struct SwitchJoined {
+  static constexpr std::string_view kTypeName = "of.switch_joined";
+  SwitchId sw = 0;
+  HiveId master = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(sw);
+    w.u32(master);
+  }
+  static SwitchJoined decode(ByteReader& r) {
+    SwitchJoined m;
+    m.sw = r.u32();
+    m.master = r.u32();
+    return m;
+  }
+};
+
+struct FlowStatQuery {
+  static constexpr std::string_view kTypeName = "of.flow_stat_query";
+  SwitchId sw = 0;
+
+  void encode(ByteWriter& w) const { w.u32(sw); }
+  static FlowStatQuery decode(ByteReader& r) { return {r.u32()}; }
+};
+
+struct FlowStat {
+  static constexpr std::string_view kTypeName = "of.flow_stat";
+  std::uint32_t flow = 0;
+  double rate_kbps = 0.0;   ///< measured over the last sampling interval
+  std::uint64_t bytes = 0;  ///< cumulative
+
+  void encode(ByteWriter& w) const {
+    w.u32(flow);
+    w.f64(rate_kbps);
+    w.varint(bytes);
+  }
+  static FlowStat decode(ByteReader& r) {
+    FlowStat s;
+    s.flow = r.u32();
+    s.rate_kbps = r.f64();
+    s.bytes = r.varint();
+    return s;
+  }
+};
+
+/// The paper's StatReply.
+struct FlowStatReply {
+  static constexpr std::string_view kTypeName = "of.flow_stat_reply";
+  SwitchId sw = 0;
+  std::vector<FlowStat> stats;
+
+  void encode(ByteWriter& w) const {
+    w.u32(sw);
+    encode_vector(w, stats);
+  }
+  static FlowStatReply decode(ByteReader& r) {
+    FlowStatReply m;
+    m.sw = r.u32();
+    m.stats = decode_vector<FlowStat>(r);
+    return m;
+  }
+};
+
+struct FlowMod {
+  static constexpr std::string_view kTypeName = "of.flow_mod";
+  SwitchId sw = 0;
+  std::uint32_t flow = 0;
+  std::uint32_t new_path = 0;  ///< opaque path selector for the switch
+
+  void encode(ByteWriter& w) const {
+    w.u32(sw);
+    w.u32(flow);
+    w.u32(new_path);
+  }
+  static FlowMod decode(ByteReader& r) {
+    FlowMod m;
+    m.sw = r.u32();
+    m.flow = r.u32();
+    m.new_path = r.u32();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Discovery
+// ---------------------------------------------------------------------------
+
+struct LinkDiscovered {
+  static constexpr std::string_view kTypeName = "disc.link_discovered";
+  SwitchId a = 0;
+  SwitchId b = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(a);
+    w.u32(b);
+  }
+  static LinkDiscovered decode(ByteReader& r) {
+    LinkDiscovered m;
+    m.a = r.u32();
+    m.b = r.u32();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Traffic engineering (internal events of the decoupled design, §5)
+// ---------------------------------------------------------------------------
+
+/// Aggregated event Collect sends to Route in the decoupled TE: a flow
+/// crossed the re-routing threshold delta.
+struct FlowRateAlarm {
+  static constexpr std::string_view kTypeName = "te.flow_rate_alarm";
+  SwitchId sw = 0;
+  std::uint32_t flow = 0;
+  double rate_kbps = 0.0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(sw);
+    w.u32(flow);
+    w.f64(rate_kbps);
+  }
+  static FlowRateAlarm decode(ByteReader& r) {
+    FlowRateAlarm m;
+    m.sw = r.u32();
+    m.flow = r.u32();
+    m.rate_kbps = r.f64();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Packets (Kandoo-style local apps, §4)
+// ---------------------------------------------------------------------------
+
+struct PacketIn {
+  static constexpr std::string_view kTypeName = "of.packet_in";
+  SwitchId sw = 0;
+  std::uint64_t src_mac = 0;
+  std::uint64_t dst_mac = 0;
+  std::uint16_t in_port = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(sw);
+    w.u64(src_mac);
+    w.u64(dst_mac);
+    w.u16(in_port);
+  }
+  static PacketIn decode(ByteReader& r) {
+    PacketIn m;
+    m.sw = r.u32();
+    m.src_mac = r.u64();
+    m.dst_mac = r.u64();
+    m.in_port = r.u16();
+    return m;
+  }
+};
+
+inline constexpr std::uint16_t kFloodPort = 0xffff;
+
+struct PacketOut {
+  static constexpr std::string_view kTypeName = "of.packet_out";
+  SwitchId sw = 0;
+  std::uint64_t dst_mac = 0;
+  std::uint16_t out_port = 0;  ///< kFloodPort = flood
+
+  void encode(ByteWriter& w) const {
+    w.u32(sw);
+    w.u64(dst_mac);
+    w.u16(out_port);
+  }
+  static PacketOut decode(ByteReader& r) {
+    PacketOut m;
+    m.sw = r.u32();
+    m.dst_mac = r.u64();
+    m.out_port = r.u16();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Distributed routing (per-prefix RIB cells, §4 "Routing")
+// ---------------------------------------------------------------------------
+
+struct RouteAnnounce {
+  static constexpr std::string_view kTypeName = "rt.announce";
+  std::uint32_t prefix = 0;  ///< network byte-order IPv4 prefix
+  std::uint8_t mask_len = 0;
+  std::uint32_t next_hop = 0;
+  std::uint32_t metric = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(prefix);
+    w.u8(mask_len);
+    w.u32(next_hop);
+    w.u32(metric);
+  }
+  static RouteAnnounce decode(ByteReader& r) {
+    RouteAnnounce m;
+    m.prefix = r.u32();
+    m.mask_len = r.u8();
+    m.next_hop = r.u32();
+    m.metric = r.u32();
+    return m;
+  }
+};
+
+struct RouteWithdraw {
+  static constexpr std::string_view kTypeName = "rt.withdraw";
+  std::uint32_t prefix = 0;
+  std::uint8_t mask_len = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(prefix);
+    w.u8(mask_len);
+  }
+  static RouteWithdraw decode(ByteReader& r) {
+    RouteWithdraw m;
+    m.prefix = r.u32();
+    m.mask_len = r.u8();
+    return m;
+  }
+};
+
+struct RouteQuery {
+  static constexpr std::string_view kTypeName = "rt.query";
+  std::uint32_t addr = 0;
+  std::uint64_t query_id = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(addr);
+    w.u64(query_id);
+  }
+  static RouteQuery decode(ByteReader& r) {
+    RouteQuery m;
+    m.addr = r.u32();
+    m.query_id = r.u64();
+    return m;
+  }
+};
+
+struct RouteResult {
+  static constexpr std::string_view kTypeName = "rt.result";
+  std::uint64_t query_id = 0;
+  bool found = false;
+  std::uint32_t prefix = 0;
+  std::uint8_t mask_len = 0;
+  std::uint32_t next_hop = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u64(query_id);
+    w.boolean(found);
+    w.u32(prefix);
+    w.u8(mask_len);
+    w.u32(next_hop);
+  }
+  static RouteResult decode(ByteReader& r) {
+    RouteResult m;
+    m.query_id = r.u64();
+    m.found = r.boolean();
+    m.prefix = r.u32();
+    m.mask_len = r.u8();
+    m.next_hop = r.u32();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Network virtualization (per-VN sharding, §4)
+// ---------------------------------------------------------------------------
+
+using VnId = std::uint32_t;
+
+struct VnCreate {
+  static constexpr std::string_view kTypeName = "nv.create";
+  VnId vn = 0;
+
+  void encode(ByteWriter& w) const { w.u32(vn); }
+  static VnCreate decode(ByteReader& r) { return {r.u32()}; }
+};
+
+struct VnAttach {
+  static constexpr std::string_view kTypeName = "nv.attach";
+  VnId vn = 0;
+  SwitchId sw = 0;
+  std::uint16_t port = 0;
+  std::uint64_t mac = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(vn);
+    w.u32(sw);
+    w.u16(port);
+    w.u64(mac);
+  }
+  static VnAttach decode(ByteReader& r) {
+    VnAttach m;
+    m.vn = r.u32();
+    m.sw = r.u32();
+    m.port = r.u16();
+    m.mac = r.u64();
+    return m;
+  }
+};
+
+struct VnDetach {
+  static constexpr std::string_view kTypeName = "nv.detach";
+  VnId vn = 0;
+  SwitchId sw = 0;
+  std::uint64_t mac = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(vn);
+    w.u32(sw);
+    w.u64(mac);
+  }
+  static VnDetach decode(ByteReader& r) {
+    VnDetach m;
+    m.vn = r.u32();
+    m.sw = r.u32();
+    m.mac = r.u64();
+    return m;
+  }
+};
+
+/// Emitted by the virtualization app: install an overlay tunnel between two
+/// switches for a virtual network.
+struct TunnelInstall {
+  static constexpr std::string_view kTypeName = "nv.tunnel_install";
+  VnId vn = 0;
+  SwitchId sw_a = 0;
+  SwitchId sw_b = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(vn);
+    w.u32(sw_a);
+    w.u32(sw_b);
+  }
+  static TunnelInstall decode(ByteReader& r) {
+    TunnelInstall m;
+    m.vn = r.u32();
+    m.sw_a = r.u32();
+    m.sw_b = r.u32();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ONIX NIB emulation (§4)
+// ---------------------------------------------------------------------------
+
+using NodeId = std::uint64_t;
+
+struct NibNodeUpdate {
+  static constexpr std::string_view kTypeName = "nib.node_update";
+  NodeId node = 0;
+  std::string attr;
+  std::string value;
+
+  void encode(ByteWriter& w) const {
+    w.u64(node);
+    w.str(attr);
+    w.str(value);
+  }
+  static NibNodeUpdate decode(ByteReader& r) {
+    NibNodeUpdate m;
+    m.node = r.u64();
+    m.attr = r.str();
+    m.value = r.str();
+    return m;
+  }
+};
+
+struct NibLinkAdd {
+  static constexpr std::string_view kTypeName = "nib.link_add";
+  NodeId from = 0;
+  NodeId to = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u64(from);
+    w.u64(to);
+  }
+  static NibLinkAdd decode(ByteReader& r) {
+    NibLinkAdd m;
+    m.from = r.u64();
+    m.to = r.u64();
+    return m;
+  }
+};
+
+struct NibQuery {
+  static constexpr std::string_view kTypeName = "nib.query";
+  NodeId node = 0;
+  std::uint64_t query_id = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u64(node);
+    w.u64(query_id);
+  }
+  static NibQuery decode(ByteReader& r) {
+    NibQuery m;
+    m.node = r.u64();
+    m.query_id = r.u64();
+    return m;
+  }
+};
+
+struct NibReply {
+  static constexpr std::string_view kTypeName = "nib.reply";
+  std::uint64_t query_id = 0;
+  bool found = false;
+  std::vector<std::string> attrs;   ///< "attr=value" pairs
+  std::vector<NodeId> neighbors;
+
+  void encode(ByteWriter& w) const {
+    w.u64(query_id);
+    w.boolean(found);
+    w.varint(attrs.size());
+    for (const auto& a : attrs) w.str(a);
+    w.varint(neighbors.size());
+    for (NodeId n : neighbors) w.u64(n);
+  }
+  static NibReply decode(ByteReader& r) {
+    NibReply m;
+    m.query_id = r.u64();
+    m.found = r.boolean();
+    std::uint64_t na = r.varint();
+    for (std::uint64_t i = 0; i < na; ++i) m.attrs.push_back(r.str());
+    std::uint64_t nn = r.varint();
+    for (std::uint64_t i = 0; i < nn; ++i) m.neighbors.push_back(r.u64());
+    return m;
+  }
+};
+
+/// Registers every message type above with the global MsgTypeRegistry.
+/// Idempotent; call before constructing clusters that decode wire frames.
+void register_app_messages();
+
+}  // namespace beehive

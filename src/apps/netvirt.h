@@ -1,0 +1,55 @@
+// Network virtualization application (paper §4, "Network Virtualization",
+// in the style of NVP): messages of each virtual network are processed
+// independently, so state is sharded by virtual-network id — one cell, one
+// bee per VN, and the platform guarantees all events of a VN serialize
+// through its bee.
+//
+// On attachment the app computes the full-mesh overlay delta: one
+// TunnelInstall per (new endpoint switch, existing endpoint switch) pair.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/messages.h"
+#include "core/app.h"
+#include "msg/codec.h"
+
+namespace beehive {
+
+/// Per-VN state: the value of one "nv.vn" cell.
+struct VnState {
+  static constexpr std::string_view kTypeName = "nv.vn_state";
+
+  VnId vn = 0;
+  std::vector<VnAttach> endpoints;
+
+  bool has_switch(SwitchId sw) const {
+    return std::any_of(endpoints.begin(), endpoints.end(),
+                       [sw](const VnAttach& e) { return e.sw == sw; });
+  }
+
+  void encode(ByteWriter& w) const {
+    w.u32(vn);
+    encode_vector(w, endpoints);
+  }
+  static VnState decode(ByteReader& r) {
+    VnState s;
+    s.vn = r.u32();
+    s.endpoints = decode_vector<VnAttach>(r);
+    return s;
+  }
+};
+
+class NetVirtApp : public App {
+ public:
+  NetVirtApp();
+
+  static constexpr std::string_view kDict = "nv.vn";
+
+  static std::string vn_key(VnId vn) { return std::to_string(vn); }
+};
+
+}  // namespace beehive

@@ -1,0 +1,76 @@
+// ONIX NIB emulation (paper §4, "ONIX's NIB"): the Network Information
+// Base is an abstract graph of network elements. Processing a message
+// touches the state of one node, so each node is one cell managed by one
+// bee — queries and updates for a node serialize through that bee wherever
+// the platform placed it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/messages.h"
+#include "core/app.h"
+#include "msg/codec.h"
+
+namespace beehive {
+
+/// One NIB node: the value of one "nib.nodes" cell.
+struct NibNode {
+  static constexpr std::string_view kTypeName = "nib.node";
+
+  NodeId id = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<NodeId> neighbors;
+
+  void set_attr(const std::string& key, const std::string& value) {
+    for (auto& [k, v] : attrs) {
+      if (k == key) {
+        v = value;
+        return;
+      }
+    }
+    attrs.emplace_back(key, value);
+  }
+
+  void add_neighbor(NodeId n) {
+    for (NodeId existing : neighbors) {
+      if (existing == n) return;
+    }
+    neighbors.push_back(n);
+  }
+
+  void encode(ByteWriter& w) const {
+    w.u64(id);
+    w.varint(attrs.size());
+    for (const auto& [k, v] : attrs) {
+      w.str(k);
+      w.str(v);
+    }
+    w.varint(neighbors.size());
+    for (NodeId n : neighbors) w.u64(n);
+  }
+  static NibNode decode(ByteReader& r) {
+    NibNode node;
+    node.id = r.u64();
+    std::uint64_t na = r.varint();
+    for (std::uint64_t i = 0; i < na; ++i) {
+      std::string k = r.str();
+      node.attrs.emplace_back(std::move(k), r.str());
+    }
+    std::uint64_t nn = r.varint();
+    for (std::uint64_t i = 0; i < nn; ++i) node.neighbors.push_back(r.u64());
+    return node;
+  }
+};
+
+class NibApp : public App {
+ public:
+  NibApp();
+
+  static constexpr std::string_view kDict = "nib.nodes";
+
+  static std::string node_key(NodeId node) { return std::to_string(node); }
+};
+
+}  // namespace beehive

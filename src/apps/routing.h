@@ -1,0 +1,83 @@
+// Distributed routing application (paper §4, "Routing"): the RIB is stored
+// "on a prefix basis", producing fine-grained cells that the platform
+// places throughout the cluster.
+//
+// Cells are sharded by the top octet of the prefix (one cell per /8
+// bucket): announcements, withdrawals and lookups for addresses under the
+// same /8 always hit the same bee, and longest-prefix match runs entirely
+// within that bee's cell. Queries return RouteResult events.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/messages.h"
+#include "core/app.h"
+#include "msg/codec.h"
+
+namespace beehive {
+
+/// One /8 shard of the RIB: the value of one "rt.rib" cell.
+struct PrefixTable {
+  static constexpr std::string_view kTypeName = "rt.prefix_table";
+
+  std::vector<RouteAnnounce> routes;
+
+  void upsert(const RouteAnnounce& route) {
+    for (RouteAnnounce& r : routes) {
+      if (r.prefix == route.prefix && r.mask_len == route.mask_len) {
+        r = route;
+        return;
+      }
+    }
+    routes.push_back(route);
+  }
+
+  bool remove(std::uint32_t prefix, std::uint8_t mask_len) {
+    for (auto it = routes.begin(); it != routes.end(); ++it) {
+      if (it->prefix == prefix && it->mask_len == mask_len) {
+        routes.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Longest-prefix match within the shard.
+  std::optional<RouteAnnounce> lookup(std::uint32_t addr) const {
+    std::optional<RouteAnnounce> best;
+    for (const RouteAnnounce& r : routes) {
+      const std::uint32_t mask =
+          r.mask_len == 0 ? 0u : ~0u << (32 - r.mask_len);
+      if ((addr & mask) != (r.prefix & mask)) continue;
+      if (!best || r.mask_len > best->mask_len ||
+          (r.mask_len == best->mask_len && r.metric < best->metric)) {
+        best = r;
+      }
+    }
+    return best;
+  }
+
+  void encode(ByteWriter& w) const { encode_vector(w, routes); }
+  static PrefixTable decode(ByteReader& r) {
+    PrefixTable t;
+    t.routes = decode_vector<RouteAnnounce>(r);
+    return t;
+  }
+};
+
+class RoutingApp : public App {
+ public:
+  RoutingApp();
+
+  static constexpr std::string_view kDict = "rt.rib";
+
+  /// Shard key: decimal top octet ("10" for 10.0.0.0/8).
+  static std::string bucket_key(std::uint32_t addr) {
+    return std::to_string(addr >> 24);
+  }
+};
+
+}  // namespace beehive

@@ -1,0 +1,27 @@
+// Decoupled Traffic Engineering — the redesign the paper's instrumentation
+// feedback leads to in §5 ("Decoupling Functions").
+//
+// Route gets its own dictionary R, and Collect notifies it with aggregated
+// FlowRateAlarm events instead of sharing S. Consequences the platform
+// derives automatically:
+//   * S cells stay per-switch → Init/Query/Collect bees distribute across
+//     hives (and can be migrated next to each switch's driver);
+//   * Route is still one bee (it maps to (R, "*")) but receives only rare,
+//     small alarm events — the lone off-diagonal cross of Figure 4b.
+#pragma once
+
+#include "apps/te_common.h"
+#include "core/app.h"
+
+namespace beehive {
+
+class TEDecoupledApp : public App {
+ public:
+  explicit TEDecoupledApp(TEConfig config = {});
+
+  static constexpr std::string_view kStatsDict = "ted.S";
+  static constexpr std::string_view kRouteDict = "ted.R";
+  static constexpr std::string_view kTopoDict = "ted.T";
+};
+
+}  // namespace beehive

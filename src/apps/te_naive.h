@@ -1,0 +1,30 @@
+// Naive Traffic Engineering — a faithful transliteration of the paper's
+// Figure 2.
+//
+//   app TrafficEngineering:
+//     state: S (flow stats), T (topology)
+//     Init    — on SwitchJoined, with S[sw]
+//     Query   — on TimeOut(1s), foreach S
+//     Collect — on StatReply,   with S[sw]
+//     Route   — on TimeOut(1s), with S and T   <-- whole-dict access
+//
+// Because Route maps to (S, "*") and (T, "*"), every S cell must collocate
+// with every other: the platform centralizes the whole application on one
+// bee. That is the design flaw the paper's instrumentation surfaces in
+// Figure 4a/4d — reproduced here deliberately, bug included.
+#pragma once
+
+#include "apps/te_common.h"
+#include "core/app.h"
+
+namespace beehive {
+
+class TENaiveApp : public App {
+ public:
+  explicit TENaiveApp(TEConfig config = {});
+
+  static constexpr std::string_view kStatsDict = "te.S";
+  static constexpr std::string_view kTopoDict = "te.T";
+};
+
+}  // namespace beehive

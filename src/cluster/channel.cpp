@@ -1,0 +1,133 @@
+#include "cluster/channel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace beehive {
+
+ChannelMeter::ChannelMeter(std::size_t n_hives, Duration bucket)
+    : n_(n_hives),
+      bucket_(bucket),
+      bytes_(n_hives * n_hives, 0),
+      counts_(n_hives * n_hives, 0) {
+  assert(bucket_ > 0);
+}
+
+void ChannelMeter::record(HiveId from, HiveId to, std::size_t bytes,
+                          TimePoint when) {
+  std::lock_guard lock(mutex_);
+  assert(from < n_ && to < n_);
+  bytes_[idx(from, to)] += bytes;
+  counts_[idx(from, to)] += 1;
+  auto bucket = static_cast<std::size_t>(when / bucket_);
+  if (series_.size() <= bucket) series_.resize(bucket + 1, 0);
+  series_[bucket] += bytes;
+}
+
+std::uint64_t ChannelMeter::matrix_bytes(HiveId from, HiveId to) const {
+  std::lock_guard lock(mutex_);
+  return bytes_[idx(from, to)];
+}
+
+std::uint64_t ChannelMeter::matrix_messages(HiveId from, HiveId to) const {
+  std::lock_guard lock(mutex_);
+  return counts_[idx(from, to)];
+}
+
+double ChannelMeter::hive_share(HiveId h) const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  std::uint64_t involving = 0;
+  for (HiveId i = 0; i < n_; ++i) {
+    for (HiveId j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      std::uint64_t b = bytes_[idx(i, j)];
+      total += b;
+      if (i == h || j == h) involving += b;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(involving) /
+                                static_cast<double>(total);
+}
+
+double ChannelMeter::hotspot_share() const {
+  double best = 0.0;
+  for (HiveId h = 0; h < n_; ++h) best = std::max(best, hive_share(h));
+  return best;
+}
+
+std::vector<std::uint64_t> ChannelMeter::bandwidth_series() const {
+  std::lock_guard lock(mutex_);
+  return series_;
+}
+
+std::vector<double> ChannelMeter::bandwidth_kbps() const {
+  std::vector<double> out;
+  const double seconds =
+      static_cast<double>(bucket_) / static_cast<double>(kSecond);
+  std::lock_guard lock(mutex_);
+  out.reserve(series_.size());
+  for (std::uint64_t b : series_) {
+    out.push_back(static_cast<double>(b) / 1024.0 / seconds);
+  }
+  return out;
+}
+
+std::uint64_t ChannelMeter::total_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (std::uint64_t b : bytes_) total += b;
+  return total;
+}
+
+std::uint64_t ChannelMeter::total_messages() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts_) total += c;
+  return total;
+}
+
+void ChannelMeter::reset() {
+  std::lock_guard lock(mutex_);
+  std::fill(bytes_.begin(), bytes_.end(), 0);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  series_.clear();
+}
+
+std::string ChannelMeter::ascii_heatmap(std::size_t cells) const {
+  // Downsample the n x n byte matrix into a cells x cells grid and render
+  // each grid cell with a density character.
+  static const char kShades[] = {' ', '.', ':', '+', '*', '#', '@'};
+  constexpr std::size_t kLevels = sizeof(kShades) - 1;
+
+  std::lock_guard lock(mutex_);
+  const std::size_t grid = std::min(cells, n_);
+  std::vector<std::uint64_t> agg(grid * grid, 0);
+  std::uint64_t peak = 0;
+  for (HiveId i = 0; i < n_; ++i) {
+    for (HiveId j = 0; j < n_; ++j) {
+      std::size_t gi = i * grid / n_;
+      std::size_t gj = j * grid / n_;
+      agg[gi * grid + gj] += bytes_[idx(i, j)];
+    }
+  }
+  for (std::uint64_t v : agg) peak = std::max(peak, v);
+
+  std::string out;
+  out.reserve(grid * (grid + 1));
+  for (std::size_t gi = 0; gi < grid; ++gi) {
+    for (std::size_t gj = 0; gj < grid; ++gj) {
+      std::uint64_t v = agg[gi * grid + gj];
+      std::size_t level = 0;
+      if (peak > 0 && v > 0) {
+        level = 1 + v * (kLevels - 1) / peak;
+        if (level > kLevels) level = kLevels;
+      }
+      out.push_back(kShades[level]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace beehive

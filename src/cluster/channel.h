@@ -1,0 +1,71 @@
+// Control-channel accounting.
+//
+// Every byte that crosses a hive boundary — application messages, registry
+// RPCs, migration payloads, metrics reports — is recorded here. The meter
+// produces the two artifacts of the paper's evaluation (Figure 4):
+//   * the inter-hive traffic matrix (panels a–c), and
+//   * the control-channel bandwidth time series in KB/s (panels d–f).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace beehive {
+
+class ChannelMeter {
+ public:
+  /// `n_hives` sizes the traffic matrix; `bucket` is the time-series
+  /// resolution (default 1 simulated second, matching the paper's KB/s).
+  explicit ChannelMeter(std::size_t n_hives, Duration bucket = kSecond);
+
+  void record(HiveId from, HiveId to, std::size_t bytes, TimePoint when);
+
+  // -- Traffic matrix (Fig 4 a–c) -----------------------------------------
+
+  /// Bytes sent from hive `from` to hive `to` since construction/reset.
+  std::uint64_t matrix_bytes(HiveId from, HiveId to) const;
+  std::uint64_t matrix_messages(HiveId from, HiveId to) const;
+
+  /// Fraction of all inter-hive bytes on the diagonal-adjacent... not
+  /// meaningful; instead: fraction of traffic involving the busiest hive.
+  /// Used by benches/tests to characterize centralization.
+  double hotspot_share() const;
+
+  /// Fraction of traffic between distinct hive pairs that involves hive h.
+  double hive_share(HiveId h) const;
+
+  std::size_t n_hives() const { return n_; }
+
+  // -- Bandwidth time series (Fig 4 d–f) ----------------------------------
+
+  /// Total bytes per bucket, cluster-wide, index = bucket number.
+  std::vector<std::uint64_t> bandwidth_series() const;
+
+  /// Convenience: series converted to KB/s given the bucket width.
+  std::vector<double> bandwidth_kbps() const;
+
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_messages() const;
+
+  void reset();
+
+  /// Renders the matrix as a coarse ASCII heat map (rows = source hive),
+  /// `cells` characters wide/tall; for terminal inspection of Fig 4 a–c.
+  std::string ascii_heatmap(std::size_t cells = 20) const;
+
+ private:
+  std::size_t idx(HiveId from, HiveId to) const { return from * n_ + to; }
+
+  std::size_t n_;
+  Duration bucket_;
+  std::vector<std::uint64_t> bytes_;   // n*n
+  std::vector<std::uint64_t> counts_;  // n*n
+  std::vector<std::uint64_t> series_;  // per bucket
+  mutable std::mutex mutex_;           // threaded runtime shares the meter
+};
+
+}  // namespace beehive

@@ -1,0 +1,359 @@
+#include "cluster/registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace beehive {
+
+RegistryService::RegistryService(std::size_t n_hives, ChannelMeter* meter,
+                                 HiveId registry_hive)
+    : n_hives_(n_hives), meter_(meter), registry_hive_(registry_hive) {}
+
+void RegistryService::set_placement_hook(PlacementHook hook) {
+  std::lock_guard lock(mutex_);
+  placement_hook_ = std::move(hook);
+}
+
+void RegistryService::attach_client(Client* client) {
+  std::lock_guard lock(mutex_);
+  clients_.push_back(client);
+}
+
+BeeId RegistryService::allocate_bee_id(HiveId hive) {
+  // Counter starts at 1: counter 0 on hive 0 would collide with kNoBee.
+  std::uint32_t counter = ++bee_counters_[hive];
+  return make_bee_id(hive, counter);
+}
+
+void RegistryService::assign_cells_locked(AppTables& tables, BeeRecord& bee,
+                                          const CellSet& cells) {
+  for (const CellKey& cell : cells) {
+    if (cell.is_whole_dict()) {
+      tables.global_owner[cell.dict] = bee.id;
+    } else {
+      tables.owner[cell] = bee.id;
+    }
+    tables.dict_bees[cell.dict].insert(bee.id);
+    bee.cells.insert(cell);
+  }
+}
+
+void RegistryService::bill_rpc_locked(HiveId requester,
+                                      std::size_t request_bytes,
+                                      TimePoint now) {
+  if (meter_ == nullptr || requester == registry_hive_) return;
+  meter_->record(requester, registry_hive_, request_bytes, now);
+  meter_->record(registry_hive_, requester, kRpcResponseBytes, now);
+}
+
+void RegistryService::invalidate_cachers_locked(BeeId bee, TimePoint now) {
+  auto it = cachers_.find(bee);
+  if (it == cachers_.end()) return;
+  for (HiveId hive : it->second) {
+    if (meter_ != nullptr && hive != registry_hive_) {
+      meter_->record(registry_hive_, hive, kInvalidationBytes, now);
+    }
+    for (Client* client : clients_) {
+      if (client->self() == hive) client->invalidate(bee);
+    }
+  }
+  cachers_.erase(it);
+}
+
+BeeId RegistryService::live_successor(BeeId bee) const {
+  std::lock_guard lock(mutex_);
+  return live_successor_locked(bee);
+}
+
+BeeId RegistryService::live_successor_locked(BeeId bee) const {
+  auto it = bees_.find(bee);
+  while (it != bees_.end() && it->second.dead &&
+         it->second.forwarded_to != kNoBee) {
+    it = bees_.find(it->second.forwarded_to);
+  }
+  return it == bees_.end() ? kNoBee : it->second.id;
+}
+
+ResolveOutcome RegistryService::resolve_or_create(AppId app,
+                                                  const CellSet& cells,
+                                                  HiveId requester,
+                                                  bool pinned, TimePoint now) {
+  std::lock_guard lock(mutex_);
+  AppTables& tables = apps_[app];
+
+  // 1. Collect the live bees currently owning any requested cell. A
+  //    whole-dict request touches every bee of that dictionary; a key
+  //    request also matches the dictionary's global ("*") owner.
+  std::vector<BeeId> owners;
+  auto add_owner = [&owners, this](BeeId id) {
+    BeeId live = live_successor_locked(id);
+    if (live == kNoBee) return;
+    if (std::find(owners.begin(), owners.end(), live) == owners.end()) {
+      owners.push_back(live);
+    }
+  };
+  for (const CellKey& cell : cells) {
+    auto git = tables.global_owner.find(cell.dict);
+    if (git != tables.global_owner.end()) add_owner(git->second);
+    if (cell.is_whole_dict()) {
+      auto dit = tables.dict_bees.find(cell.dict);
+      if (dit != tables.dict_bees.end()) {
+        for (BeeId id : dit->second) add_owner(id);
+      }
+    } else {
+      auto oit = tables.owner.find(cell);
+      if (oit != tables.owner.end()) add_owner(oit->second);
+    }
+  }
+
+  ResolveOutcome out;
+
+  if (owners.empty()) {
+    // 2a. Fresh cells: create a bee, by default on the requesting hive
+    //     ("the local hive creates a new bee", paper §3).
+    HiveId place =
+        placement_hook_ ? placement_hook_(app, cells, requester) : requester;
+    assert(place < n_hives_);
+    BeeId id = allocate_bee_id(place);
+    BeeRecord rec;
+    rec.id = id;
+    rec.app = app;
+    rec.hive = place;
+    rec.pinned = pinned;
+    auto [it, inserted] = bees_.emplace(id, std::move(rec));
+    assert(inserted);
+    assign_cells_locked(tables, it->second, cells);
+    out.bee = id;
+    out.hive = place;
+    out.created = true;
+  } else {
+    // 2b. Pick the winner among existing owners: pinned bees always win
+    //     (drivers are anchored to their IO channel), then the bee with
+    //     the most cells (cheapest merge), then the lowest id (stable).
+    std::sort(owners.begin(), owners.end(), [this](BeeId a, BeeId b) {
+      const BeeRecord& ra = bees_.at(a);
+      const BeeRecord& rb = bees_.at(b);
+      if (ra.pinned != rb.pinned) return ra.pinned;
+      if (ra.cells.size() != rb.cells.size()) {
+        return ra.cells.size() > rb.cells.size();
+      }
+      return ra.id < rb.id;
+    });
+    BeeId winner = owners.front();
+    BeeRecord& wrec = bees_.at(winner);
+    for (std::size_t i = 1; i < owners.size(); ++i) {
+      BeeRecord& loser = bees_.at(owners[i]);
+      assert(!loser.pinned && "two pinned bees share cells: design error");
+      // Atomically re-point every cell of the loser at the winner.
+      for (const CellKey& cell : loser.cells) {
+        if (cell.is_whole_dict()) {
+          tables.global_owner[cell.dict] = winner;
+        } else {
+          tables.owner[cell] = winner;
+        }
+        auto dit = tables.dict_bees.find(cell.dict);
+        if (dit != tables.dict_bees.end()) dit->second.erase(loser.id);
+        tables.dict_bees[cell.dict].insert(winner);
+        wrec.cells.insert(cell);
+      }
+      loser.dead = true;
+      loser.forwarded_to = winner;
+      // The winner inherits the loser's whole transfer ledger: one for the
+      // loser's own snapshot plus every transfer ever decided into the
+      // loser — those still in flight will chase the forwarding chain and
+      // land on the winner. The loser's snapshot carries its applied count
+      // so the winner's applied counter advances by the part already
+      // folded into that snapshot.
+      wrec.transfers_expected += 1 + loser.transfers_expected;
+      out.losers.push_back({loser.id, loser.hive});
+      invalidate_cachers_locked(loser.id, now);
+    }
+    assign_cells_locked(tables, wrec, cells);
+    out.bee = winner;
+    out.hive = wrec.hive;
+    out.transfers_expected = wrec.transfers_expected;
+  }
+
+  ByteWriter w;
+  cells.encode(w);
+  bill_rpc_locked(requester, kRpcRequestBase + w.size(), now);
+  cachers_[out.bee].insert(requester);
+  return out;
+}
+
+void RegistryService::add_expected_transfer(BeeId bee) {
+  std::lock_guard lock(mutex_);
+  auto it = bees_.find(bee);
+  if (it != bees_.end()) it->second.transfers_expected += 1;
+}
+
+void RegistryService::reset_expected_transfers(BeeId bee) {
+  std::lock_guard lock(mutex_);
+  auto it = bees_.find(bee);
+  if (it != bees_.end()) it->second.transfers_expected = 0;
+}
+
+std::uint64_t RegistryService::expected_transfers(BeeId bee) const {
+  std::lock_guard lock(mutex_);
+  auto it = bees_.find(bee);
+  return it == bees_.end() ? 0 : it->second.transfers_expected;
+}
+
+void RegistryService::move_bee_rpc(BeeId bee, HiveId to, HiveId requester,
+                                   TimePoint now) {
+  {
+    std::lock_guard lock(mutex_);
+    bill_rpc_locked(requester, kRpcRequestBase, now);
+  }
+  move_bee(bee, to, now);
+}
+
+void RegistryService::move_bee(BeeId bee, HiveId to, TimePoint now) {
+  std::lock_guard lock(mutex_);
+  auto it = bees_.find(bee);
+  assert(it != bees_.end() && !it->second.dead);
+  assert(to < n_hives_);
+  it->second.hive = to;
+  invalidate_cachers_locked(bee, now);
+}
+
+std::optional<HiveId> RegistryService::hive_of(BeeId bee) const {
+  std::lock_guard lock(mutex_);
+  BeeId live = live_successor_locked(bee);
+  if (live == kNoBee) return std::nullopt;
+  return bees_.at(live).hive;
+}
+
+const BeeRecord* RegistryService::find(BeeId bee) const {
+  std::lock_guard lock(mutex_);
+  auto it = bees_.find(bee);
+  return it == bees_.end() ? nullptr : &it->second;
+}
+
+std::vector<BeeRecord> RegistryService::live_bees() const {
+  std::lock_guard lock(mutex_);
+  std::vector<BeeRecord> out;
+  for (const auto& [_, rec] : bees_) {
+    if (!rec.dead) out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BeeRecord& a, const BeeRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+std::size_t RegistryService::live_bee_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [_, rec] : bees_) n += rec.dead ? 0 : 1;
+  return n;
+}
+
+std::size_t RegistryService::cells_on_hive(HiveId hive) const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [_, rec] : bees_) {
+    if (!rec.dead && rec.hive == hive) n += rec.cells.size();
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+RegistryService::Client::Client(RegistryService& service, HiveId self)
+    : service_(service), self_(self) {
+  service_.attach_client(this);
+}
+
+RegistryService::Client::~Client() = default;
+
+void RegistryService::Client::invalidate(BeeId bee) {
+  std::lock_guard lock(mutex_);
+  bee_hive_.erase(bee);
+  // Cell entries pointing at `bee` become stale but harmless: a lookup
+  // only counts as a hit when the bee's location is also cached, so the
+  // next resolve falls through to the master and overwrites them.
+}
+
+ResolveOutcome RegistryService::Client::resolve_or_create(AppId app,
+                                                          const CellSet& cells,
+                                                          bool pinned,
+                                                          TimePoint now) {
+  {
+    std::lock_guard lock(mutex_);
+    BeeId candidate = kNoBee;
+    bool hit = !cells.empty();
+    for (const CellKey& cell : cells) {
+      auto it = cell_to_bee_.find({app, cell});
+      if (it == cell_to_bee_.end()) {
+        hit = false;
+        break;
+      }
+      if (candidate == kNoBee) {
+        candidate = it->second;
+      } else if (candidate != it->second) {
+        hit = false;  // spans two cached bees: merge decision needed.
+        break;
+      }
+    }
+    if (hit) {
+      auto hit_it = bee_hive_.find(candidate);
+      if (hit_it != bee_hive_.end()) {
+        ++hits_;
+        ResolveOutcome out;
+        out.bee = candidate;
+        out.hive = hit_it->second;
+        auto exp_it = bee_expected_.find(candidate);
+        if (exp_it != bee_expected_.end()) {
+          out.transfers_expected = exp_it->second;
+        }
+        return out;
+      }
+    }
+    ++misses_;
+  }
+
+  ResolveOutcome out =
+      service_.resolve_or_create(app, cells, self_, pinned, now);
+
+  std::lock_guard lock(mutex_);
+  for (const CellKey& cell : cells) cell_to_bee_[{app, cell}] = out.bee;
+  bee_hive_[out.bee] = out.hive;
+  std::uint64_t& expected = bee_expected_[out.bee];
+  if (out.transfers_expected > expected) expected = out.transfers_expected;
+  return out;
+}
+
+std::optional<HiveId> RegistryService::Client::hive_of(BeeId bee,
+                                                       TimePoint now) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = bee_hive_.find(bee);
+    if (it != bee_hive_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  auto hive = service_.hive_of(bee);
+  BeeId live = kNoBee;
+  // Bill the lookup RPC; a real lock service would also be consulted here.
+  {
+    std::lock_guard slock(service_.mutex_);
+    service_.bill_rpc_locked(self_, RegistryService::kRpcRequestBase, now);
+    if (hive.has_value()) {
+      live = service_.live_successor_locked(bee);
+      service_.cachers_[live].insert(self_);
+    }
+  }
+  if (hive.has_value()) {
+    std::lock_guard lock(mutex_);
+    bee_hive_[live] = *hive;
+  }
+  return hive;
+}
+
+}  // namespace beehive

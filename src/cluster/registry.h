@@ -1,0 +1,211 @@
+// The cell registry: Beehive's distributed locking mechanism.
+//
+// The paper delegates cell-to-bee ownership to "a distributed locking
+// mechanism (e.g., Chubby)". We implement that service in-cluster: an
+// authoritative RegistryService logically hosted on one hive (hive 0 by
+// default), fronted on every hive by a RegistryClient that keeps a
+// write-through cache of ownership. As in Chubby, the master invalidates
+// client caches when ownership changes. All RPC and invalidation traffic is
+// accounted on the control channel, so registry cost is visible in the
+// Figure 4 bandwidth numbers.
+//
+// The registry is the single arbiter of the platform's core invariant:
+// every cell is owned by exactly one live bee, and any two cell sets that
+// intersect resolve to the same bee. When a resolve discovers that a
+// message's mapped cells span several existing bees (the collocation
+// obligation of paper §2), the registry atomically reassigns all involved
+// cells to a winner and reports the losers so the hives can merge state.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/channel.h"
+#include "state/cell.h"
+#include "util/types.h"
+
+namespace beehive {
+
+struct BeeRecord {
+  BeeId id = kNoBee;
+  AppId app = 0;
+  HiveId hive = 0;
+  CellSet cells;
+  bool pinned = false;    ///< Never migrated / never loses a merge (drivers).
+  bool dead = false;
+  BeeId forwarded_to = kNoBee;  ///< Where this bee's cells went on merge.
+  /// Monotonic count of state transfers decided *into* this bee (one per
+  /// merge loser). Messages carry this as a fence: the bee must have
+  /// applied at least this many transfers before processing them.
+  std::uint64_t transfers_expected = 0;
+};
+
+struct ResolveOutcome {
+  BeeId bee = kNoBee;
+  HiveId hive = 0;
+  bool created = false;
+  /// The winner's transfers_expected after this decision (0 for cache
+  /// hits, which is safe: cached cells were never re-homed — invalidation
+  /// evicts entries of merged-away bees).
+  std::uint64_t transfers_expected = 0;
+  /// Bees whose cells were just reassigned to `bee`; the caller must
+  /// arrange state transfer (merge) from each loser into `bee`.
+  struct Loser {
+    BeeId bee;
+    HiveId hive;
+  };
+  std::vector<Loser> losers;
+};
+
+class RegistryService {
+ public:
+  /// `meter` may be null (tests); `registry_hive` is where the service
+  /// logically runs — RPCs from other hives are billed to the channel.
+  RegistryService(std::size_t n_hives, ChannelMeter* meter,
+                  HiveId registry_hive = 0);
+
+  /// Benches override initial placement (the paper's "artificially assign
+  /// the cells of all switches to the bees on the first hive"). Returning
+  /// the requester's id reproduces the default local-creation rule.
+  using PlacementHook =
+      std::function<HiveId(AppId, const CellSet&, HiveId requester)>;
+  void set_placement_hook(PlacementHook hook);
+
+  /// The core lock operation; see file comment. `requester` is billed for
+  /// the RPC unless it is the registry hive itself or the lookup was
+  /// served from its client cache (the client handles that).
+  ResolveOutcome resolve_or_create(AppId app, const CellSet& cells,
+                                   HiveId requester, bool pinned,
+                                   TimePoint now);
+
+  /// Re-points a live bee to a new hive (migration commit).
+  void move_bee(BeeId bee, HiveId to, TimePoint now);
+
+  /// move_bee plus control-channel billing for the RPC from `requester`.
+  void move_bee_rpc(BeeId bee, HiveId to, HiveId requester, TimePoint now);
+
+  /// Registers one additional state transfer decided into `bee` outside a
+  /// resolve. Keeps the fence accounting balanced for paths the resolve
+  /// did not count.
+  void add_expected_transfer(BeeId bee);
+
+  /// Resets a bee's transfer fence (crash recovery: the adopted bee starts
+  /// from replica state with fresh counters; transfers in flight to the
+  /// dead hive are lost by definition).
+  void reset_expected_transfers(BeeId bee);
+
+  /// Current transfers_expected of a live bee (0 for unknown ids). Used to
+  /// re-fence messages that are re-targeted at a merge successor.
+  std::uint64_t expected_transfers(BeeId bee) const;
+
+  /// Current hive of a live bee, following forwarding for dead ones.
+  /// Returns nullopt for unknown ids.
+  std::optional<HiveId> hive_of(BeeId bee) const;
+
+  /// Follows the forwarding chain to the live successor of `bee`.
+  BeeId live_successor(BeeId bee) const;
+
+  const BeeRecord* find(BeeId bee) const;
+  std::vector<BeeRecord> live_bees() const;
+  std::size_t live_bee_count() const;
+  std::size_t cells_on_hive(HiveId hive) const;
+
+  // -- Client-cache plumbing ----------------------------------------------
+
+  class Client;
+  void attach_client(Client* client);
+
+  HiveId registry_hive() const { return registry_hive_; }
+
+  // Approximate wire costs of registry traffic (bytes).
+  static constexpr std::size_t kRpcRequestBase = 24;
+  static constexpr std::size_t kRpcResponseBytes = 32;
+  static constexpr std::size_t kInvalidationBytes = 24;
+
+ private:
+  struct AppTables {
+    std::unordered_map<CellKey, BeeId, CellKeyHash> owner;
+    // dict name -> bee owning (dict, "*"), if any.
+    std::unordered_map<std::string, BeeId> global_owner;
+    // dict name -> bees owning at least one cell of the dict.
+    std::unordered_map<std::string, std::unordered_set<BeeId>> dict_bees;
+  };
+
+  BeeId allocate_bee_id(HiveId hive);
+  BeeId live_successor_locked(BeeId bee) const;
+  void assign_cells_locked(AppTables& tables, BeeRecord& bee,
+                           const CellSet& cells);
+  void bill_rpc_locked(HiveId requester, std::size_t request_bytes,
+                       TimePoint now);
+  void invalidate_cachers_locked(BeeId bee, TimePoint now);
+
+  mutable std::mutex mutex_;
+  std::size_t n_hives_;
+  ChannelMeter* meter_;
+  HiveId registry_hive_;
+  PlacementHook placement_hook_;
+  std::unordered_map<AppId, AppTables> apps_;
+  std::unordered_map<BeeId, BeeRecord> bees_;
+  std::unordered_map<HiveId, std::uint32_t> bee_counters_;
+  // Which client hives have each bee cached (for invalidation billing).
+  std::unordered_map<BeeId, std::unordered_set<HiveId>> cachers_;
+  std::vector<Client*> clients_;
+};
+
+/// Per-hive front end with a Chubby-style cache. Lookups served from the
+/// cache cost nothing on the control channel; misses RPC to the master.
+class RegistryService::Client {
+ public:
+  Client(RegistryService& service, HiveId self);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  ResolveOutcome resolve_or_create(AppId app, const CellSet& cells,
+                                   bool pinned, TimePoint now);
+
+  /// Cached bee location; falls back to the master on a miss.
+  std::optional<HiveId> hive_of(BeeId bee, TimePoint now);
+
+  /// Called by the service when ownership of `bee` changes.
+  void invalidate(BeeId bee);
+
+  HiveId self() const { return self_; }
+  std::uint64_t cache_hits() const { return hits_; }
+  std::uint64_t cache_misses() const { return misses_; }
+
+ private:
+  friend class RegistryService;
+
+  RegistryService& service_;
+  HiveId self_;
+  std::mutex mutex_;
+  struct CellCacheKey {
+    AppId app;
+    CellKey cell;
+    bool operator==(const CellCacheKey&) const = default;
+  };
+  struct CellCacheKeyHash {
+    std::size_t operator()(const CellCacheKey& k) const {
+      std::size_t h = CellKeyHash{}(k.cell);
+      hash_combine(h, k.app);
+      return h;
+    }
+  };
+  std::unordered_map<CellCacheKey, BeeId, CellCacheKeyHash> cell_to_bee_;
+  std::unordered_map<BeeId, HiveId> bee_hive_;
+  // Last transfers_expected the master reported per bee. Served on cache
+  // hits: a hit must carry the fence of the decision that created the
+  // entry, or messages could slip past in-flight merge transfers.
+  std::unordered_map<BeeId, std::uint64_t> bee_expected_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace beehive

@@ -1,0 +1,36 @@
+// The runtime environment a Hive is programmed against.
+//
+// Hive logic is purely reactive; everything that differs between the
+// deterministic discrete-event simulator and the threaded in-process
+// cluster — clocks, timers, and frame delivery — hides behind this
+// interface. Identical hive/bee/registry code runs under both runtimes.
+#pragma once
+
+#include <functional>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace beehive {
+
+class RuntimeEnv {
+ public:
+  virtual ~RuntimeEnv() = default;
+
+  virtual TimePoint now() const = 0;
+
+  /// Schedules `fn` to run (on the calling hive's execution context) after
+  /// `delay`. Used for timers and platform periodic work.
+  virtual void schedule_after(HiveId hive, Duration delay,
+                              std::function<void()> fn) = 0;
+
+  /// Ships an opaque frame to another hive's on_wire entry point. The
+  /// runtime meters bytes on the control channel and applies link latency.
+  virtual void send_frame(HiveId from, HiveId to, Bytes frame) = 0;
+
+  /// Deterministic randomness source for platform decisions.
+  virtual Xoshiro256& rng() = 0;
+};
+
+}  // namespace beehive

@@ -1,0 +1,106 @@
+#include "cluster/sim.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace beehive {
+
+SimCluster::SimCluster(ClusterConfig config, const AppSet& apps)
+    : config_(config),
+      meter_(config.n_hives, config.bw_bucket),
+      registry_(config.n_hives, &meter_, config.registry_hive),
+      rng_(config.seed) {
+  assert(config_.n_hives > 0);
+  config_.hive.n_hives = config_.n_hives;
+  hives_.reserve(config_.n_hives);
+  for (HiveId id = 0; id < config_.n_hives; ++id) {
+    hives_.push_back(
+        std::make_unique<Hive>(id, apps, registry_, *this, config_.hive));
+  }
+}
+
+SimCluster::~SimCluster() = default;
+
+void SimCluster::start() {
+  for (auto& hive : hives_) hive->start();
+}
+
+void SimCluster::schedule_after(HiveId hive, Duration delay,
+                                std::function<void()> fn) {
+  assert(delay >= 0);
+  // A crashed hive's pending callbacks (timers, deferred emissions) must
+  // not run: check liveness at fire time, not at scheduling time.
+  events_.push(Event{now_ + delay, next_seq_++,
+                     [this, hive, f = std::move(fn)]() {
+                       if (hive_alive(hive)) f();
+                     }});
+}
+
+void SimCluster::send_frame(HiveId from, HiveId to, Bytes frame) {
+  assert(from < hives_.size() && to < hives_.size());
+  if (!hive_alive(from) || !hive_alive(to)) return;  // crash = silence
+  meter_.record(from, to, frame.size(), now_);
+  Hive* target = hives_[to].get();
+  events_.push(Event{now_ + config_.wire_latency, next_seq_++,
+                     [this, to, target, f = std::move(frame)]() {
+                       if (hive_alive(to)) target->on_wire(f);
+                     }});
+}
+
+bool SimCluster::step() {
+  if (events_.empty()) return false;
+  Event event = events_.top();
+  events_.pop();
+  assert(event.at >= now_ && "event scheduled in the past");
+  now_ = event.at;
+  event.fn();
+  return true;
+}
+
+void SimCluster::run_until(TimePoint t) {
+  while (!events_.empty() && events_.top().at <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void SimCluster::run_to_idle() {
+  while (step()) {
+  }
+}
+
+void SimCluster::fail_hive(HiveId hive) {
+  if (hive >= hives_.size()) {
+    throw std::invalid_argument("fail_hive: no such hive");
+  }
+  if (hive == config_.registry_hive) {
+    // Fault tolerance of the lock service itself is out of the paper's
+    // scope (DESIGN.md §2, "Registry") — reject loudly rather than
+    // producing a silently wedged cluster.
+    throw std::invalid_argument(
+        "fail_hive: the registry master cannot be failed");
+  }
+  failed_.insert(hive);
+}
+
+std::size_t SimCluster::recover_hive(HiveId hive) {
+  assert(!hive_alive(hive) && "recover_hive requires a failed hive");
+  std::size_t recovered_with_state = 0;
+  for (const BeeRecord& rec : registry_.live_bees()) {
+    if (rec.hive != hive) continue;
+    // Ring successor, skipping other failed hives.
+    HiveId target = static_cast<HiveId>((hive + 1) % hives_.size());
+    while (!hive_alive(target) && target != hive) {
+      target = static_cast<HiveId>((target + 1) % hives_.size());
+    }
+    if (target == hive) break;  // nobody left to adopt
+    registry_.move_bee(rec.id, target, now_);
+    // The adopted bee restarts with fresh fence counters; transfers that
+    // were in flight to the dead hive are lost with it.
+    registry_.reset_expected_transfers(rec.id);
+    if (hives_[target]->adopt_from_replica(rec.id, rec.app)) {
+      ++recovered_with_state;
+    }
+  }
+  return recovered_with_state;
+}
+
+}  // namespace beehive

@@ -1,0 +1,113 @@
+// Deterministic discrete-event cluster simulator.
+//
+// All hives of the simulated control plane execute in one thread under a
+// single virtual clock: timers, frame deliveries and deferred emission
+// dispatches are events in one priority queue ordered by (time, sequence).
+// Two runs with the same configuration and seed produce bit-identical
+// traffic matrices and bandwidth series — the property every bench in
+// bench/ relies on. The paper's own evaluation "simulated a cluster of 40
+// controllers and 400 switches"; this is that harness.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/channel.h"
+#include "cluster/registry.h"
+#include "cluster/runtime_env.h"
+#include "core/hive.h"
+
+namespace beehive {
+
+struct ClusterConfig {
+  std::size_t n_hives = 4;
+  /// One-way latency of a control-channel frame between any two hives.
+  Duration wire_latency = 200 * kMicrosecond;
+  /// Resolution of the bandwidth time series (Fig 4 d–f buckets).
+  Duration bw_bucket = kSecond;
+  HiveId registry_hive = 0;
+  std::uint64_t seed = 42;
+  HiveConfig hive;
+};
+
+class SimCluster final : public RuntimeEnv {
+ public:
+  SimCluster(ClusterConfig config, const AppSet& apps);
+  ~SimCluster() override;
+
+  /// Arms every hive's timers. Call once before running.
+  void start();
+
+  // -- RuntimeEnv -----------------------------------------------------------
+
+  TimePoint now() const override { return now_; }
+  void schedule_after(HiveId hive, Duration delay,
+                      std::function<void()> fn) override;
+  void send_frame(HiveId from, HiveId to, Bytes frame) override;
+  Xoshiro256& rng() override { return rng_; }
+
+  // -- Driving --------------------------------------------------------------
+
+  /// Executes one event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs every event with timestamp <= t, then advances the clock to t.
+  void run_until(TimePoint t);
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Drains the queue completely (only safe once timers have expired).
+  void run_to_idle();
+
+  std::size_t pending_events() const { return events_.size(); }
+
+  // -- Access ---------------------------------------------------------------
+
+  // -- Failure injection ----------------------------------------------------
+
+  /// Crashes a hive: all frames to/from it are dropped and its timers stop
+  /// firing from this instant. Its in-memory state is considered lost.
+  void fail_hive(HiveId hive);
+
+  /// Fails over every registry-live bee of a failed hive onto its replica
+  /// hive (ring successor, skipping other failed hives), adopting the
+  /// replicated state there. Returns the number of bees recovered with
+  /// state (bees without replicas restart empty). Requires
+  /// `config.hive.replication` for lossless recovery.
+  std::size_t recover_hive(HiveId hive);
+
+  bool hive_alive(HiveId hive) const { return !failed_.contains(hive); }
+
+  Hive& hive(HiveId id) { return *hives_.at(id); }
+  const Hive& hive(HiveId id) const { return *hives_.at(id); }
+  std::size_t n_hives() const { return hives_.size(); }
+  ChannelMeter& meter() { return meter_; }
+  const ChannelMeter& meter() const { return meter_; }
+  RegistryService& registry() { return registry_; }
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  ClusterConfig config_;
+  ChannelMeter meter_;
+  RegistryService registry_;
+  Xoshiro256 rng_;
+  std::vector<std::unique_ptr<Hive>> hives_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::unordered_set<HiveId> failed_;
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace beehive

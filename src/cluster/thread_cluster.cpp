@@ -1,0 +1,118 @@
+#include "cluster/thread_cluster.h"
+
+#include <cassert>
+
+namespace beehive {
+
+ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
+    : config_(config),
+      meter_(config.n_hives, config.bw_bucket),
+      registry_(config.n_hives, &meter_, config.registry_hive),
+      rng_(config.seed),
+      epoch_(std::chrono::steady_clock::now()) {
+  assert(config_.n_hives > 0);
+  config_.hive.n_hives = config_.n_hives;
+  nodes_.reserve(config_.n_hives);
+  for (HiveId id = 0; id < config_.n_hives; ++id) {
+    auto node = std::make_unique<Node>();
+    node->hive =
+        std::make_unique<Hive>(id, apps, registry_, *this, config_.hive);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+ThreadCluster::~ThreadCluster() { stop(); }
+
+TimePoint ThreadCluster::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void ThreadCluster::start() {
+  if (running_.exchange(true)) return;
+  for (auto& node : nodes_) {
+    node->thread = std::thread([this, n = node.get()]() { loop(*n); });
+  }
+  for (auto& node : nodes_) {
+    // Arm timers on the hive's own thread.
+    post(node->hive->id(), [h = node->hive.get()]() { h->start(); });
+  }
+}
+
+void ThreadCluster::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& node : nodes_) {
+    std::lock_guard lock(node->mutex);
+    node->cv.notify_all();
+  }
+  for (auto& node : nodes_) {
+    if (node->thread.joinable()) node->thread.join();
+  }
+}
+
+void ThreadCluster::post(HiveId hive, std::function<void()> fn) {
+  schedule_after(hive, 0, std::move(fn));
+}
+
+void ThreadCluster::schedule_after(HiveId hive, Duration delay,
+                                   std::function<void()> fn) {
+  assert(hive < nodes_.size());
+  Node& node = *nodes_[hive];
+  {
+    std::lock_guard lock(node.mutex);
+    node.tasks.push(
+        Task{now() + delay, next_seq_.fetch_add(1), std::move(fn)});
+  }
+  node.cv.notify_all();
+}
+
+void ThreadCluster::send_frame(HiveId from, HiveId to, Bytes frame) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  meter_.record(from, to, frame.size(), now());
+  Hive* target = nodes_[to]->hive.get();
+  // Delivery runs on the target hive's loop thread, preserving the
+  // single-threaded-per-hive execution discipline.
+  post(to, [target, f = std::move(frame)]() { target->on_wire(f); });
+}
+
+void ThreadCluster::loop(Node& node) {
+  std::unique_lock lock(node.mutex);
+  while (running_.load()) {
+    if (node.tasks.empty()) {
+      node.cv.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+    const Task& top = node.tasks.top();
+    TimePoint current = now();
+    if (top.at > current) {
+      node.cv.wait_for(lock, std::chrono::microseconds(top.at - current));
+      continue;
+    }
+    Task task = node.tasks.top();
+    node.tasks.pop();
+    node.busy = true;
+    lock.unlock();
+    task.fn();
+    lock.lock();
+    node.busy = false;
+    node.cv.notify_all();
+  }
+}
+
+void ThreadCluster::wait_idle() {
+  for (;;) {
+    bool idle = true;
+    for (auto& node : nodes_) {
+      std::unique_lock lock(node->mutex);
+      if (!node->tasks.empty() || node->busy) {
+        idle = false;
+        break;
+      }
+    }
+    if (idle) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace beehive

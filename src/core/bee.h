@@ -1,0 +1,128 @@
+// A bee: the exclusive thread of execution for a set of collocated cells
+// (paper §3, "Bees").
+//
+// The Bee object itself is passive data — its mailbox, state store and
+// metrics. Execution discipline (exactly one handler at a time per bee) is
+// provided by the owning hive: the simulated runtime is sequential per
+// hive, and the threaded runtime runs each hive's dispatch loop on a single
+// thread, so a bee can never process two messages concurrently.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "instrument/metrics.h"
+#include "msg/message.h"
+#include "state/cell.h"
+#include "state/store.h"
+#include "util/types.h"
+
+namespace beehive {
+
+class Bee {
+ public:
+  Bee(BeeId id, AppId app) : id_(id), app_(app) {}
+
+  Bee(const Bee&) = delete;
+  Bee& operator=(const Bee&) = delete;
+
+  BeeId id() const { return id_; }
+  AppId app() const { return app_; }
+
+  StateStore& store() { return store_; }
+  const StateStore& store() const { return store_; }
+
+  // -- Transfer fence & holdback ---------------------------------------------
+  // A bee is blocked while it waits for state to arrive: either its own
+  // migration is in flight, or merge transfers decided in the registry have
+  // not landed yet. Every routed message carries the registry's
+  // transfers_expected count observed at resolve time; the bee holds
+  // messages until its applied-transfer counter catches up, then drains the
+  // holdback in arrival order — preserving per-bee processing order across
+  // merges and migrations (invariant #4 in DESIGN.md).
+
+  bool blocked() const {
+    return migrating_ || transfers_applied_ < transfers_required_;
+  }
+
+  /// Raises the fence: this bee must not process further messages until it
+  /// has applied at least `min_transfers` state transfers.
+  void note_required_transfers(std::uint64_t min_transfers) {
+    if (min_transfers > transfers_required_) {
+      transfers_required_ = min_transfers;
+    }
+  }
+
+  /// Records applied state transfers. A merge payload counts as one plus
+  /// the loser's own applied count (already folded into its snapshot).
+  void note_transfers_applied(std::uint64_t n = 1) {
+    transfers_applied_ += n;
+  }
+
+  std::uint64_t transfers_applied() const { return transfers_applied_; }
+  std::uint64_t transfers_required() const { return transfers_required_; }
+
+  /// Restores fence counters after a whole-bee migration.
+  void restore_transfer_counters(std::uint64_t applied,
+                                 std::uint64_t required) {
+    transfers_applied_ = applied;
+    transfers_required_ = required;
+  }
+
+  void hold(MessageEnvelope env) { holdback_.push_back(std::move(env)); }
+  std::deque<MessageEnvelope> take_holdback() {
+    return std::exchange(holdback_, {});
+  }
+  std::size_t holdback_size() const { return holdback_.size(); }
+
+  bool migrating() const { return migrating_; }
+  HiveId migration_target() const { return migration_target_; }
+  void begin_migration(HiveId target) {
+    migrating_ = true;
+    migration_target_ = target;
+  }
+
+  // -- Instrumentation ------------------------------------------------------
+  // `window` is the delta since the last metrics report (reset on report);
+  // `total` accumulates for the bee's lifetime (tests, analytics).
+
+  BeeMetrics& window() { return window_; }
+  BeeMetrics& total() { return total_; }
+  const BeeMetrics& window() const { return window_; }
+  const BeeMetrics& total() const { return total_; }
+
+  /// `count_provenance` is false for platform-generated inputs (timer
+  /// ticks): they count as load but not as inter-bee traffic, so they never
+  /// skew the optimizer's "where do my messages come from" statistics.
+  void note_receive(BeeId from, HiveId from_hive, std::size_t bytes,
+                    bool count_provenance = true, MsgTypeId type = 0) {
+    window_.on_receive(from, bytes, type);
+    total_.on_receive(from, bytes, type);
+    if (count_provenance) {
+      window_.inbound_hive[{from, from_hive}] += 1;
+      total_.inbound_hive[{from, from_hive}] += 1;
+    }
+  }
+
+  void note_emit(MsgTypeId in_reply_to, MsgTypeId emitted, std::size_t bytes) {
+    window_.on_emit(in_reply_to, emitted, bytes);
+    total_.on_emit(in_reply_to, emitted, bytes);
+  }
+
+  void reset_window() { window_ = BeeMetrics{}; }
+
+ private:
+  BeeId id_;
+  AppId app_;
+  StateStore store_;
+  std::uint64_t transfers_applied_ = 0;
+  std::uint64_t transfers_required_ = 0;
+  bool migrating_ = false;
+  HiveId migration_target_ = 0;
+  std::deque<MessageEnvelope> holdback_;
+  BeeMetrics window_;
+  BeeMetrics total_;
+};
+
+}  // namespace beehive

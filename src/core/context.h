@@ -1,0 +1,74 @@
+// AppContext: everything a handler may do during one invocation.
+//
+// Handlers run inside a transaction. State writes and emitted messages are
+// both provisional until the handler returns normally: a throwing handler
+// rolls the transaction back and its emissions are discarded, so a failed
+// invocation is externally invisible (atomic handler semantics).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "msg/message.h"
+#include "state/txn.h"
+#include "util/types.h"
+
+namespace beehive {
+
+class Hive;
+class Bee;
+
+class AppContext {
+ public:
+  AppContext(StateStore& store, AccessPolicy policy, AppId app, BeeId bee,
+             HiveId hive, TimePoint now, MsgTypeId in_reply_to)
+      : txn_(store, std::move(policy)),
+        app_(app),
+        bee_(bee),
+        hive_(hive),
+        now_(now),
+        in_reply_to_(in_reply_to) {}
+
+  /// Transactional access to the bee's cells.
+  Txn& state() { return txn_; }
+
+  /// Emits an asynchronous message (buffered; routed after commit).
+  template <WireEncodable T>
+  void emit(T message) {
+    emitted_.push_back(
+        MessageEnvelope::make(std::move(message), app_, bee_, hive_, now_));
+  }
+
+  /// Platform operation: ask the runtime to move a bee to another hive.
+  /// Buffered like emissions; used by the optimizer application.
+  void order_migration(BeeId bee, HiveId to) {
+    migration_orders_.emplace_back(bee, to);
+  }
+
+  AppId app() const { return app_; }
+  BeeId self() const { return bee_; }
+  HiveId hive() const { return hive_; }
+  TimePoint now() const { return now_; }
+
+  /// Message type currently being handled (provenance for causation).
+  MsgTypeId in_reply_to() const { return in_reply_to_; }
+
+  // -- Platform-side accessors (Hive uses these after the handler ran) ----
+
+  std::vector<MessageEnvelope>& emitted() { return emitted_; }
+  std::vector<std::pair<BeeId, HiveId>>& migration_orders() {
+    return migration_orders_;
+  }
+
+ private:
+  Txn txn_;
+  AppId app_;
+  BeeId bee_;
+  HiveId hive_;
+  TimePoint now_;
+  MsgTypeId in_reply_to_;
+  std::vector<MessageEnvelope> emitted_;
+  std::vector<std::pair<BeeId, HiveId>> migration_orders_;
+};
+
+}  // namespace beehive

@@ -1,0 +1,365 @@
+#include "core/hive.h"
+
+#include <cassert>
+
+#include "core/context.h"
+#include "util/logging.h"
+
+namespace beehive {
+
+Hive::Hive(HiveId id, const AppSet& apps, RegistryService& registry,
+           RuntimeEnv& env, HiveConfig config)
+    : id_(id),
+      apps_(apps),
+      registry_(registry),
+      registry_client_(registry, id),
+      env_(env),
+      config_(config) {}
+
+Hive::~Hive() = default;
+
+void Hive::start() {
+  arm_app_timers();
+  arm_metrics_timer();
+}
+
+void Hive::inject(MessageEnvelope env) {
+  ++counters_.injected;
+  route(env);
+}
+
+// ---------------------------------------------------------------------------
+// Life of a message (paper §3)
+// ---------------------------------------------------------------------------
+
+void Hive::route(const MessageEnvelope& env) {
+  for (auto [app, binding] : apps_.subscribers(env.type())) {
+    if (binding->kind == HandlerBinding::Kind::kForeachLocal) {
+      dispatch_foreach_local(app->id(), binding->foreach_dict, env);
+    } else {
+      dispatch_mapped(*app, *binding, env);
+    }
+  }
+}
+
+void Hive::dispatch_mapped(App& app, const HandlerBinding& binding,
+                           const MessageEnvelope& env) {
+  CellSet cells = binding.map(env);
+  if (cells.empty()) return;  // Map returned nothing: app ignores this one.
+
+  ResolveOutcome out = registry_client_.resolve_or_create(
+      app.id(), cells, app.pinned(), env_.now());
+  if (!out.losers.empty()) {
+    ++counters_.merges_started;
+    start_merges(app.id(), out);
+  }
+  deliver(out.bee, app.id(), out.hive, env, out.transfers_expected);
+}
+
+void Hive::dispatch_foreach_local(AppId app, const std::string& dict,
+                                  const MessageEnvelope& env) {
+  // Snapshot ids first: processing can mutate the bee table (merges).
+  std::vector<BeeId> targets;
+  targets.reserve(bees_.size());
+  for (const auto& [id, bee] : bees_) {
+    if (bee->app() != app) continue;
+    const Dict* d = bee->store().find_dict(dict);
+    if (d != nullptr && !d->empty()) targets.push_back(id);
+  }
+  for (BeeId id : targets) {
+    if (Bee* bee = find_bee(id)) deliver_local(*bee, env);
+  }
+}
+
+void Hive::deliver(BeeId bee, AppId app, HiveId hive,
+                   const MessageEnvelope& env,
+                   std::uint64_t min_transfers) {
+  if (hive == id_) {
+    Bee* local = find_bee(bee);
+    if (local == nullptr) {
+      // About to instantiate: make sure the bee didn't just lose a merge
+      // (e.g. a held-back message re-routed to a winner that was itself
+      // superseded). Never resurrect a dead bee — chase the successor.
+      BeeId successor = registry_.live_successor(bee);
+      if (successor == kNoBee) {
+        BH_WARN << "hive " << id_ << ": dropping message for vanished bee "
+                << to_string_bee(bee);
+        return;
+      }
+      if (successor != bee) {
+        auto new_hive = registry_client_.hive_of(successor, env_.now());
+        if (!new_hive.has_value()) return;
+        deliver(successor, app, *new_hive, env,
+                registry_.expected_transfers(successor));
+        return;
+      }
+      local = &ensure_local_bee(bee, app);
+    }
+    ++counters_.routed_local;
+    deliver_local(*local, env, min_transfers);
+  } else {
+    ++counters_.routed_remote;
+    AppMsgFrame frame{bee, app, min_transfers, env.to_wire()};
+    send_frame(hive, encode_frame(FrameKind::kAppMsg, frame));
+  }
+}
+
+void Hive::deliver_local(Bee& bee, const MessageEnvelope& env,
+                         std::uint64_t min_transfers) {
+  bee.note_required_transfers(min_transfers);
+  bee.note_receive(env.from_bee(), env.from_hive(), env.wire_size(),
+                   /*count_provenance=*/!env.is<TimerTick>(), env.type());
+  // Hold when the transfer fence is up — and also behind an existing
+  // holdback, so per-bee arrival order is preserved.
+  if (bee.blocked() || bee.holdback_size() > 0) {
+    bee.hold(env);
+    return;
+  }
+  process(bee, env);
+}
+
+void Hive::process(Bee& bee, const MessageEnvelope& env) {
+  App* app = apps_.find(bee.app());
+  assert(app != nullptr && "bee refers to unknown app");
+  auto bound = bind(*app, env);
+  if (!bound) return;
+
+  ++counters_.handler_runs;
+  bee.window().handler_invocations += 1;
+  bee.total().handler_invocations += 1;
+
+  AppContext ctx(bee.store(), std::move(bound->policy), app->id(), bee.id(),
+                 id_, env_.now(), env.type());
+  try {
+    (*bound->handle)(ctx, env);
+    ctx.state().commit();
+  } catch (const std::exception& e) {
+    // Atomic handler semantics: roll state back, drop emissions.
+    ctx.state().rollback();
+    ++counters_.handler_failures;
+    bee.window().handler_failures += 1;
+    bee.total().handler_failures += 1;
+    BH_WARN << "handler failure in app " << app->name() << " on hive " << id_
+            << ": " << e.what();
+    return;
+  }
+
+  replicate_txn(bee, ctx.state());
+
+  // Flush emissions. Routing is deferred by dispatch_delay so that long
+  // emission chains are iterative events, not recursion, and so a message
+  // emitted "now" is observably later than its cause.
+  for (MessageEnvelope& out : ctx.emitted()) {
+    bee.note_emit(env.type(), out.type(), out.wire_size());
+    env_.schedule_after(id_, config_.dispatch_delay,
+                        [this, m = std::move(out)]() { route(m); });
+  }
+  for (auto [target_bee, to_hive] : ctx.migration_orders()) {
+    request_migration(target_bee, to_hive);
+  }
+}
+
+std::optional<Hive::Bound> Hive::bind(App& app,
+                                      const MessageEnvelope& env) const {
+  if (env.is<TimerTick>()) {
+    const TimerTick& tick = env.as<TimerTick>();
+    if (tick.app != app.id()) return std::nullopt;
+    const TimerBinding* t = app.timer(tick.timer_id);
+    if (t == nullptr) return std::nullopt;
+    Bound b;
+    b.handle = &t->handle;
+    b.policy = t->kind == HandlerBinding::Kind::kMapped
+                   ? AccessPolicy::cells(t->map(env))
+                   : AccessPolicy::local_dict(t->foreach_dict);
+    return b;
+  }
+  const HandlerBinding* hb = app.binding_for(env.type());
+  if (hb == nullptr) return std::nullopt;
+  Bound b;
+  b.handle = &hb->handle;
+  b.policy = hb->kind == HandlerBinding::Kind::kMapped
+                 ? AccessPolicy::cells(hb->map(env))
+                 : AccessPolicy::local_dict(hb->foreach_dict);
+  return b;
+}
+
+Bee& Hive::ensure_local_bee(BeeId id, AppId app) {
+  auto it = bees_.find(id);
+  if (it == bees_.end()) {
+    it = bees_.emplace(id, std::make_unique<Bee>(id, app)).first;
+  }
+  return *it->second;
+}
+
+Bee* Hive::find_bee(BeeId id) {
+  auto it = bees_.find(id);
+  return it == bees_.end() ? nullptr : it->second.get();
+}
+
+const Bee* Hive::find_bee(BeeId id) const {
+  auto it = bees_.find(id);
+  return it == bees_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Bee*> Hive::local_bees() {
+  std::vector<Bee*> out;
+  out.reserve(bees_.size());
+  for (auto& [_, bee] : bees_) out.push_back(bee.get());
+  return out;
+}
+
+void Hive::send_frame(HiveId to, Bytes frame) {
+  assert(to != id_ && "send_frame to self; use the local path");
+  env_.send_frame(id_, to, std::move(frame));
+}
+
+void Hive::on_wire(std::string_view frame) {
+  ByteReader r(frame);
+  auto kind = static_cast<FrameKind>(r.u8());
+  switch (kind) {
+    case FrameKind::kAppMsg:
+      handle_app_msg(AppMsgFrame::decode(r));
+      break;
+    case FrameKind::kMergeCmd:
+      handle_merge_cmd(MergeCmdFrame::decode(r));
+      break;
+    case FrameKind::kMigrateXfer:
+      handle_migrate_xfer(MigrateXferFrame::decode(r));
+      break;
+    case FrameKind::kMigrateAck:
+      handle_migrate_ack(MigrateAckFrame::decode(r));
+      break;
+    case FrameKind::kMigrationOrder: {
+      MigrationOrderFrame f = MigrationOrderFrame::decode(r);
+      request_migration(f.bee, f.to_hive);
+      break;
+    }
+    case FrameKind::kReplicaTxn:
+      handle_replica_txn(ReplicaTxnFrame::decode(r));
+      break;
+    case FrameKind::kReplicaSnapshot:
+      handle_replica_snapshot(ReplicaSnapshotFrame::decode(r));
+      break;
+  }
+}
+
+void Hive::handle_app_msg(const AppMsgFrame& frame) {
+  MessageEnvelope env = MessageEnvelope::from_wire(frame.envelope);
+  if (Bee* bee = find_bee(frame.target)) {
+    deliver_local(*bee, env, frame.min_transfers);
+    return;
+  }
+  // Not instantiated here: either it is ours (lazy creation) or it moved
+  // and we must forward (sender's cache was stale).
+  BeeId target = registry_.live_successor(frame.target);
+  if (target == kNoBee) {
+    BH_WARN << "hive " << id_ << ": dropping message for unknown bee "
+            << to_string_bee(frame.target);
+    return;
+  }
+  auto hive = registry_client_.hive_of(target, env_.now());
+  if (!hive.has_value()) return;
+  // The fence value only meant something for the original target; when
+  // retargeting to a merge successor, re-fence at the successor's current
+  // expected count — it inherited the dead bee's whole transfer ledger, so
+  // this conservatively covers every transfer still chasing it.
+  std::uint64_t min = target == frame.target
+                          ? frame.min_transfers
+                          : registry_.expected_transfers(target);
+  if (*hive == id_) {
+    deliver_local(ensure_local_bee(target, frame.app), env, min);
+  } else {
+    ++counters_.forwarded;
+    AppMsgFrame fwd{target, frame.app, min, frame.envelope};
+    send_frame(*hive, encode_frame(FrameKind::kAppMsg, fwd));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+void Hive::arm_app_timers() {
+  for (const auto& app : apps_.apps()) {
+    for (const TimerBinding& timer : app->timers()) {
+      if (timer.kind == HandlerBinding::Kind::kMapped &&
+          id_ != config_.timer_master) {
+        continue;  // mapped ticks fire once cluster-wide.
+      }
+      arm_timer(*app, timer);
+    }
+  }
+}
+
+void Hive::arm_timer(App& app, const TimerBinding& timer) {
+  env_.schedule_after(id_, timer.period, [this, &app, &timer]() {
+    if (env_.now() > config_.timers_until) return;
+    fire_timer(app, timer);
+    arm_timer(app, timer);
+  });
+}
+
+void Hive::fire_timer(App& app, const TimerBinding& timer) {
+  MessageEnvelope env = MessageEnvelope::make(
+      TimerTick{app.id(), timer.id}, 0, kNoBee, id_, env_.now());
+  if (timer.kind == HandlerBinding::Kind::kMapped) {
+    CellSet cells = timer.map(env);
+    if (cells.empty()) return;
+    ResolveOutcome out = registry_client_.resolve_or_create(
+        app.id(), cells, app.pinned(), env_.now());
+    if (!out.losers.empty()) {
+      ++counters_.merges_started;
+      start_merges(app.id(), out);
+    }
+    deliver(out.bee, app.id(), out.hive, env, out.transfers_expected);
+  } else {
+    dispatch_foreach_local(app.id(), timer.foreach_dict, env);
+  }
+}
+
+void Hive::arm_metrics_timer() {
+  if (config_.metrics_period <= 0) return;
+  env_.schedule_after(id_, config_.metrics_period, [this]() {
+    if (env_.now() > config_.timers_until) return;
+    report_metrics();
+    arm_metrics_timer();
+  });
+}
+
+void Hive::report_metrics() {
+  LocalMetricsReport report;
+  report.hive = id_;
+  report.at = env_.now();
+  for (auto& [id, bee] : bees_) {
+    BeeMetricsSample sample;
+    sample.bee = id;
+    sample.app = bee->app();
+    sample.hive = id_;
+    const BeeMetrics& w = bee->window();
+    sample.msgs_in = w.msgs_in;
+    sample.msgs_out = w.msgs_out;
+    sample.bytes_in = w.bytes_in;
+    sample.bytes_out = w.bytes_out;
+    sample.cells = bee->store().all_cells().size();
+    sample.state_bytes = bee->store().byte_size();
+    if (const App* app = apps_.find(bee->app())) {
+      sample.pinned = app->pinned();
+    }
+    for (const auto& [key, count] : w.inbound_hive) {
+      sample.sources.push_back({key.first, key.second, count});
+    }
+    for (const auto& [type, count] : w.inbound_types) {
+      sample.in_types.push_back({type, count});
+    }
+    for (const auto& [pair, count] : w.causation) {
+      sample.causations.push_back({pair.first, pair.second, count});
+    }
+    report.hive_cells += sample.cells;
+    report.bees.push_back(std::move(sample));
+    bee->reset_window();
+  }
+  inject(MessageEnvelope::make(std::move(report), 0, kNoBee, id_,
+                               env_.now()));
+}
+
+}  // namespace beehive

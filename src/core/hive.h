@@ -1,0 +1,184 @@
+// A hive: one controller of the distributed control plane (paper §3,
+// "Hives and Cells" / "Life of a Message").
+//
+// The hive is the platform's work-horse: it receives messages (from IO
+// channels, from local bees, or over the wire from other hives), asks each
+// subscribed application's Map function which cells the message needs,
+// resolves those cells to their owning bee through the registry, and either
+// runs the handler locally or relays the message. It also executes the
+// merge and migration protocols and collects per-bee instrumentation.
+//
+// Hive code is runtime-agnostic: all clocks, timers and frame delivery go
+// through RuntimeEnv, so the same class runs under the deterministic
+// simulator and the threaded cluster.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/registry.h"
+#include "cluster/runtime_env.h"
+#include "core/app.h"
+#include "core/bee.h"
+#include "core/wire.h"
+#include "msg/message.h"
+#include "state/txn.h"
+#include "util/types.h"
+
+namespace beehive {
+
+struct HiveConfig {
+  /// Period of the instrumentation report timer; 0 disables reporting.
+  Duration metrics_period = kSecond;
+  /// The hive that injects mapped-timer ticks for the whole cluster.
+  HiveId timer_master = 0;
+  /// Stop firing timers after this time (sim runs bounded experiments).
+  TimePoint timers_until = kTimeInfinity;
+  /// Delay between a handler emitting a message and its routing — models
+  /// queueing and keeps emission chains iterative instead of recursive.
+  Duration dispatch_delay = 20 * kMicrosecond;
+  /// Replicate every bee's committed state to a neighbour hive (paper §7
+  /// future work: fault tolerance). Enables SimCluster::fail_hive recovery.
+  bool replication = false;
+  /// Cluster size; filled in by the cluster runtime at construction.
+  /// Needed to pick replica hives.
+  std::size_t n_hives = 1;
+};
+
+class Hive {
+ public:
+  Hive(HiveId id, const AppSet& apps, RegistryService& registry,
+       RuntimeEnv& env, HiveConfig config = {});
+  ~Hive();
+
+  Hive(const Hive&) = delete;
+  Hive& operator=(const Hive&) = delete;
+
+  HiveId id() const { return id_; }
+
+  /// Arms application timers and the metrics report timer. Call once,
+  /// before the runtime starts delivering events.
+  void start();
+
+  /// Entry point for messages arriving over IO channels (drivers, tests,
+  /// benches). Routed exactly like paper §3's "Life of a Message".
+  void inject(MessageEnvelope env);
+
+  /// Entry point for frames from other hives.
+  void on_wire(std::string_view frame);
+
+  /// Local equivalent of a MigrationOrder frame.
+  void request_migration(BeeId bee, HiveId to);
+
+  // -- Introspection (tests, benches, analytics) --------------------------
+
+  Bee* find_bee(BeeId id);
+  const Bee* find_bee(BeeId id) const;
+  std::size_t bee_count() const { return bees_.size(); }
+  std::vector<Bee*> local_bees();
+  RegistryService::Client& registry_client() { return registry_client_; }
+  const HiveConfig& config() const { return config_; }
+
+  // -- Fault tolerance ------------------------------------------------------
+
+  /// The hive holding replicas of `owner`'s bees (ring successor).
+  HiveId replica_target_of(HiveId owner) const {
+    return static_cast<HiveId>((owner + 1) % config_.n_hives);
+  }
+
+  /// Recovers a bee whose home hive failed, using this hive's replica of
+  /// its state (empty state if no replica exists — counted as lossy).
+  /// The caller must first re-point the bee here in the registry.
+  /// Returns false when no replica was found.
+  bool adopt_from_replica(BeeId bee, AppId app);
+
+  /// Read-only replica access (tests, diagnostics).
+  const StateStore* replica_store(BeeId bee) const;
+  std::size_t replica_count() const { return replicas_.size(); }
+
+  struct Counters {
+    std::uint64_t injected = 0;
+    std::uint64_t routed_local = 0;
+    std::uint64_t routed_remote = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t handler_runs = 0;
+    std::uint64_t handler_failures = 0;
+    std::uint64_t merges_started = 0;
+    std::uint64_t migrations_in = 0;
+    std::uint64_t migrations_out = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  friend class MigrationEngine;
+
+  // Routing (paper §3, "Life of a Message").
+  void route(const MessageEnvelope& env);
+  void dispatch_mapped(App& app, const HandlerBinding& binding,
+                       const MessageEnvelope& env);
+  void dispatch_foreach_local(AppId app, const std::string& dict,
+                              const MessageEnvelope& env);
+  void deliver(BeeId bee, AppId app, HiveId hive, const MessageEnvelope& env,
+               std::uint64_t min_transfers);
+  void deliver_local(Bee& bee, const MessageEnvelope& env,
+                     std::uint64_t min_transfers = 0);
+
+  /// Runs the bound handler for one message on a local bee, inside a
+  /// transaction; flushes emissions and migration orders on commit.
+  void process(Bee& bee, const MessageEnvelope& env);
+
+  /// Finds the handler binding for a message on this app (resolving timer
+  /// ticks to their timer binding). Returns {handler, policy}.
+  struct Bound {
+    const HandlerFn* handle = nullptr;
+    AccessPolicy policy;
+  };
+  std::optional<Bound> bind(App& app, const MessageEnvelope& env) const;
+
+  Bee& ensure_local_bee(BeeId id, AppId app);
+  void send_frame(HiveId to, Bytes frame);
+
+  // Frame handlers.
+  void handle_app_msg(const AppMsgFrame& frame);
+  void handle_merge_cmd(const MergeCmdFrame& frame);
+  void handle_migrate_xfer(const MigrateXferFrame& frame);
+  void handle_migrate_ack(const MigrateAckFrame& frame);
+  void handle_replica_txn(const ReplicaTxnFrame& frame);
+  void handle_replica_snapshot(const ReplicaSnapshotFrame& frame);
+
+  // Replication (no-ops when config_.replication is off).
+  void replicate_txn(const Bee& bee, const Txn& txn);
+  void replicate_snapshot(const Bee& bee);
+
+  // Merge orchestration: called by the hive that discovered the collocation
+  // obligation (the resolver), for each loser reported by the registry.
+  void start_merges(AppId app, const ResolveOutcome& outcome);
+
+  void drain(Bee& bee);
+
+  // Timers.
+  void arm_app_timers();
+  void arm_timer(App& app, const TimerBinding& timer);
+  void fire_timer(App& app, const TimerBinding& timer);
+  void arm_metrics_timer();
+  void report_metrics();
+
+  HiveId id_;
+  const AppSet& apps_;
+  RegistryService& registry_;
+  RegistryService::Client registry_client_;
+  RuntimeEnv& env_;
+  HiveConfig config_;
+  std::unordered_map<BeeId, std::unique_ptr<Bee>> bees_;
+  struct Replica {
+    AppId app = 0;
+    StateStore store;
+  };
+  std::unordered_map<BeeId, Replica> replicas_;
+  Counters counters_;
+};
+
+}  // namespace beehive

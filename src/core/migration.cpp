@@ -1,0 +1,248 @@
+// Bee merge and live-migration protocols (paper §3, "Migration of Bees").
+//
+// Merge (collocation obligation): when a resolve finds a message's mapped
+// cells spread over several bees, the registry atomically re-points all
+// cells at a winner, bumps the winner's transfers_expected fence (one per
+// loser), and reports the losers. The resolving hive commands each loser's
+// hive to ship its state (MergeCmd -> MigrateXfer), then routes the
+// triggering message stamped with the post-decision fence value; the
+// winner holds it until that many transfers have landed. The fence —
+// rather than a separate announcement — makes the protocol immune to frame
+// ordering between resolver, losers and winner.
+//
+// Migration (optimizer move): the source hive freezes the bee, ships a
+// state snapshot, the target installs it and commits the new location to
+// the registry, acks, and the source drains the held-back messages to the
+// new home. Stale frames that still arrive at the source are forwarded via
+// the registry lookup in handle_app_msg.
+#include <cassert>
+
+#include "core/hive.h"
+#include "util/logging.h"
+
+namespace beehive {
+
+void Hive::start_merges(AppId app, const ResolveOutcome& outcome) {
+  for (const ResolveOutcome::Loser& loser : outcome.losers) {
+    MergeCmdFrame cmd{loser.bee, app, outcome.bee, outcome.hive,
+                      outcome.transfers_expected};
+    if (loser.hive == id_) {
+      handle_merge_cmd(cmd);
+    } else {
+      send_frame(loser.hive, encode_frame(FrameKind::kMergeCmd, cmd));
+    }
+  }
+}
+
+void Hive::handle_merge_cmd(const MergeCmdFrame& frame) {
+  Bytes snapshot;
+  std::deque<MessageEnvelope> held;
+  std::uint64_t loser_applied = 0;
+  auto it = bees_.find(frame.loser);
+  if (it != bees_.end() && it->second->migrating()) {
+    // The loser's state snapshot is already in flight to its migration
+    // target; that hive will discover the bee died and forward it to the
+    // winner as the counted transfer (see handle_migrate_xfer). Nothing to
+    // ship from here — just retire the local shell and re-route its queue.
+    held = it->second->take_holdback();
+    bees_.erase(it);
+    for (MessageEnvelope& env : held) {
+      deliver(frame.winner, frame.app, frame.winner_hive, env,
+              frame.winner_expected);
+    }
+    return;
+  }
+  if (it != bees_.end()) {
+    snapshot = it->second->store().snapshot();
+    held = it->second->take_holdback();
+    loser_applied = it->second->transfers_applied();
+    bees_.erase(it);
+  } else {
+    // The loser was never instantiated here (its cells were registered but
+    // no message reached it yet): ship an empty store. No transfer ever
+    // landed here, so its applied count is zero.
+    snapshot = StateStore{}.snapshot();
+  }
+
+  MigrateXferFrame xfer;
+  xfer.bee = frame.loser;
+  xfer.app = frame.app;
+  xfer.is_merge = true;
+  xfer.merge_target = frame.winner;
+  xfer.src_hive = id_;
+  // For merge payloads, transfers_applied carries the loser's applied
+  // count: state from those transfers is already inside the snapshot.
+  xfer.transfers_applied = loser_applied;
+  xfer.winner_expected = frame.winner_expected;
+  xfer.snapshot = std::move(snapshot);
+  if (frame.winner_hive == id_) {
+    handle_migrate_xfer(xfer);
+  } else {
+    send_frame(frame.winner_hive,
+               encode_frame(FrameKind::kMigrateXfer, xfer));
+  }
+
+  // Re-route the loser's queued messages to the winner, fenced behind
+  // every transfer of the merge decision (including this snapshot), so
+  // they cannot be processed against partially-arrived state.
+  for (MessageEnvelope& env : held) {
+    deliver(frame.winner, frame.app, frame.winner_hive, env,
+            frame.winner_expected);
+  }
+}
+
+void Hive::handle_migrate_xfer(const MigrateXferFrame& frame) {
+  if (frame.is_merge) {
+    // The winner may have lost a superseding merge (or migrated) while
+    // this transfer was in flight: chase the live successor.
+    BeeId target = registry_.live_successor(frame.merge_target);
+    if (target == kNoBee) {
+      BH_ERROR << "hive " << id_ << ": merge transfer for vanished bee "
+               << to_string_bee(frame.merge_target) << " dropped";
+      return;
+    }
+    auto hive = registry_client_.hive_of(target, env_.now());
+    if (!hive.has_value()) return;
+    if (*hive != id_) {
+      MigrateXferFrame fwd = frame;
+      fwd.merge_target = target;
+      fwd.src_hive = id_;
+      if (target != frame.merge_target) {
+        fwd.winner_expected = registry_.expected_transfers(target);
+      }
+      send_frame(*hive, encode_frame(FrameKind::kMigrateXfer, fwd));
+      return;
+    }
+    Bee& winner = ensure_local_bee(target, frame.app);
+    if (target != frame.merge_target) {
+      // Re-targeted at a successor: re-fence at its current ledger.
+      winner.note_required_transfers(registry_.expected_transfers(target));
+    }
+    if (winner.migrating()) {
+      // The winner's own snapshot is already in flight to its migration
+      // target; merging here would be lost when the bee retires on ack.
+      // Chase the bee: the transfer arrives after the migration payload
+      // (FIFO per hive pair), so the target hive merges it post-move.
+      MigrateXferFrame fwd = frame;
+      fwd.merge_target = target;
+      fwd.src_hive = id_;
+      send_frame(winner.migration_target(),
+                 encode_frame(FrameKind::kMigrateXfer, fwd));
+      return;
+    }
+    winner.store().merge_from(StateStore::from_snapshot(frame.snapshot));
+    replicate_snapshot(winner);
+    // Raise the fence first: a transfer decided after others announces
+    // them, so out-of-order arrivals cannot unblock the winner early.
+    winner.note_required_transfers(frame.winner_expected);
+    winner.note_transfers_applied(1 + frame.transfers_applied);
+    if (!winner.blocked()) drain(winner);
+    return;
+  }
+
+  // Whole-bee migration: the bee keeps its identity, only its home moves —
+  // unless it lost a merge while its snapshot was in flight, in which case
+  // the state belongs to the merge winner now.
+  BeeId successor = registry_.live_successor(frame.bee);
+  if (successor != frame.bee) {
+    if (successor != kNoBee) {
+      auto hive = registry_client_.hive_of(successor, env_.now());
+      if (hive.has_value()) {
+        // This snapshot is the loser's counted transfer (its hive shipped
+        // nothing for a migrating loser); its applied count rides along.
+        MigrateXferFrame fwd;
+        fwd.bee = frame.bee;
+        fwd.app = frame.app;
+        fwd.is_merge = true;
+        fwd.merge_target = successor;
+        fwd.src_hive = id_;
+        fwd.transfers_applied = frame.transfers_applied;
+        fwd.winner_expected = registry_.expected_transfers(successor);
+        fwd.snapshot = frame.snapshot;
+        if (*hive == id_) {
+          handle_migrate_xfer(fwd);
+        } else {
+          send_frame(*hive, encode_frame(FrameKind::kMigrateXfer, fwd));
+        }
+      }
+    }
+    MigrateAckFrame ack{frame.bee};
+    send_frame(frame.src_hive, encode_frame(FrameKind::kMigrateAck, ack));
+    return;
+  }
+
+  Bee& bee = ensure_local_bee(frame.bee, frame.app);
+  bee.store().merge_from(StateStore::from_snapshot(frame.snapshot));
+  bee.restore_transfer_counters(frame.transfers_applied,
+                                frame.transfers_required);
+  ++counters_.migrations_in;
+  registry_.move_bee_rpc(frame.bee, id_, id_, env_.now());
+  replicate_snapshot(bee);
+  MigrateAckFrame ack{frame.bee};
+  send_frame(frame.src_hive, encode_frame(FrameKind::kMigrateAck, ack));
+}
+
+void Hive::handle_migrate_ack(const MigrateAckFrame& frame) {
+  auto it = bees_.find(frame.bee);
+  if (it == bees_.end()) return;
+  Bee& bee = *it->second;
+  assert(bee.migrating());
+  auto held = bee.take_holdback();
+  AppId app = bee.app();
+  std::uint64_t required = bee.transfers_required();
+  ++counters_.migrations_out;
+  bees_.erase(it);
+
+  auto hive = registry_client_.hive_of(frame.bee, env_.now());
+  if (!hive.has_value()) {
+    BH_ERROR << "hive " << id_ << ": migrated bee "
+             << to_string_bee(frame.bee) << " vanished from registry";
+    return;
+  }
+  for (MessageEnvelope& env : held) {
+    deliver(frame.bee, app, *hive, env, required);
+  }
+}
+
+void Hive::request_migration(BeeId bee_id, HiveId to) {
+  Bee* bee = find_bee(bee_id);
+  if (bee == nullptr) {
+    // Not ours: forward the order to the bee's current hive.
+    auto hive = registry_client_.hive_of(bee_id, env_.now());
+    if (hive.has_value() && *hive != id_) {
+      MigrationOrderFrame order{bee_id, to};
+      send_frame(*hive, encode_frame(FrameKind::kMigrationOrder, order));
+    }
+    return;
+  }
+  if (to == id_) return;
+  if (bee->migrating() || bee->blocked()) return;  // busy; retry next round.
+  if (const App* app = apps_.find(bee->app()); app != nullptr &&
+                                               app->pinned()) {
+    return;  // pinned bees (drivers) are anchored to their IO channel.
+  }
+
+  bee->begin_migration(to);  // freezes the bee (blocked() is now true)
+  MigrateXferFrame xfer;
+  xfer.bee = bee_id;
+  xfer.app = bee->app();
+  xfer.is_merge = false;
+  xfer.src_hive = id_;
+  xfer.transfers_applied = bee->transfers_applied();
+  xfer.transfers_required = bee->transfers_required();
+  xfer.snapshot = bee->store().snapshot();
+  send_frame(to, encode_frame(FrameKind::kMigrateXfer, xfer));
+}
+
+void Hive::drain(Bee& bee) {
+  auto held = bee.take_holdback();
+  for (MessageEnvelope& env : held) {
+    if (bee.blocked()) {
+      bee.hold(std::move(env));  // re-blocked mid-drain (nested merge)
+      continue;
+    }
+    process(bee, env);
+  }
+}
+
+}  // namespace beehive

@@ -1,0 +1,193 @@
+#include "instrument/collector.h"
+
+#include <vector>
+
+#include "core/context.h"
+
+namespace beehive {
+
+namespace {
+
+/// Tiny codec wrapper for the per-hive cell count.
+struct HiveCells {
+  static constexpr std::string_view kTypeName = "stats.hive_cells";
+  std::uint64_t cells = 0;
+
+  void encode(ByteWriter& w) const { w.varint(cells); }
+  static HiveCells decode(ByteReader& r) { return {r.varint()}; }
+};
+
+std::string bee_key(BeeId bee) { return std::to_string(bee); }
+
+CellSet collector_cells() {
+  return CellSet{
+      {std::string(CollectorApp::kBeesDict), std::string(kAllKeys)},
+      {std::string(CollectorApp::kHivesDict), std::string(kAllKeys)},
+      {std::string(CollectorApp::kInTypesDict), std::string(kAllKeys)},
+      {std::string(CollectorApp::kCausationDict), std::string(kAllKeys)}};
+}
+
+void bump_counter(Txn& txn, std::string_view dict, const std::string& key,
+                  std::uint64_t delta) {
+  HiveCells counter = txn.get_as<HiveCells>(dict, key).value_or(HiveCells{});
+  counter.cells += delta;
+  txn.put_as(dict, key, counter);
+}
+
+}  // namespace
+
+CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
+                           std::size_t n_hives, CollectorConfig config)
+    : App("platform.collector") {
+  register_metrics_messages();
+  MsgTypeRegistry::instance().ensure<BeeAgg>();
+  MsgTypeRegistry::instance().ensure<HiveCells>();
+  const std::string bees(kBeesDict);
+  const std::string hives(kHivesDict);
+
+  // Aggregation: every hive's periodic report folds into the whole-dict
+  // cells, centralizing the collector on one bee by construction.
+  on<LocalMetricsReport>(
+      [](const LocalMetricsReport&) { return collector_cells(); },
+      [bees, hives](AppContext& ctx, const LocalMetricsReport& report) {
+        ctx.state().put_as(hives, std::to_string(report.hive),
+                           HiveCells{report.hive_cells});
+        for (const BeeMetricsSample& sample : report.bees) {
+          BeeAgg agg = ctx.state()
+                           .get_as<BeeAgg>(bees, bee_key(sample.bee))
+                           .value_or(BeeAgg{});
+          agg.bee = sample.bee;
+          agg.app = sample.app;
+          agg.hive = sample.hive;
+          agg.pinned = sample.pinned;
+          agg.cells = sample.cells;
+          agg.msgs_in_window += sample.msgs_in;
+          for (const BeeMetricsSample::SourceCount& src : sample.sources) {
+            agg.add_inbound(src.from_hive, src.count);
+          }
+          ctx.state().put_as(bees, bee_key(sample.bee), agg);
+
+          // Cumulative provenance analytics (never windowed).
+          const std::string app_prefix = std::to_string(sample.app) + ":";
+          for (const BeeMetricsSample::TypeCount& t : sample.in_types) {
+            bump_counter(ctx.state(), CollectorApp::kInTypesDict,
+                         app_prefix + std::to_string(t.type), t.count);
+          }
+          for (const BeeMetricsSample::CausationCount& c :
+               sample.causations) {
+            bump_counter(ctx.state(), CollectorApp::kCausationDict,
+                         app_prefix + std::to_string(c.in) + ":" +
+                             std::to_string(c.out),
+                         c.count);
+          }
+        }
+      });
+
+  // Optimization round: view -> strategy -> migration orders, then clear
+  // the window (entries rebuild from the next reports, which also ages out
+  // bees that merged away).
+  every(
+      config.optimize_period,
+      [](const MessageEnvelope&) { return collector_cells(); },
+      [strategy, n_hives, bees](AppContext& ctx, const MessageEnvelope&) {
+        ClusterView view;
+        view.n_hives = n_hives;
+        ctx.state().for_each(
+            std::string(kHivesDict),
+            [&view](const std::string& key, const Bytes& value) {
+              view.hive_cells[static_cast<HiveId>(std::stoul(key))] =
+                  decode_from_bytes<HiveCells>(value).cells;
+            });
+        std::vector<std::string> keys;
+        ctx.state().for_each(
+            bees, [&view, &keys](const std::string& key, const Bytes& value) {
+              BeeAgg agg = decode_from_bytes<BeeAgg>(value);
+              BeeView bee;
+              bee.bee = agg.bee;
+              bee.app = agg.app;
+              bee.hive = agg.hive;
+              bee.pinned = agg.pinned;
+              bee.cells = agg.cells;
+              bee.msgs_in = agg.msgs_in_window;
+              for (const auto& [hive, count] : agg.inbound_by_hive) {
+                bee.inbound_by_hive[hive] += count;
+              }
+              view.bees.push_back(std::move(bee));
+              keys.push_back(key);
+            });
+
+        for (const MigrationDecision& d : strategy->decide(view)) {
+          ctx.order_migration(d.bee, d.to);
+        }
+        for (const std::string& key : keys) {
+          ctx.state().erase(bees, key);
+        }
+      });
+}
+
+std::vector<CollectorApp::CausationRow> CollectorApp::causation_from_store(
+    const StateStore& store) {
+  // First index the per-(app, input type) counts.
+  std::map<std::pair<AppId, MsgTypeId>, std::uint64_t> inputs;
+  if (const Dict* in_types = store.find_dict(kInTypesDict)) {
+    in_types->for_each([&inputs](const std::string& key, const Bytes& v) {
+      auto colon = key.find(':');
+      AppId app = static_cast<AppId>(std::stoul(key.substr(0, colon)));
+      auto type = static_cast<MsgTypeId>(std::stoul(key.substr(colon + 1)));
+      inputs[{app, type}] = decode_from_bytes<HiveCells>(v).cells;
+    });
+  }
+
+  std::vector<CausationRow> rows;
+  if (const Dict* causation = store.find_dict(kCausationDict)) {
+    causation->for_each([&rows, &inputs](const std::string& key,
+                                         const Bytes& v) {
+      auto c1 = key.find(':');
+      auto c2 = key.find(':', c1 + 1);
+      CausationRow row;
+      row.app = static_cast<AppId>(std::stoul(key.substr(0, c1)));
+      row.in =
+          static_cast<MsgTypeId>(std::stoul(key.substr(c1 + 1, c2 - c1 - 1)));
+      row.out = static_cast<MsgTypeId>(std::stoul(key.substr(c2 + 1)));
+      row.emitted = decode_from_bytes<HiveCells>(v).cells;
+      auto it = inputs.find({row.app, row.in});
+      row.inputs = it == inputs.end() ? 0 : it->second;
+      row.ratio = row.inputs == 0 ? 0.0
+                                  : static_cast<double>(row.emitted) /
+                                        static_cast<double>(row.inputs);
+      rows.push_back(row);
+    });
+  }
+  return rows;
+}
+
+ClusterView CollectorApp::view_from_store(const StateStore& store,
+                                          std::size_t n_hives) {
+  ClusterView view;
+  view.n_hives = n_hives;
+  if (const Dict* hives = store.find_dict(kHivesDict)) {
+    hives->for_each([&view](const std::string& key, const Bytes& value) {
+      view.hive_cells[static_cast<HiveId>(std::stoul(key))] =
+          decode_from_bytes<HiveCells>(value).cells;
+    });
+  }
+  if (const Dict* bees = store.find_dict(kBeesDict)) {
+    bees->for_each([&view](const std::string&, const Bytes& value) {
+      BeeAgg agg = decode_from_bytes<BeeAgg>(value);
+      BeeView bee;
+      bee.bee = agg.bee;
+      bee.app = agg.app;
+      bee.hive = agg.hive;
+      bee.pinned = agg.pinned;
+      bee.cells = agg.cells;
+      bee.msgs_in = agg.msgs_in_window;
+      for (const auto& [hive, count] : agg.inbound_by_hive) {
+        bee.inbound_by_hive[hive] += count;
+      }
+      view.bees.push_back(std::move(bee));
+    });
+  }
+  return view;
+}
+
+}  // namespace beehive

@@ -1,0 +1,76 @@
+#include "instrument/failure_detector.h"
+
+#include "core/context.h"
+#include "msg/registry.h"
+
+namespace beehive {
+
+namespace {
+
+/// Per-hive liveness record: last heartbeat time + suspected flag.
+struct HiveLiveness {
+  static constexpr std::string_view kTypeName = "fd.liveness";
+  TimePoint last_seen = 0;
+  bool suspected = false;
+
+  void encode(ByteWriter& w) const {
+    w.i64(last_seen);
+    w.boolean(suspected);
+  }
+  static HiveLiveness decode(ByteReader& r) {
+    HiveLiveness l;
+    l.last_seen = r.i64();
+    l.suspected = r.boolean();
+    return l;
+  }
+};
+
+}  // namespace
+
+FailureDetectorApp::FailureDetectorApp(
+    FailureDetectorConfig config, std::function<void(HiveId)> on_suspect)
+    : App("platform.failure_detector") {
+  register_metrics_messages();
+  MsgTypeRegistry::instance().ensure<HiveSuspected>();
+  MsgTypeRegistry::instance().ensure<HiveLiveness>();
+  const std::string dict(kDict);
+
+  // Heartbeat ingestion: any report refreshes (and un-suspects) its hive.
+  on<LocalMetricsReport>(
+      [dict](const LocalMetricsReport&) { return CellSet::whole_dict(dict); },
+      [dict](AppContext& ctx, const LocalMetricsReport& report) {
+        HiveLiveness liveness;
+        liveness.last_seen = ctx.now();
+        liveness.suspected = false;
+        ctx.state().put_as(dict, std::to_string(report.hive), liveness);
+      });
+
+  // Detection sweep.
+  every(
+      config.check_period,
+      [dict](const MessageEnvelope&) { return CellSet::whole_dict(dict); },
+      [dict, config, on_suspect](AppContext& ctx, const MessageEnvelope&) {
+        struct Suspect {
+          HiveId hive;
+          HiveLiveness liveness;
+        };
+        std::vector<Suspect> suspects;
+        ctx.state().for_each(
+            dict, [&](const std::string& key, const Bytes& value) {
+              HiveLiveness liveness = decode_from_bytes<HiveLiveness>(value);
+              if (liveness.suspected) return;
+              if (ctx.now() - liveness.last_seen >= config.suspect_after) {
+                suspects.push_back(
+                    {static_cast<HiveId>(std::stoul(key)), liveness});
+              }
+            });
+        for (Suspect& s : suspects) {
+          s.liveness.suspected = true;
+          ctx.state().put_as(dict, std::to_string(s.hive), s.liveness);
+          ctx.emit(HiveSuspected{s.hive, s.liveness.last_seen});
+          if (on_suspect) on_suspect(s.hive);
+        }
+      });
+}
+
+}  // namespace beehive

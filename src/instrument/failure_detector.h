@@ -1,0 +1,54 @@
+// Heartbeat-based hive failure detection (fault-tolerance extension,
+// paper §7).
+//
+// Every hive's periodic LocalMetricsReport doubles as a heartbeat. The
+// detector — a Beehive app centralized by its whole-dict map, like the
+// collector — tracks the last report time per hive and, when a hive stays
+// silent past the timeout, emits a HiveSuspected event and invokes the
+// harness-provided recovery callback (which, in the simulator, triggers
+// SimCluster::recover_hive failover onto replicas).
+#pragma once
+
+#include <functional>
+
+#include "core/app.h"
+#include "instrument/metrics.h"
+
+namespace beehive {
+
+/// Broadcast when the detector declares a hive dead.
+struct HiveSuspected {
+  static constexpr std::string_view kTypeName = "platform.hive_suspected";
+  HiveId hive = 0;
+  TimePoint last_seen = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(hive);
+    w.i64(last_seen);
+  }
+  static HiveSuspected decode(ByteReader& r) {
+    HiveSuspected m;
+    m.hive = r.u32();
+    m.last_seen = r.i64();
+    return m;
+  }
+};
+
+struct FailureDetectorConfig {
+  Duration check_period = 2 * kSecond;
+  /// A hive is suspected after this much silence. Must comfortably exceed
+  /// the hives' metrics_period.
+  Duration suspect_after = 3 * kSecond;
+};
+
+class FailureDetectorApp : public App {
+ public:
+  /// `on_suspect` runs (once per failed hive) inside the detector bee's
+  /// handler; the simulator binds it to its failover routine. May be null.
+  FailureDetectorApp(FailureDetectorConfig config,
+                     std::function<void(HiveId)> on_suspect);
+
+  static constexpr std::string_view kDict = "fd.hives";
+};
+
+}  // namespace beehive

@@ -1,0 +1,12 @@
+#include "instrument/metrics.h"
+
+#include "msg/registry.h"
+
+namespace beehive {
+
+void register_metrics_messages() {
+  MsgTypeRegistry::instance().ensure<BeeMetricsSample>();
+  MsgTypeRegistry::instance().ensure<LocalMetricsReport>();
+}
+
+}  // namespace beehive

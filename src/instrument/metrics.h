@@ -1,0 +1,197 @@
+// Per-bee runtime instrumentation (paper §3, "Runtime Instrumentation").
+//
+// Each bee records how many messages/bytes it handles, where they came
+// from (per-source-bee provenance — the input to the placement optimizer's
+// "majority of messages" rule) and message causation (which input types
+// produce which output types). Hives aggregate these locally and
+// periodically report them to the collector application.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "msg/codec.h"
+#include "util/types.h"
+
+namespace beehive {
+
+struct BeeMetrics {
+  std::uint64_t msgs_in = 0;
+  std::uint64_t msgs_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t handler_invocations = 0;
+  std::uint64_t handler_failures = 0;
+
+  /// Messages received, keyed by the emitting bee (kNoBee = IO channel).
+  std::unordered_map<BeeId, std::uint64_t> inbound_from;
+
+  /// Messages received keyed by (emitting bee, hive it emitted from) — the
+  /// provenance the optimizer's "majority of messages from hive H2" rule
+  /// consumes. Deterministically ordered for reporting.
+  std::map<std::pair<BeeId, HiveId>, std::uint64_t> inbound_hive;
+
+  /// Causation: (input type, output type) -> count. "packet_out messages
+  /// are emitted upon receiving 80% of packet_in's" comes from this table.
+  std::map<std::pair<MsgTypeId, MsgTypeId>, std::uint64_t> causation;
+
+  /// Messages received per input type (the denominator of causation
+  /// ratios).
+  std::map<MsgTypeId, std::uint64_t> inbound_types;
+
+  void on_receive(BeeId from, std::size_t bytes, MsgTypeId type = 0) {
+    ++msgs_in;
+    bytes_in += bytes;
+    ++inbound_from[from];
+    if (type != 0) ++inbound_types[type];
+  }
+
+  void on_emit(MsgTypeId in_reply_to, MsgTypeId emitted, std::size_t bytes) {
+    ++msgs_out;
+    bytes_out += bytes;
+    ++causation[{in_reply_to, emitted}];
+  }
+};
+
+/// One bee's flattened metrics snapshot as shipped to the collector.
+struct BeeMetricsSample {
+  static constexpr std::string_view kTypeName = "platform.bee_metrics_sample";
+
+  BeeId bee = kNoBee;
+  AppId app = 0;
+  HiveId hive = 0;
+  std::uint64_t msgs_in = 0;
+  std::uint64_t msgs_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t state_bytes = 0;
+  bool pinned = false;
+
+  struct SourceCount {
+    static constexpr std::string_view kTypeName = "platform.source_count";
+    BeeId from = kNoBee;
+    HiveId from_hive = 0;
+    std::uint64_t count = 0;
+
+    void encode(ByteWriter& w) const {
+      w.u64(from);
+      w.u32(from_hive);
+      w.varint(count);
+    }
+    static SourceCount decode(ByteReader& r) {
+      SourceCount s;
+      s.from = r.u64();
+      s.from_hive = r.u32();
+      s.count = r.varint();
+      return s;
+    }
+  };
+  std::vector<SourceCount> sources;
+
+  /// Provenance: inputs by type and (input type -> output type) emission
+  /// counts, for the collector's causation analytics.
+  struct TypeCount {
+    static constexpr std::string_view kTypeName = "platform.type_count";
+    MsgTypeId type = 0;
+    std::uint64_t count = 0;
+
+    void encode(ByteWriter& w) const {
+      w.u32(type);
+      w.varint(count);
+    }
+    static TypeCount decode(ByteReader& r) {
+      TypeCount t;
+      t.type = r.u32();
+      t.count = r.varint();
+      return t;
+    }
+  };
+  struct CausationCount {
+    static constexpr std::string_view kTypeName = "platform.causation_count";
+    MsgTypeId in = 0;
+    MsgTypeId out = 0;
+    std::uint64_t count = 0;
+
+    void encode(ByteWriter& w) const {
+      w.u32(in);
+      w.u32(out);
+      w.varint(count);
+    }
+    static CausationCount decode(ByteReader& r) {
+      CausationCount c;
+      c.in = r.u32();
+      c.out = r.u32();
+      c.count = r.varint();
+      return c;
+    }
+  };
+  std::vector<TypeCount> in_types;
+  std::vector<CausationCount> causations;
+
+  void encode(ByteWriter& w) const {
+    w.u64(bee);
+    w.u32(app);
+    w.u32(hive);
+    w.varint(msgs_in);
+    w.varint(msgs_out);
+    w.varint(bytes_in);
+    w.varint(bytes_out);
+    w.varint(cells);
+    w.varint(state_bytes);
+    w.boolean(pinned);
+    encode_vector(w, sources);
+    encode_vector(w, in_types);
+    encode_vector(w, causations);
+  }
+  static BeeMetricsSample decode(ByteReader& r) {
+    BeeMetricsSample s;
+    s.bee = r.u64();
+    s.app = r.u32();
+    s.hive = r.u32();
+    s.msgs_in = r.varint();
+    s.msgs_out = r.varint();
+    s.bytes_in = r.varint();
+    s.bytes_out = r.varint();
+    s.cells = r.varint();
+    s.state_bytes = r.varint();
+    s.pinned = r.boolean();
+    s.sources = decode_vector<BeeMetricsSample::SourceCount>(r);
+    s.in_types = decode_vector<BeeMetricsSample::TypeCount>(r);
+    s.causations = decode_vector<BeeMetricsSample::CausationCount>(r);
+    return s;
+  }
+};
+
+/// Periodic report from one hive to the collector: a delta since the
+/// previous report for every local bee.
+struct LocalMetricsReport {
+  static constexpr std::string_view kTypeName = "platform.local_metrics";
+
+  HiveId hive = 0;
+  TimePoint at = 0;
+  std::uint64_t hive_cells = 0;
+  std::vector<BeeMetricsSample> bees;
+
+  void encode(ByteWriter& w) const {
+    w.u32(hive);
+    w.i64(at);
+    w.varint(hive_cells);
+    encode_vector(w, bees);
+  }
+  static LocalMetricsReport decode(ByteReader& r) {
+    LocalMetricsReport rep;
+    rep.hive = r.u32();
+    rep.at = r.i64();
+    rep.hive_cells = r.varint();
+    rep.bees = decode_vector<BeeMetricsSample>(r);
+    return rep;
+  }
+};
+
+void register_metrics_messages();
+
+}  // namespace beehive

@@ -1,0 +1,69 @@
+// Codec concept for Beehive wire messages.
+//
+// A message type is any struct that exposes a stable type name plus
+// symmetric encode/decode functions over the platform's byte format:
+//
+//   struct FlowStatQuery {
+//     static constexpr std::string_view kTypeName = "of.flow_stat_query";
+//     SwitchId sw{};
+//     void encode(ByteWriter& w) const { w.u32(sw); }
+//     static FlowStatQuery decode(ByteReader& r) { return {.sw = r.u32()}; }
+//   };
+//
+// The type name — not the C++ type — defines identity on the wire, so two
+// hives built from the same sources always agree on MsgTypeIds (FNV-1a of
+// the name) without any handshake.
+#pragma once
+
+#include <concepts>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/hash.h"
+#include "util/types.h"
+
+namespace beehive {
+
+template <typename T>
+concept WireEncodable = requires(const T& t, ByteWriter& w, ByteReader& r) {
+  { T::kTypeName } -> std::convertible_to<std::string_view>;
+  { t.encode(w) } -> std::same_as<void>;
+  { T::decode(r) } -> std::same_as<T>;
+};
+
+template <WireEncodable T>
+constexpr MsgTypeId msg_type_id() {
+  return fnv1a32(T::kTypeName);
+}
+
+template <WireEncodable T>
+Bytes encode_to_bytes(const T& value) {
+  ByteWriter w;
+  value.encode(w);
+  return std::move(w).take();
+}
+
+template <WireEncodable T>
+T decode_from_bytes(std::string_view data) {
+  ByteReader r(data);
+  return T::decode(r);
+}
+
+// Helpers for encoding homogeneous vectors inside message bodies.
+template <WireEncodable T>
+void encode_vector(ByteWriter& w, const std::vector<T>& items) {
+  w.varint(items.size());
+  for (const T& item : items) item.encode(w);
+}
+
+template <WireEncodable T>
+std::vector<T> decode_vector(ByteReader& r) {
+  std::vector<T> items;
+  std::uint64_t n = r.varint();
+  items.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) items.push_back(T::decode(r));
+  return items;
+}
+
+}  // namespace beehive

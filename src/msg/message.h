@@ -1,0 +1,123 @@
+// The message envelope: what flows between bees.
+//
+// A message carries a typed payload plus provenance (which app/bee/hive
+// emitted it and when). Within a process the payload travels as an
+// immutable shared object; when a message crosses a hive boundary it is
+// serialized through MsgTypeRegistry and re-materialized on the far side.
+// `wire_size` is computed eagerly at emission so the control-channel meter
+// and the instrumentation layer account identical byte counts in both the
+// simulated and the threaded runtimes.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "msg/codec.h"
+#include "msg/registry.h"
+#include "util/types.h"
+
+namespace beehive {
+
+class MessageEnvelope {
+ public:
+  MessageEnvelope() = default;
+
+  template <WireEncodable T>
+  static MessageEnvelope make(T body, AppId from_app = 0,
+                              BeeId from_bee = kNoBee, HiveId from_hive = 0,
+                              TimePoint emitted_at = 0) {
+    MsgTypeRegistry::instance().ensure<T>();
+    MessageEnvelope m;
+    m.type_ = msg_type_id<T>();
+    m.from_app_ = from_app;
+    m.from_bee_ = from_bee;
+    m.from_hive_ = from_hive;
+    m.emitted_at_ = emitted_at;
+    m.payload_size_ = static_cast<std::uint32_t>(encode_to_bytes(body).size());
+    m.body_ = std::make_shared<const T>(std::move(body));
+    return m;
+  }
+
+  MsgTypeId type() const { return type_; }
+  AppId from_app() const { return from_app_; }
+  BeeId from_bee() const { return from_bee_; }
+  HiveId from_hive() const { return from_hive_; }
+  TimePoint emitted_at() const { return emitted_at_; }
+
+  /// Payload bytes on the wire (excluding the fixed envelope header).
+  std::uint32_t payload_size() const { return payload_size_; }
+
+  /// Total bytes this message occupies on a control channel.
+  std::uint32_t wire_size() const { return kHeaderBytes + payload_size_; }
+
+  bool has_body() const { return body_ != nullptr; }
+
+  template <WireEncodable T>
+  bool is() const {
+    return type_ == msg_type_id<T>();
+  }
+
+  /// Typed payload access; the caller must have checked `is<T>()` or be in
+  /// a handler registered for T (the platform guarantees the match there).
+  template <WireEncodable T>
+  const T& as() const {
+    if (!is<T>()) {
+      throw std::logic_error(
+          "MessageEnvelope::as<T>: payload is " +
+          std::string(MsgTypeRegistry::instance().name_of(type_)) +
+          ", requested " + std::string(T::kTypeName));
+    }
+    return *static_cast<const T*>(body_.get());
+  }
+
+  /// Serializes envelope header + payload for a hive-boundary crossing.
+  Bytes to_wire() const {
+    const auto* entry = MsgTypeRegistry::instance().find(type_);
+    assert(entry != nullptr && "message type not registered");
+    ByteWriter w;
+    w.u32(type_);
+    w.u32(from_app_);
+    w.u64(from_bee_);
+    w.u32(from_hive_);
+    w.i64(emitted_at_);
+    w.str(entry->encode(body_.get()));
+    return std::move(w).take();
+  }
+
+  /// Reconstructs a typed envelope from wire bytes. Throws DecodeError on
+  /// malformed input and logic_error for unregistered types.
+  static MessageEnvelope from_wire(std::string_view data) {
+    ByteReader r(data);
+    MessageEnvelope m;
+    m.type_ = r.u32();
+    m.from_app_ = r.u32();
+    m.from_bee_ = r.u64();
+    m.from_hive_ = r.u32();
+    m.emitted_at_ = r.i64();
+    Bytes payload = r.str();
+    m.payload_size_ = static_cast<std::uint32_t>(payload.size());
+    const auto* entry = MsgTypeRegistry::instance().find(m.type_);
+    if (entry == nullptr) {
+      throw std::logic_error("unregistered message type on wire");
+    }
+    m.body_ = entry->decode(payload);
+    return m;
+  }
+
+  // Fixed header: type(4) + app(4) + bee(8) + hive(4) + time(8) +
+  // payload length varint (amortized ~2).
+  static constexpr std::uint32_t kHeaderBytes = 30;
+
+ private:
+  MsgTypeId type_ = 0;
+  AppId from_app_ = 0;
+  BeeId from_bee_ = kNoBee;
+  HiveId from_hive_ = 0;
+  TimePoint emitted_at_ = 0;
+  std::uint32_t payload_size_ = 0;
+  std::shared_ptr<const void> body_;
+};
+
+}  // namespace beehive

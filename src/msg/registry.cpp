@@ -1,0 +1,10 @@
+#include "msg/registry.h"
+
+namespace beehive {
+
+MsgTypeRegistry& MsgTypeRegistry::instance() {
+  static MsgTypeRegistry registry;
+  return registry;
+}
+
+}  // namespace beehive

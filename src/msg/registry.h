@@ -1,0 +1,69 @@
+// Runtime registry of message types.
+//
+// The registry provides the type-erased encode/decode functions the
+// platform needs when a message crosses a hive boundary: the sending hive
+// serializes the typed payload, the receiving hive looks the MsgTypeId up
+// and reconstructs the typed object. Registration is idempotent and
+// normally happens from App::setup() or the message header's
+// register_*_messages() helper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "msg/codec.h"
+#include "util/bytes.h"
+#include "util/types.h"
+
+namespace beehive {
+
+class MsgTypeRegistry {
+ public:
+  struct Entry {
+    MsgTypeId id = 0;
+    std::string name;
+    std::function<Bytes(const void*)> encode;
+    std::function<std::shared_ptr<const void>(std::string_view)> decode;
+  };
+
+  static MsgTypeRegistry& instance();
+
+  /// Registers T if not yet known; returns its stable id. Safe to call
+  /// multiple times and from multiple translation units.
+  template <WireEncodable T>
+  MsgTypeId ensure() {
+    const MsgTypeId id = msg_type_id<T>();
+    if (entries_.contains(id)) return id;
+    Entry e;
+    e.id = id;
+    e.name = std::string(T::kTypeName);
+    e.encode = [](const void* p) {
+      return encode_to_bytes(*static_cast<const T*>(p));
+    };
+    e.decode = [](std::string_view data) -> std::shared_ptr<const void> {
+      return std::make_shared<const T>(decode_from_bytes<T>(data));
+    };
+    entries_.emplace(id, std::move(e));
+    return id;
+  }
+
+  const Entry* find(MsgTypeId id) const {
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  std::string_view name_of(MsgTypeId id) const {
+    const Entry* e = find(id);
+    return e ? std::string_view(e->name) : std::string_view("<unknown>");
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<MsgTypeId, Entry> entries_;
+};
+
+}  // namespace beehive

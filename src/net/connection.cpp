@@ -1,0 +1,170 @@
+#include "net/connection.h"
+
+namespace beehive::of {
+
+// ---------------------------------------------------------------------------
+// SwitchConnection (controller side)
+// ---------------------------------------------------------------------------
+
+SwitchConnection::SwitchConnection(SwitchId sw, SendFn send)
+    : sw_(sw), send_(std::move(send)) {}
+
+void SwitchConnection::start() {
+  if (sent_hello_) return;
+  sent_hello_ = true;
+  send_frame(encode(HelloMsg{next_xid()}));
+}
+
+void SwitchConnection::send_frame(Bytes frame) {
+  tx_bytes_ += frame.size();
+  send_(std::move(frame));
+}
+
+void SwitchConnection::on_bytes(std::string_view data) {
+  rx_bytes_ += data.size();
+  stream_.feed(data);
+  while (auto frame = stream_.poll()) {
+    ++rx_messages_;
+    Message msg = decode(*frame);
+    switch (msg.header.type) {
+      case MsgType::kHello:
+        if (!ready_) {
+          ready_ = true;
+          if (on_ready) on_ready();
+        }
+        break;
+      case MsgType::kEchoRequest:
+        // Keepalive: answer with the same payload and xid.
+        send_frame(encode(EchoMsg{msg.echo->xid, /*reply=*/true,
+                                  msg.echo->payload}));
+        break;
+      case MsgType::kEchoReply:
+        if (on_echo_reply) on_echo_reply(msg.echo->xid);
+        break;
+      case MsgType::kStatsReply: {
+        auto it = pending_stats_.find(msg.header.xid);
+        if (it != pending_stats_.end() && !msg.stats_reply->more) {
+          pending_stats_.erase(it);
+        }
+        if (on_stats) {
+          on_stats(from_openflow_stats(*msg.stats_reply, sw_));
+        }
+        break;
+      }
+      case MsgType::kPacketIn: {
+        if (on_packet_in) {
+          // The simulated payload encodes src/dst mac in the first bytes.
+          PacketIn logical;
+          logical.sw = sw_;
+          logical.in_port = msg.packet_in->in_port;
+          if (msg.packet_in->payload.size() >= 16) {
+            ByteReader r(msg.packet_in->payload);
+            logical.dst_mac = r.u64();
+            logical.src_mac = r.u64();
+          }
+          on_packet_in(logical);
+        }
+        break;
+      }
+      default:
+        throw ParseError("controller: unexpected message type " +
+                         std::to_string(static_cast<int>(msg.header.type)));
+    }
+  }
+}
+
+std::uint32_t SwitchConnection::request_stats() {
+  FlowStatsRequestMsg req;
+  req.xid = next_xid();
+  pending_stats_[req.xid] = true;
+  send_frame(encode(req));
+  return req.xid;
+}
+
+void SwitchConnection::send_flow_mod(const FlowMod& mod) {
+  send_frame(encode(to_openflow(mod, next_xid())));
+}
+
+void SwitchConnection::send_packet_out(const PacketOut& out) {
+  PacketOutMsg m;
+  m.xid = next_xid();
+  m.actions.push_back({out.out_port, 0xffff});
+  ByteWriter payload;
+  payload.u64(out.dst_mac);
+  payload.u64(0);
+  m.payload = std::move(payload).take();
+  send_frame(encode(m));
+}
+
+std::uint32_t SwitchConnection::send_echo_request() {
+  std::uint32_t xid = next_xid();
+  send_frame(encode(EchoMsg{xid, /*reply=*/false, "ka"}));
+  return xid;
+}
+
+// ---------------------------------------------------------------------------
+// SwitchAgent (switch side)
+// ---------------------------------------------------------------------------
+
+SwitchAgent::SwitchAgent(SimSwitch* sw, SendFn send, Clock clock)
+    : sw_(sw), send_(std::move(send)), clock_(std::move(clock)) {}
+
+void SwitchAgent::send_frame(Bytes frame) { send_(std::move(frame)); }
+
+void SwitchAgent::punt(std::uint64_t src_mac, std::uint64_t dst_mac,
+                       std::uint16_t in_port) {
+  if (!ready_) return;
+  PacketInMsg m;
+  m.in_port = in_port;
+  ByteWriter payload;
+  payload.u64(dst_mac);
+  payload.u64(src_mac);
+  payload.raw(Bytes(48, '\0'));  // pad to a minimum ethernet frame
+  m.payload = std::move(payload).take();
+  send_frame(encode(m));
+}
+
+void SwitchAgent::on_bytes(std::string_view data) {
+  stream_.feed(data);
+  while (auto frame = stream_.poll()) {
+    Message msg = decode(*frame);
+    switch (msg.header.type) {
+      case MsgType::kHello:
+        if (!sent_hello_) {
+          sent_hello_ = true;
+          send_frame(encode(HelloMsg{msg.header.xid}));
+        }
+        ready_ = true;
+        break;
+      case MsgType::kEchoRequest:
+        send_frame(encode(EchoMsg{msg.echo->xid, /*reply=*/true,
+                                  msg.echo->payload}));
+        break;
+      case MsgType::kEchoReply:
+        break;
+      case MsgType::kFlowMod: {
+        FlowMod logical = from_openflow_flow_mod(*msg.flow_mod, sw_->id());
+        if (sw_->apply_flow_mod(logical.flow, logical.new_path)) {
+          ++flow_mods_applied_;
+        }
+        break;
+      }
+      case MsgType::kStatsRequest: {
+        FlowStatReply logical;
+        logical.sw = sw_->id();
+        logical.stats = sw_->stats(clock_());
+        send_frame(encode(to_openflow(logical, msg.header.xid)));
+        break;
+      }
+      case MsgType::kPacketOut:
+        sw_->deliver_packet();
+        ++packet_outs_;
+        break;
+      default:
+        throw ParseError("switch: unexpected message type " +
+                         std::to_string(static_cast<int>(msg.header.type)));
+    }
+  }
+}
+
+}  // namespace beehive::of

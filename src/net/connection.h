@@ -1,0 +1,118 @@
+// OpenFlow channel endpoints: the byte-level connection between a
+// controller (hive) and a switch.
+//
+// SwitchConnection is the controller-side endpoint: it performs the
+// version handshake (HELLO exchange), allocates transaction ids, encodes
+// the platform's logical driver messages onto the wire, reassembles and
+// decodes the switch's byte stream, and answers echo keepalives.
+// SwitchAgent is the switch-side peer: it speaks the same wire format and
+// applies FLOW_MODs / answers OFPST_FLOW requests against a SimSwitch.
+//
+// Transport is abstracted as a send callback over raw bytes, so tests can
+// interpose arbitrary TCP-like chunking (see tests/test_connection.cpp)
+// and the example wires two endpoints back-to-back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "net/openflow.h"
+#include "net/switch_sim.h"
+#include "util/types.h"
+
+namespace beehive::of {
+
+/// Controller-side endpoint of one switch's OpenFlow channel.
+class SwitchConnection {
+ public:
+  using SendFn = std::function<void(Bytes)>;
+
+  SwitchConnection(SwitchId sw, SendFn send);
+
+  /// Initiates the handshake (sends OFPT_HELLO).
+  void start();
+
+  /// Feeds raw bytes received from the switch; fires callbacks for every
+  /// complete message. Throws ParseError on protocol violations (a real
+  /// controller would close the connection).
+  void on_bytes(std::string_view data);
+
+  bool ready() const { return ready_; }
+  SwitchId sw() const { return sw_; }
+
+  // -- Controller operations (only valid once ready) -----------------------
+
+  /// Sends an OFPST_FLOW request; the reply arrives via on_stats with the
+  /// same transaction id correlated back to this request.
+  std::uint32_t request_stats();
+
+  void send_flow_mod(const FlowMod& mod);
+  void send_packet_out(const PacketOut& out);
+  std::uint32_t send_echo_request();
+
+  // -- Event callbacks ------------------------------------------------------
+
+  std::function<void()> on_ready;
+  std::function<void(const FlowStatReply&)> on_stats;
+  std::function<void(const PacketIn&)> on_packet_in;
+  std::function<void(std::uint32_t /*xid*/)> on_echo_reply;
+
+  // -- Channel statistics ---------------------------------------------------
+
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t rx_bytes() const { return rx_bytes_; }
+  std::uint64_t rx_messages() const { return rx_messages_; }
+  std::size_t pending_stats_requests() const { return pending_stats_.size(); }
+
+ private:
+  void send_frame(Bytes frame);
+  std::uint32_t next_xid() { return xid_++; }
+
+  SwitchId sw_;
+  SendFn send_;
+  StreamReassembler stream_;
+  bool sent_hello_ = false;
+  bool ready_ = false;
+  std::uint32_t xid_ = 1;
+  std::unordered_map<std::uint32_t, bool> pending_stats_;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+  std::uint64_t rx_messages_ = 0;
+};
+
+/// Switch-side endpoint: terminates the controller's channel against a
+/// simulated switch.
+class SwitchAgent {
+ public:
+  using SendFn = std::function<void(Bytes)>;
+  using Clock = std::function<TimePoint()>;
+
+  SwitchAgent(SimSwitch* sw, SendFn send, Clock clock);
+
+  /// Feeds raw bytes from the controller.
+  void on_bytes(std::string_view data);
+
+  /// Switch-initiated packet punt (sends OFPT_PACKET_IN once ready).
+  void punt(std::uint64_t src_mac, std::uint64_t dst_mac,
+            std::uint16_t in_port);
+
+  bool ready() const { return ready_; }
+  std::uint64_t flow_mods_applied() const { return flow_mods_applied_; }
+  std::uint64_t packet_outs() const { return packet_outs_; }
+
+ private:
+  void send_frame(Bytes frame);
+
+  SimSwitch* sw_;
+  SendFn send_;
+  Clock clock_;
+  StreamReassembler stream_;
+  bool sent_hello_ = false;
+  bool ready_ = false;
+  std::uint64_t flow_mods_applied_ = 0;
+  std::uint64_t packet_outs_ = 0;
+};
+
+}  // namespace beehive::of

@@ -1,0 +1,55 @@
+#include "net/driver.h"
+
+#include "apps/messages.h"
+#include "core/context.h"
+
+namespace beehive {
+
+OpenFlowDriverApp::OpenFlowDriverApp(NetworkFabric* fabric)
+    : App("of.driver", /*pinned=*/true) {
+  register_app_messages();
+  const std::string dict(kDict);
+
+  on<SwitchConnected>(
+      [dict](const SwitchConnected& m) {
+        return CellSet::single(dict, switch_key(m.sw));
+      },
+      [fabric, dict](AppContext& ctx, const SwitchConnected& m) {
+        (void)fabric;
+        SwitchJoined joined{m.sw, ctx.hive()};
+        ctx.state().put_as(dict, switch_key(m.sw), joined);
+        ctx.emit(joined);
+      });
+
+  on<FlowStatQuery>(
+      [dict](const FlowStatQuery& m) {
+        return CellSet::single(dict, switch_key(m.sw));
+      },
+      [fabric, dict](AppContext& ctx, const FlowStatQuery& m) {
+        if (!ctx.state().contains(dict, switch_key(m.sw))) {
+          return;  // query raced ahead of the switch join; drop like OF.
+        }
+        FlowStatReply reply;
+        reply.sw = m.sw;
+        reply.stats = fabric->sw(m.sw).stats(ctx.now());
+        ctx.emit(std::move(reply));
+      });
+
+  on<FlowMod>(
+      [dict](const FlowMod& m) {
+        return CellSet::single(dict, switch_key(m.sw));
+      },
+      [fabric](AppContext&, const FlowMod& m) {
+        fabric->sw(m.sw).apply_flow_mod(m.flow, m.new_path);
+      });
+
+  on<PacketOut>(
+      [dict](const PacketOut& m) {
+        return CellSet::single(dict, switch_key(m.sw));
+      },
+      [fabric](AppContext&, const PacketOut& m) {
+        fabric->sw(m.sw).deliver_packet();
+      });
+}
+
+}  // namespace beehive

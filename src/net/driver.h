@@ -1,0 +1,30 @@
+// The OpenFlow driver application.
+//
+// One pinned bee per switch, anchored at the switch's master hive (its
+// cells are keyed by switch id and the bee is created where the control
+// connection arrives). The driver is the bridge in both directions:
+// fabric events become platform messages (SwitchJoined), and control
+// messages (FlowStatQuery, FlowMod, PacketOut) become operations on the
+// simulated switch.
+//
+// Being a regular Beehive app with `pinned = true`, the driver also acts
+// as the gravity well for the optimizer: migrating a TE bee "next to the
+// OpenFlow driver that controls SWi" (paper §5) means moving it to the
+// hive hosting this app's bee for SWi.
+#pragma once
+
+#include "core/app.h"
+#include "net/fabric.h"
+
+namespace beehive {
+
+class OpenFlowDriverApp : public App {
+ public:
+  /// `fabric` must outlive the app. The driver's state dictionary is
+  /// "of.sw" with one cell per switch.
+  explicit OpenFlowDriverApp(NetworkFabric* fabric);
+
+  static constexpr std::string_view kDict = "of.sw";
+};
+
+}  // namespace beehive

@@ -1,0 +1,54 @@
+#include "net/fabric.h"
+
+#include "apps/messages.h"
+
+namespace beehive {
+
+NetworkFabric::NetworkFabric(TreeTopology topology, FabricConfig config)
+    : topology_(std::move(topology)) {
+  Xoshiro256 rng(config.seed);
+  switches_.reserve(topology_.n_switches());
+  for (SwitchId id = 0; id < topology_.n_switches(); ++id) {
+    switches_.push_back(std::make_unique<SimSwitch>(id, config.sw, rng));
+  }
+}
+
+void NetworkFabric::connect_all(const Injector& inject, TimePoint now) const {
+  for (SwitchId id = 0; id < switches_.size(); ++id) {
+    connect(id, inject, now);
+  }
+}
+
+void NetworkFabric::connect(SwitchId sw, const Injector& inject,
+                            TimePoint now) const {
+  HiveId master = topology_.master_hive(sw);
+  inject(master, MessageEnvelope::make(SwitchConnected{sw}, 0, kNoBee,
+                                       master, now));
+}
+
+void NetworkFabric::punt_packet(SwitchId sw, std::uint64_t src_mac,
+                                std::uint64_t dst_mac, std::uint16_t in_port,
+                                const Injector& inject, TimePoint now) const {
+  HiveId master = topology_.master_hive(sw);
+  PacketIn packet;
+  packet.sw = sw;
+  packet.src_mac = src_mac;
+  packet.dst_mac = dst_mac;
+  packet.in_port = in_port;
+  inject(master,
+         MessageEnvelope::make(std::move(packet), 0, kNoBee, master, now));
+}
+
+std::uint64_t NetworkFabric::total_flow_mods() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) total += sw->flow_mods_applied();
+  return total;
+}
+
+std::size_t NetworkFabric::total_flows_above_threshold(TimePoint now) const {
+  std::size_t total = 0;
+  for (const auto& sw : switches_) total += sw->flows_above_threshold(now);
+  return total;
+}
+
+}  // namespace beehive

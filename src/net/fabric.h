@@ -1,0 +1,65 @@
+// The network fabric: the dataplane-side IO substrate.
+//
+// Owns the topology and every simulated switch, and knows which hive each
+// switch's control connection terminates at. The fabric is the boundary
+// between "the network" and the control plane: switch events enter hives
+// through an injector callback, and the OpenFlow driver application talks
+// back to switches through this object.
+//
+// Thread-safety: each switch is only ever touched by its master hive's
+// driver bee (cell exclusivity), so per-switch state needs no locking even
+// under the threaded runtime.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "msg/message.h"
+#include "net/switch_sim.h"
+#include "net/topology.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace beehive {
+
+struct FabricConfig {
+  SwitchConfig sw;
+  std::uint64_t seed = 7;
+};
+
+class NetworkFabric {
+ public:
+  NetworkFabric(TreeTopology topology, FabricConfig config = {});
+
+  const TreeTopology& topology() const { return topology_; }
+  std::size_t n_switches() const { return switches_.size(); }
+
+  SimSwitch& sw(SwitchId id) { return *switches_.at(id); }
+  const SimSwitch& sw(SwitchId id) const { return *switches_.at(id); }
+
+  /// Delivers an IO message to a hive. Benches/examples bind this to
+  /// SimCluster::hive(h).inject or ThreadCluster::post.
+  using Injector = std::function<void(HiveId, MessageEnvelope)>;
+
+  /// Connects every switch to its master hive: one SwitchConnected event
+  /// per switch, delivered through `inject`.
+  void connect_all(const Injector& inject, TimePoint now = 0) const;
+
+  /// Connects a single switch (e.g. staggered joins / failure recovery).
+  void connect(SwitchId sw, const Injector& inject, TimePoint now = 0) const;
+
+  /// Injects a dataplane packet punt (PacketIn) at the switch's master.
+  void punt_packet(SwitchId sw, std::uint64_t src_mac, std::uint64_t dst_mac,
+                   std::uint16_t in_port, const Injector& inject,
+                   TimePoint now) const;
+
+  std::uint64_t total_flow_mods() const;
+  std::size_t total_flows_above_threshold(TimePoint now) const;
+
+ private:
+  TreeTopology topology_;
+  std::vector<std::unique_ptr<SimSwitch>> switches_;
+};
+
+}  // namespace beehive

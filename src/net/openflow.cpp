@@ -1,0 +1,499 @@
+#include "net/openflow.h"
+
+#include <cstring>
+
+namespace beehive::of {
+
+namespace {
+
+// Network-byte-order (big-endian) primitives: OpenFlow, like most wire
+// protocols, is big-endian — the opposite of the platform's internal codec.
+class BeWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void raw(std::string_view s) { buf_.append(s.data(), s.size()); }
+  void zeros(std::size_t n) { buf_.append(n, '\0'); }
+
+  std::size_t size() const { return buf_.size(); }
+  char* data() { return buf_.data(); }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class BeReader {
+ public:
+  explicit BeReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() {
+    std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  }
+  std::uint32_t u32() {
+    std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::uint64_t u64() {
+    std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  std::string_view raw(std::size_t n) {
+    need(n);
+    std::string_view s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  void skip(std::size_t n) { need(n), pos_ += n; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw ParseError("openflow: truncated message");
+    }
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+void write_header(BeWriter& w, MsgType type, std::uint32_t xid) {
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(0);  // length backpatched below
+  w.u32(xid);
+}
+
+void patch_length(BeWriter& w) {
+  const auto len = static_cast<std::uint16_t>(w.size());
+  w.data()[2] = static_cast<char>(len >> 8);
+  w.data()[3] = static_cast<char>(len & 0xff);
+}
+
+void write_match(BeWriter& w, const Match& m) {
+  w.u32(m.wildcards);
+  w.u16(m.in_port);
+  w.raw(std::string_view(reinterpret_cast<const char*>(m.dl_src.data()), 6));
+  w.raw(std::string_view(reinterpret_cast<const char*>(m.dl_dst.data()), 6));
+  w.u16(0);  // dl_vlan
+  w.u8(0);   // dl_vlan_pcp
+  w.u8(0);   // pad
+  w.u16(m.dl_type);
+  w.u8(0);  // nw_tos
+  w.u8(0);  // nw_proto
+  w.u16(0);  // pad[2]
+  w.u32(m.nw_src);
+  w.u32(m.nw_dst);
+  w.u16(m.tp_src);
+  w.u16(m.tp_dst);
+}
+
+Match read_match(BeReader& r) {
+  Match m;
+  m.wildcards = r.u32();
+  m.in_port = r.u16();
+  std::string_view src = r.raw(6);
+  std::memcpy(m.dl_src.data(), src.data(), 6);
+  std::string_view dst = r.raw(6);
+  std::memcpy(m.dl_dst.data(), dst.data(), 6);
+  r.skip(2 + 1 + 1);  // dl_vlan, pcp, pad
+  m.dl_type = r.u16();
+  r.skip(1 + 1 + 2);  // nw_tos, nw_proto, pad
+  m.nw_src = r.u32();
+  m.nw_dst = r.u32();
+  m.tp_src = r.u16();
+  m.tp_dst = r.u16();
+  return m;
+}
+
+void write_actions(BeWriter& w, const std::vector<OutputAction>& actions) {
+  for (const OutputAction& a : actions) {
+    w.u16(0);  // OFPAT_OUTPUT
+    w.u16(8);  // action length
+    w.u16(a.port);
+    w.u16(a.max_len);
+  }
+}
+
+std::vector<OutputAction> read_actions(BeReader& r, std::size_t bytes) {
+  std::vector<OutputAction> actions;
+  std::size_t consumed = 0;
+  while (consumed < bytes) {
+    std::uint16_t type = r.u16();
+    std::uint16_t len = r.u16();
+    if (len < 4 || len % 8 != 0) {
+      throw ParseError("openflow: bad action length");
+    }
+    if (type == 0 && len == 8) {
+      OutputAction a;
+      a.port = r.u16();
+      a.max_len = r.u16();
+      actions.push_back(a);
+    } else {
+      r.skip(len - 4);  // unknown action: skip its body
+    }
+    consumed += len;
+  }
+  if (consumed != bytes) throw ParseError("openflow: action overrun");
+  return actions;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+Bytes encode(const HelloMsg& msg) {
+  BeWriter w;
+  write_header(w, MsgType::kHello, msg.xid);
+  patch_length(w);
+  return std::move(w).take();
+}
+
+Bytes encode(const EchoMsg& msg) {
+  BeWriter w;
+  write_header(w, msg.reply ? MsgType::kEchoReply : MsgType::kEchoRequest,
+               msg.xid);
+  w.raw(msg.payload);
+  patch_length(w);
+  return std::move(w).take();
+}
+
+Bytes encode(const FlowModMsg& msg) {
+  BeWriter w;
+  write_header(w, MsgType::kFlowMod, msg.xid);
+  write_match(w, msg.match);
+  w.u64(msg.cookie);
+  w.u16(static_cast<std::uint16_t>(msg.command));
+  w.u16(msg.idle_timeout);
+  w.u16(msg.hard_timeout);
+  w.u16(msg.priority);
+  w.u32(0xffffffff);  // buffer_id: none
+  w.u16(0xfff8);      // out_port: OFPP_NONE
+  w.u16(0);           // flags
+  write_actions(w, msg.actions);
+  patch_length(w);
+  return std::move(w).take();
+}
+
+Bytes encode(const PacketInMsg& msg) {
+  BeWriter w;
+  write_header(w, MsgType::kPacketIn, msg.xid);
+  w.u32(msg.buffer_id);
+  w.u16(static_cast<std::uint16_t>(msg.payload.size()));  // total_len
+  w.u16(msg.in_port);
+  w.u8(msg.reason);
+  w.u8(0);  // pad
+  w.raw(msg.payload);
+  patch_length(w);
+  return std::move(w).take();
+}
+
+Bytes encode(const PacketOutMsg& msg) {
+  BeWriter w;
+  write_header(w, MsgType::kPacketOut, msg.xid);
+  w.u32(msg.buffer_id);
+  w.u16(msg.in_port);
+  w.u16(static_cast<std::uint16_t>(msg.actions.size() * 8));  // actions_len
+  write_actions(w, msg.actions);
+  w.raw(msg.payload);
+  patch_length(w);
+  return std::move(w).take();
+}
+
+Bytes encode(const FlowStatsRequestMsg& msg) {
+  BeWriter w;
+  write_header(w, MsgType::kStatsRequest, msg.xid);
+  w.u16(1);  // OFPST_FLOW
+  w.u16(0);  // flags
+  write_match(w, msg.match);
+  w.u8(msg.table_id);
+  w.u8(0);  // pad
+  w.u16(msg.out_port);
+  patch_length(w);
+  return std::move(w).take();
+}
+
+Bytes encode(const FlowStatsReplyMsg& msg) {
+  BeWriter w;
+  write_header(w, MsgType::kStatsReply, msg.xid);
+  w.u16(1);  // OFPST_FLOW
+  w.u16(msg.more ? 1 : 0);
+  for (const FlowStatsEntry& e : msg.entries) {
+    const auto entry_len =
+        static_cast<std::uint16_t>(88 + e.actions.size() * 8);
+    w.u16(entry_len);
+    w.u8(0);  // table_id
+    w.u8(0);  // pad
+    write_match(w, e.match);
+    w.u32(e.duration_sec);
+    w.u32(0);  // duration_nsec
+    w.u16(e.priority);
+    w.u16(0);  // idle_timeout
+    w.u16(0);  // hard_timeout
+    w.zeros(6);
+    w.u64(e.cookie);
+    w.u64(e.packet_count);
+    w.u64(e.byte_count);
+    write_actions(w, e.actions);
+  }
+  patch_length(w);
+  return std::move(w).take();
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+Header decode_header(std::string_view frame) {
+  if (frame.size() < kHeaderLen) {
+    throw ParseError("openflow: short header");
+  }
+  Header h;
+  h.version = static_cast<std::uint8_t>(frame[0]);
+  if (h.version != kVersion) {
+    throw ParseError("openflow: unsupported version " +
+                     std::to_string(h.version));
+  }
+  h.type = static_cast<MsgType>(static_cast<std::uint8_t>(frame[1]));
+  h.length = static_cast<std::uint16_t>(
+      (static_cast<std::uint8_t>(frame[2]) << 8) |
+      static_cast<std::uint8_t>(frame[3]));
+  if (h.length < kHeaderLen) {
+    throw ParseError("openflow: header length below minimum");
+  }
+  h.xid = (static_cast<std::uint32_t>(static_cast<std::uint8_t>(frame[4]))
+           << 24) |
+          (static_cast<std::uint32_t>(static_cast<std::uint8_t>(frame[5]))
+           << 16) |
+          (static_cast<std::uint32_t>(static_cast<std::uint8_t>(frame[6]))
+           << 8) |
+          static_cast<std::uint32_t>(static_cast<std::uint8_t>(frame[7]));
+  return h;
+}
+
+Message decode(std::string_view frame) {
+  Message out;
+  out.header = decode_header(frame);
+  if (out.header.length != frame.size()) {
+    throw ParseError("openflow: frame/header length mismatch");
+  }
+  BeReader r(frame.substr(kHeaderLen));
+  switch (out.header.type) {
+    case MsgType::kHello:
+      out.hello = HelloMsg{out.header.xid};
+      break;
+    case MsgType::kEchoRequest:
+    case MsgType::kEchoReply: {
+      EchoMsg echo;
+      echo.xid = out.header.xid;
+      echo.reply = out.header.type == MsgType::kEchoReply;
+      echo.payload = Bytes(r.raw(r.remaining()));
+      out.echo = std::move(echo);
+      break;
+    }
+    case MsgType::kFlowMod: {
+      FlowModMsg m;
+      m.xid = out.header.xid;
+      m.match = read_match(r);
+      m.cookie = r.u64();
+      m.command = static_cast<FlowModCommand>(r.u16());
+      m.idle_timeout = r.u16();
+      m.hard_timeout = r.u16();
+      m.priority = r.u16();
+      r.skip(4 + 2 + 2);  // buffer_id, out_port, flags
+      m.actions = read_actions(r, r.remaining());
+      out.flow_mod = std::move(m);
+      break;
+    }
+    case MsgType::kPacketIn: {
+      PacketInMsg m;
+      m.xid = out.header.xid;
+      m.buffer_id = r.u32();
+      r.u16();  // total_len (redundant with payload size)
+      m.in_port = r.u16();
+      m.reason = r.u8();
+      r.skip(1);
+      m.payload = Bytes(r.raw(r.remaining()));
+      out.packet_in = std::move(m);
+      break;
+    }
+    case MsgType::kPacketOut: {
+      PacketOutMsg m;
+      m.xid = out.header.xid;
+      m.buffer_id = r.u32();
+      m.in_port = r.u16();
+      std::uint16_t actions_len = r.u16();
+      if (actions_len > r.remaining()) {
+        throw ParseError("openflow: packet_out actions overrun");
+      }
+      m.actions = read_actions(r, actions_len);
+      m.payload = Bytes(r.raw(r.remaining()));
+      out.packet_out = std::move(m);
+      break;
+    }
+    case MsgType::kStatsRequest: {
+      std::uint16_t stats_type = r.u16();
+      if (stats_type != 1) throw ParseError("openflow: unsupported stats");
+      r.u16();  // flags
+      FlowStatsRequestMsg m;
+      m.xid = out.header.xid;
+      m.match = read_match(r);
+      m.table_id = r.u8();
+      r.skip(1);
+      m.out_port = r.u16();
+      out.stats_request = std::move(m);
+      break;
+    }
+    case MsgType::kStatsReply: {
+      std::uint16_t stats_type = r.u16();
+      if (stats_type != 1) throw ParseError("openflow: unsupported stats");
+      FlowStatsReplyMsg m;
+      m.xid = out.header.xid;
+      m.more = (r.u16() & 1) != 0;
+      while (r.remaining() > 0) {
+        std::uint16_t entry_len = r.u16();
+        if (entry_len < 88) throw ParseError("openflow: short stats entry");
+        FlowStatsEntry e;
+        r.skip(1 + 1);  // table_id, pad
+        e.match = read_match(r);
+        e.duration_sec = r.u32();
+        r.u32();  // duration_nsec
+        e.priority = r.u16();
+        r.skip(2 + 2 + 6);  // idle, hard, pad
+        e.cookie = r.u64();
+        e.packet_count = r.u64();
+        e.byte_count = r.u64();
+        e.actions = read_actions(r, entry_len - 88);
+        m.entries.push_back(std::move(e));
+      }
+      out.stats_reply = std::move(m);
+      break;
+    }
+    default:
+      throw ParseError("openflow: unsupported message type " +
+                       std::to_string(static_cast<int>(out.header.type)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stream reassembly
+// ---------------------------------------------------------------------------
+
+void StreamReassembler::feed(std::string_view data) {
+  // Compact occasionally so long-lived connections don't grow unbounded.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data);
+}
+
+std::optional<Bytes> StreamReassembler::poll() {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderLen) return std::nullopt;
+  Header header = decode_header(
+      std::string_view(buffer_).substr(consumed_, kHeaderLen));
+  if (available < header.length) return std::nullopt;
+  Bytes frame = buffer_.substr(consumed_, header.length);
+  consumed_ += header.length;
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Bridge
+// ---------------------------------------------------------------------------
+
+FlowModMsg to_openflow(const FlowMod& msg, std::uint32_t xid) {
+  FlowModMsg m;
+  m.xid = xid;
+  m.cookie = msg.flow;
+  m.command = FlowModCommand::kModify;
+  // The simulated flow id selects the match via nw_src; the path selector
+  // rides in the single output action's port.
+  m.match.wildcards &= ~0x00000020u;  // OFPFW_NW_SRC wildcard off (approx.)
+  m.match.nw_src = msg.flow;
+  m.actions.push_back({static_cast<std::uint16_t>(msg.new_path), 0xffff});
+  return m;
+}
+
+FlowMod from_openflow_flow_mod(const FlowModMsg& msg, SwitchId sw) {
+  FlowMod out;
+  out.sw = sw;
+  out.flow = static_cast<std::uint32_t>(msg.cookie);
+  out.new_path = msg.actions.empty() ? 0 : msg.actions[0].port;
+  return out;
+}
+
+FlowStatsReplyMsg to_openflow(const FlowStatReply& msg, std::uint32_t xid) {
+  FlowStatsReplyMsg m;
+  m.xid = xid;
+  for (const FlowStat& stat : msg.stats) {
+    FlowStatsEntry e;
+    e.cookie = stat.flow;
+    e.match.nw_src = stat.flow;
+    e.byte_count = stat.bytes;
+    // rate_kbps is a derived value; a real reply carries counters, and the
+    // controller derives the rate from two samples. Store the byte count
+    // and let packet_count approximate 1 KB packets.
+    e.packet_count = stat.bytes / 1024;
+    e.actions.push_back({1, 0xffff});
+    m.entries.push_back(std::move(e));
+  }
+  return m;
+}
+
+FlowStatReply from_openflow_stats(const FlowStatsReplyMsg& msg, SwitchId sw) {
+  FlowStatReply out;
+  out.sw = sw;
+  for (const FlowStatsEntry& e : msg.entries) {
+    FlowStat stat;
+    stat.flow = static_cast<std::uint32_t>(e.cookie);
+    stat.bytes = e.byte_count;
+    stat.rate_kbps = 0.0;  // derived by the controller from samples
+    out.stats.push_back(stat);
+  }
+  return out;
+}
+
+std::size_t wire_size(const FlowMod& msg) {
+  return encode(to_openflow(msg, 0)).size();
+}
+std::size_t wire_size(const FlowStatQuery&) {
+  return encode(FlowStatsRequestMsg{}).size();
+}
+std::size_t wire_size(const FlowStatReply& msg) {
+  return encode(to_openflow(msg, 0)).size();
+}
+std::size_t wire_size(const PacketIn& msg) {
+  PacketInMsg m;
+  m.payload.assign(64, '\0');  // minimum ethernet frame
+  m.in_port = msg.in_port;
+  return encode(m).size();
+}
+std::size_t wire_size(const PacketOut&) {
+  PacketOutMsg m;
+  m.actions.push_back({});
+  m.payload.assign(64, '\0');
+  return encode(m).size();
+}
+
+}  // namespace beehive::of

@@ -1,0 +1,80 @@
+#include "net/switch_sim.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace beehive {
+
+SimSwitch::SimSwitch(SwitchId id, const SwitchConfig& config, Xoshiro256& rng)
+    : id_(id), config_(config) {
+  flows_.reserve(config.n_flows);
+  const auto n_above = static_cast<std::size_t>(
+      static_cast<double>(config.n_flows) * config.frac_above);
+  for (std::size_t i = 0; i < config.n_flows; ++i) {
+    SimFlow f;
+    f.id = static_cast<std::uint32_t>(i);
+    // The first n_above flows run hot (1.2x..2.0x delta); the rest stay
+    // comfortably below (0.1x..0.8x delta). Noise never bridges the gap
+    // from "cold" to "hot", so exactly the hot set trips the TE threshold.
+    if (i < n_above) {
+      f.base_kbps = rng.next_in(1.2, 2.0) * config.delta_kbps;
+    } else {
+      f.base_kbps = rng.next_in(0.1, 0.8) * config.delta_kbps;
+    }
+    f.noise_seed = rng.next();
+    flows_.push_back(f);
+  }
+}
+
+const SimFlow* SimSwitch::flow(std::uint32_t id) const {
+  return id < flows_.size() ? &flows_[id] : nullptr;
+}
+
+double SimSwitch::effective_rate_kbps(const SimFlow& flow,
+                                      TimePoint now) const {
+  // Deterministic per-(flow, second) noise in [1-a, 1+a].
+  const auto bucket = static_cast<std::uint64_t>(now / kSecond);
+  std::uint64_t h = flow.noise_seed ^ (bucket * 0x9e3779b97f4a7c15ull);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  const double unit =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  const double noise = 1.0 + config_.noise_amplitude * (2.0 * unit - 1.0);
+  return flow.base_kbps * noise * flow.mod_factor;
+}
+
+std::vector<FlowStat> SimSwitch::stats(TimePoint now) const {
+  std::vector<FlowStat> out;
+  out.reserve(flows_.size());
+  const double seconds =
+      static_cast<double>(now) / static_cast<double>(kSecond);
+  for (const SimFlow& f : flows_) {
+    FlowStat s;
+    s.flow = f.id;
+    s.rate_kbps = effective_rate_kbps(f, now);
+    s.bytes = static_cast<std::uint64_t>(f.base_kbps * f.mod_factor * 1024.0 /
+                                         8.0 * seconds);
+    out.push_back(s);
+  }
+  return out;
+}
+
+bool SimSwitch::apply_flow_mod(std::uint32_t flow, std::uint32_t new_path) {
+  if (flow >= flows_.size()) return false;
+  flows_[flow].path = new_path;
+  flows_[flow].mod_factor *= config_.reroute_factor;
+  ++flow_mods_applied_;
+  return true;
+}
+
+std::size_t SimSwitch::flows_above_threshold(TimePoint now) const {
+  std::size_t n = 0;
+  for (const SimFlow& f : flows_) {
+    if (effective_rate_kbps(f, now) > config_.delta_kbps) ++n;
+  }
+  return n;
+}
+
+}  // namespace beehive

@@ -1,0 +1,72 @@
+// Simulated OpenFlow switch.
+//
+// Each switch carries a fixed population of constant-bit-rate flows (the
+// paper: "100 fixed-rate flows from each switch, 10% of these flows have a
+// rate more than the re-routing threshold"). Rates carry a small
+// deterministic pseudo-noise so that threshold crossings keep occurring at
+// a low background rate, and re-routing a flow (FlowMod) spreads it over an
+// alternate path, dropping its effective rate — closing the TE control
+// loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/messages.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace beehive {
+
+struct SimFlow {
+  std::uint32_t id = 0;
+  double base_kbps = 0.0;
+  std::uint64_t noise_seed = 0;
+  std::uint32_t path = 0;     ///< opaque path selector
+  double mod_factor = 1.0;    ///< cumulative effect of re-routes
+};
+
+struct SwitchConfig {
+  std::size_t n_flows = 100;
+  double delta_kbps = 1000.0;   ///< re-routing threshold (paper's delta)
+  double frac_above = 0.10;     ///< fraction of flows above the threshold
+  double noise_amplitude = 0.10;
+  double reroute_factor = 0.45; ///< rate multiplier applied by a re-route
+};
+
+class SimSwitch {
+ public:
+  SimSwitch(SwitchId id, const SwitchConfig& config, Xoshiro256& rng);
+
+  SwitchId id() const { return id_; }
+  std::size_t n_flows() const { return flows_.size(); }
+  const SimFlow* flow(std::uint32_t id) const;
+
+  /// Effective rate at `now`: base rate x deterministic noise x re-route
+  /// attenuation. Pure in (flow, now) — no stepping required.
+  double effective_rate_kbps(const SimFlow& flow, TimePoint now) const;
+
+  /// Current flow table statistics (the body of a FlowStatReply).
+  std::vector<FlowStat> stats(TimePoint now) const;
+
+  /// Applies a FlowMod; returns false for unknown flows.
+  bool apply_flow_mod(std::uint32_t flow, std::uint32_t new_path);
+
+  /// Counts flows whose effective rate exceeds the threshold at `now`.
+  std::size_t flows_above_threshold(TimePoint now) const;
+
+  std::uint64_t flow_mods_applied() const { return flow_mods_applied_; }
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+  void deliver_packet() { ++packets_delivered_; }
+
+  const SwitchConfig& config() const { return config_; }
+
+ private:
+  SwitchId id_;
+  SwitchConfig config_;
+  std::vector<SimFlow> flows_;
+  std::uint64_t flow_mods_applied_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+};
+
+}  // namespace beehive

@@ -1,0 +1,81 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace beehive {
+
+TreeTopology::TreeTopology(std::size_t n_switches, std::size_t fanout,
+                           std::size_t n_hives)
+    : n_switches_(n_switches), fanout_(fanout), n_hives_(n_hives) {
+  assert(n_switches > 0 && fanout > 0 && n_hives > 0);
+  links_.reserve(n_switches > 0 ? n_switches - 1 : 0);
+  for (SwitchId sw = 1; sw < n_switches; ++sw) {
+    links_.push_back({parent(sw), sw});
+  }
+}
+
+SwitchId TreeTopology::parent(SwitchId sw) const {
+  if (sw == 0) return 0;
+  return static_cast<SwitchId>((sw - 1) / fanout_);
+}
+
+std::vector<SwitchId> TreeTopology::children(SwitchId sw) const {
+  std::vector<SwitchId> out;
+  for (std::size_t i = 0; i < fanout_; ++i) {
+    std::size_t child = static_cast<std::size_t>(sw) * fanout_ + 1 + i;
+    if (child < n_switches_) out.push_back(static_cast<SwitchId>(child));
+  }
+  return out;
+}
+
+std::size_t TreeTopology::depth(SwitchId sw) const {
+  std::size_t d = 0;
+  while (sw != 0) {
+    sw = parent(sw);
+    ++d;
+  }
+  return d;
+}
+
+HiveId TreeTopology::master_hive(SwitchId sw) const {
+  // Contiguous blocks: switches [k*S/H, (k+1)*S/H) belong to hive k.
+  return static_cast<HiveId>(static_cast<std::size_t>(sw) * n_hives_ /
+                             n_switches_);
+}
+
+std::vector<SwitchId> TreeTopology::switches_of(HiveId hive) const {
+  std::vector<SwitchId> out;
+  for (SwitchId sw = 0; sw < n_switches_; ++sw) {
+    if (master_hive(sw) == hive) out.push_back(sw);
+  }
+  return out;
+}
+
+std::vector<Link> TreeTopology::links_of(SwitchId sw) const {
+  std::vector<Link> out;
+  for (const Link& l : links_) {
+    if (l.a == sw || l.b == sw) out.push_back(l);
+  }
+  return out;
+}
+
+std::vector<SwitchId> TreeTopology::path(SwitchId from, SwitchId to) const {
+  // Walk both endpoints up to their lowest common ancestor.
+  std::vector<SwitchId> up_from{from};
+  std::vector<SwitchId> up_to{to};
+  while (depth(up_from.back()) > depth(up_to.back())) {
+    up_from.push_back(parent(up_from.back()));
+  }
+  while (depth(up_to.back()) > depth(up_from.back())) {
+    up_to.push_back(parent(up_to.back()));
+  }
+  while (up_from.back() != up_to.back()) {
+    up_from.push_back(parent(up_from.back()));
+    up_to.push_back(parent(up_to.back()));
+  }
+  up_from.insert(up_from.end(), up_to.rbegin() + 1, up_to.rend());
+  return up_from;
+}
+
+}  // namespace beehive

@@ -1,0 +1,60 @@
+// Simulated network topology.
+//
+// The paper's evaluation uses "400 switches in a simple tree topology" with
+// 40 controllers. TreeTopology builds a k-ary switch tree, assigns every
+// switch a master hive (contiguous blocks, so ten switches per hive in the
+// paper's setup) and exposes the link set the discovery application
+// announces to control applications.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace beehive {
+
+struct Link {
+  SwitchId a = 0;
+  SwitchId b = 0;
+
+  bool operator==(const Link&) const = default;
+  std::string key() const {
+    return std::to_string(a) + "-" + std::to_string(b);
+  }
+};
+
+class TreeTopology {
+ public:
+  /// Builds a `fanout`-ary tree of exactly `n_switches` switches (breadth-
+  /// first fill) and spreads mastership over `n_hives` controllers.
+  TreeTopology(std::size_t n_switches, std::size_t fanout,
+               std::size_t n_hives);
+
+  std::size_t n_switches() const { return n_switches_; }
+  std::size_t n_hives() const { return n_hives_; }
+
+  /// Parent switch in the tree; the root returns itself.
+  SwitchId parent(SwitchId sw) const;
+  std::vector<SwitchId> children(SwitchId sw) const;
+  std::size_t depth(SwitchId sw) const;
+
+  /// The controller this switch connects to (its master).
+  HiveId master_hive(SwitchId sw) const;
+  std::vector<SwitchId> switches_of(HiveId hive) const;
+
+  const std::vector<Link>& links() const { return links_; }
+  std::vector<Link> links_of(SwitchId sw) const;
+
+  /// Hop path between two switches through the tree (inclusive endpoints).
+  std::vector<SwitchId> path(SwitchId from, SwitchId to) const;
+
+ private:
+  std::size_t n_switches_;
+  std::size_t fanout_;
+  std::size_t n_hives_;
+  std::vector<Link> links_;
+};
+
+}  // namespace beehive

@@ -1,0 +1,112 @@
+#include "placement/strategy.h"
+
+namespace beehive {
+
+std::vector<MigrationDecision> GreedyFollowSources::decide(
+    const ClusterView& view) {
+  std::vector<MigrationDecision> decisions;
+  // Tentative occupancy so one round's decisions respect capacity jointly.
+  std::map<HiveId, std::uint64_t> occupancy = view.hive_cells;
+
+  for (const BeeView& bee : view.bees) {
+    if (bee.pinned) continue;
+    if (bee.msgs_in < config_.min_messages) continue;
+
+    std::uint64_t total = 0;
+    HiveId best_hive = bee.hive;
+    std::uint64_t best_count = 0;
+    for (const auto& [hive, count] : bee.inbound_by_hive) {
+      total += count;
+      if (count > best_count) {
+        best_count = count;
+        best_hive = hive;
+      }
+    }
+    if (total == 0 || best_hive == bee.hive) continue;
+    if (static_cast<double>(best_count) <
+        config_.majority_fraction * static_cast<double>(total)) {
+      continue;
+    }
+    if (occupancy[best_hive] + bee.cells > config_.hive_cell_capacity) {
+      continue;  // H2 lacks capacity (paper's constraint).
+    }
+    occupancy[best_hive] += bee.cells;
+    if (occupancy[bee.hive] >= bee.cells) occupancy[bee.hive] -= bee.cells;
+    decisions.push_back({bee.bee, best_hive});
+  }
+  return decisions;
+}
+
+std::vector<MigrationDecision> LoadBalanceStrategy::decide(
+    const ClusterView& view) {
+  std::vector<MigrationDecision> decisions;
+  if (view.n_hives < 2 || view.bees.empty()) return decisions;
+
+  // Current per-hive load (messages processed this window) and occupancy.
+  std::map<HiveId, std::uint64_t> load;
+  std::map<HiveId, std::uint64_t> occupancy = view.hive_cells;
+  for (HiveId h = 0; h < view.n_hives; ++h) load[h];  // ensure all present
+  for (const BeeView& bee : view.bees) load[bee.hive] += bee.msgs_in;
+
+  std::uint64_t total = 0;
+  for (const auto& [_, l] : load) total += l;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(view.n_hives);
+  if (mean <= 0.0) return decisions;
+  const double threshold = config_.overload_factor * mean;
+
+  // Busiest movable bees first: moving them rebalances fastest.
+  std::vector<const BeeView*> candidates;
+  for (const BeeView& bee : view.bees) {
+    if (!bee.pinned && bee.msgs_in >= config_.min_messages) {
+      candidates.push_back(&bee);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const BeeView* a, const BeeView* b) {
+              if (a->msgs_in != b->msgs_in) return a->msgs_in > b->msgs_in;
+              return a->bee < b->bee;
+            });
+
+  for (const BeeView* bee : candidates) {
+    if (decisions.size() >= config_.max_moves) break;
+    if (static_cast<double>(load[bee->hive]) <= threshold) continue;
+    // Least-loaded target with room; prefer a source hive on ties.
+    HiveId best = bee->hive;
+    for (HiveId h = 0; h < view.n_hives; ++h) {
+      if (h == bee->hive) continue;
+      if (occupancy[h] + bee->cells > config_.hive_cell_capacity) continue;
+      if (best == bee->hive || load[h] < load[best] ||
+          (load[h] == load[best] &&
+           bee->inbound_by_hive.contains(h) &&
+           !bee->inbound_by_hive.contains(best))) {
+        best = h;
+      }
+    }
+    if (best == bee->hive) continue;
+    // Only move if it actually improves the imbalance.
+    if (load[best] + bee->msgs_in >= load[bee->hive]) continue;
+    load[bee->hive] -= bee->msgs_in;
+    load[best] += bee->msgs_in;
+    occupancy[best] += bee->cells;
+    if (occupancy[bee->hive] >= bee->cells) occupancy[bee->hive] -= bee->cells;
+    decisions.push_back({bee->bee, best});
+  }
+  return decisions;
+}
+
+std::vector<MigrationDecision> RandomStrategy::decide(
+    const ClusterView& view) {
+  std::vector<MigrationDecision> decisions;
+  if (view.n_hives < 2) return decisions;
+  for (const BeeView& bee : view.bees) {
+    if (bee.pinned) continue;
+    if (rng_.next_double() >= move_fraction_) continue;
+    auto to = static_cast<HiveId>(rng_.next_below(view.n_hives));
+    if (to == bee.hive) continue;
+    decisions.push_back({bee.bee, to});
+  }
+  return decisions;
+}
+
+}  // namespace beehive

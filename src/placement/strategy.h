@@ -1,0 +1,126 @@
+// Placement optimization strategies (paper §3, "On Optimal Placement").
+//
+// Optimal bee placement is NP-hard (facility location reduces to it), so
+// the paper uses a greedy heuristic aiming to process messages close to
+// their source: migrate bee B from H1 to H2 when the majority of B's
+// messages come from bees on H2 and H2 has capacity. The strategy
+// interface makes the heuristic pluggable — the paper notes "it is
+// straightforward to implement other optimization strategies" — and the
+// ablation bench compares greedy vs. none vs. random.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace beehive {
+
+struct BeeView {
+  BeeId bee = kNoBee;
+  AppId app = 0;
+  HiveId hive = 0;
+  bool pinned = false;
+  std::uint64_t cells = 0;
+  std::uint64_t msgs_in = 0;
+  /// Messages received since the last optimization round, by source hive.
+  std::map<HiveId, std::uint64_t> inbound_by_hive;
+};
+
+struct ClusterView {
+  std::size_t n_hives = 0;
+  std::map<HiveId, std::uint64_t> hive_cells;
+  std::vector<BeeView> bees;
+};
+
+struct MigrationDecision {
+  BeeId bee = kNoBee;
+  HiveId to = 0;
+
+  bool operator==(const MigrationDecision&) const = default;
+};
+
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::vector<MigrationDecision> decide(const ClusterView& view) = 0;
+};
+
+/// The paper's heuristic: follow the message sources.
+struct GreedyConfig {
+  /// Required share of a bee's inbound messages from the candidate hive.
+  double majority_fraction = 0.5;
+  /// Ignore bees with fewer inbound messages than this (noise floor).
+  std::uint64_t min_messages = 8;
+  /// Per-hive cell capacity; moves that would exceed it are skipped.
+  std::uint64_t hive_cell_capacity = UINT64_MAX;
+};
+
+class GreedyFollowSources final : public PlacementStrategy {
+ public:
+  explicit GreedyFollowSources(GreedyConfig config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "greedy"; }
+  std::vector<MigrationDecision> decide(const ClusterView& view) override;
+
+ private:
+  GreedyConfig config_;
+};
+
+/// Never migrates (the "no optimization" baseline).
+class NoopStrategy final : public PlacementStrategy {
+ public:
+  std::string_view name() const override { return "noop"; }
+  std::vector<MigrationDecision> decide(const ClusterView&) override {
+    return {};
+  }
+};
+
+/// A "smarter optimization strategy" (paper §7 future work): balances
+/// message-processing load across hives. Hives whose bees process more
+/// than `overload_factor` x the cluster mean shed their busiest movable
+/// bees to the least-loaded hives; among equally-loaded targets, a hive
+/// that is also a message source for the bee is preferred, so balancing
+/// degrades locality as little as possible.
+struct LoadBalanceConfig {
+  double overload_factor = 1.25;
+  std::uint64_t min_messages = 8;
+  std::uint64_t hive_cell_capacity = UINT64_MAX;
+  /// Safety valve: at most this many moves per round.
+  std::size_t max_moves = 64;
+};
+
+class LoadBalanceStrategy final : public PlacementStrategy {
+ public:
+  explicit LoadBalanceStrategy(LoadBalanceConfig config = {})
+      : config_(config) {}
+
+  std::string_view name() const override { return "loadbalance"; }
+  std::vector<MigrationDecision> decide(const ClusterView& view) override;
+
+ private:
+  LoadBalanceConfig config_;
+};
+
+/// Moves a random eligible bee to a random hive each round — the sanity
+/// baseline showing that migration alone (without following sources) does
+/// not localize traffic.
+class RandomStrategy final : public PlacementStrategy {
+ public:
+  explicit RandomStrategy(std::uint64_t seed, double move_fraction = 0.1)
+      : rng_(seed), move_fraction_(move_fraction) {}
+
+  std::string_view name() const override { return "random"; }
+  std::vector<MigrationDecision> decide(const ClusterView& view) override;
+
+ private:
+  Xoshiro256 rng_;
+  double move_fraction_;
+};
+
+}  // namespace beehive

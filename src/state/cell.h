@@ -1,0 +1,139 @@
+// Cells: the unit of state ownership in Beehive.
+//
+// A cell is one (dictionary, key) entry of an application's state. The Map
+// function of each handler returns the set of cells a message needs; the
+// platform guarantees that every cell is exclusively owned by one bee and
+// that messages with intersecting cell sets are processed by the same bee
+// (paper §3, "Hives and Cells").
+//
+// The reserved key "*" denotes whole-dictionary access: a handler that maps
+// a message to (D, "*") requires every current and future cell of D, which
+// forces the whole dictionary onto a single bee — exactly the paper's
+// "effectively centralized" case for the naive TE Route function.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/hash.h"
+
+namespace beehive {
+
+inline constexpr std::string_view kAllKeys = "*";
+
+struct CellKey {
+  std::string dict;
+  std::string key;
+
+  bool is_whole_dict() const { return key == kAllKeys; }
+
+  bool operator==(const CellKey&) const = default;
+  auto operator<=>(const CellKey&) const = default;
+
+  void encode(ByteWriter& w) const {
+    w.str(dict);
+    w.str(key);
+  }
+  static CellKey decode(ByteReader& r) {
+    CellKey c;
+    c.dict = r.str();
+    c.key = r.str();
+    return c;
+  }
+
+  std::string to_string() const { return dict + "/" + key; }
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& c) const {
+    std::size_t h = fnv1a64(c.dict);
+    hash_combine(h, fnv1a64(c.key));
+    return h;
+  }
+};
+
+/// An ordered, deduplicated set of cells — the result of a Map call.
+/// Kept as a sorted vector: map sets are tiny (typically 1–3 cells) and are
+/// compared/intersected on every message dispatch.
+class CellSet {
+ public:
+  CellSet() = default;
+  CellSet(std::initializer_list<CellKey> cells) {
+    for (const auto& c : cells) insert(c);
+  }
+
+  static CellSet single(std::string dict, std::string key) {
+    CellSet s;
+    s.insert({std::move(dict), std::move(key)});
+    return s;
+  }
+
+  /// Whole-dictionary access marker (centralizing).
+  static CellSet whole_dict(std::string dict) {
+    return single(std::move(dict), std::string(kAllKeys));
+  }
+
+  void insert(CellKey cell) {
+    auto it = std::lower_bound(cells_.begin(), cells_.end(), cell);
+    if (it == cells_.end() || *it != cell) cells_.insert(it, std::move(cell));
+  }
+
+  void merge(const CellSet& other) {
+    for (const auto& c : other.cells_) insert(c);
+  }
+
+  bool contains(const CellKey& cell) const {
+    return std::binary_search(cells_.begin(), cells_.end(), cell);
+  }
+
+  /// True when some cell is shared. Whole-dict markers intersect every cell
+  /// of the same dictionary (and vice versa).
+  bool intersects(const CellSet& other) const {
+    for (const auto& c : cells_) {
+      for (const auto& o : other.cells_) {
+        if (c == o) return true;
+        if (c.dict == o.dict && (c.is_whole_dict() || o.is_whole_dict())) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool empty() const { return cells_.empty(); }
+  std::size_t size() const { return cells_.size(); }
+  auto begin() const { return cells_.begin(); }
+  auto end() const { return cells_.end(); }
+  const std::vector<CellKey>& cells() const { return cells_; }
+
+  bool operator==(const CellSet&) const = default;
+
+  void encode(ByteWriter& w) const {
+    w.varint(cells_.size());
+    for (const auto& c : cells_) c.encode(w);
+  }
+  static CellSet decode(ByteReader& r) {
+    CellSet s;
+    std::uint64_t n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i) s.insert(CellKey::decode(r));
+    return s;
+  }
+
+  std::string to_string() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (i) out += ", ";
+      out += cells_[i].to_string();
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<CellKey> cells_;
+};
+
+}  // namespace beehive

@@ -1,0 +1,30 @@
+#include "state/dict.h"
+
+namespace beehive {
+
+std::size_t Dict::byte_size() const {
+  std::size_t total = name_.size();
+  for (const auto& [k, v] : entries_) total += k.size() + v.size();
+  return total;
+}
+
+void Dict::encode(ByteWriter& w) const {
+  w.str(name_);
+  w.varint(entries_.size());
+  for (const auto& [k, v] : entries_) {
+    w.str(k);
+    w.str(v);
+  }
+}
+
+Dict Dict::decode(ByteReader& r) {
+  Dict d(r.str());
+  std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    d.entries_[std::move(k)] = r.str();
+  }
+  return d;
+}
+
+}  // namespace beehive

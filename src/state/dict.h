@@ -1,0 +1,80 @@
+// A state dictionary: the application-visible key/value container.
+//
+// Values are stored serialized (Bytes) so that a bee's entire state can be
+// snapshotted and shipped byte-for-byte during migration, and so that the
+// platform can meter state size without knowing application types. Typed
+// accessors put_as/get_as encode through the same wire codec used for
+// messages.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "msg/codec.h"
+#include "util/bytes.h"
+
+namespace beehive {
+
+class Dict {
+ public:
+  explicit Dict(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void put(std::string_view key, Bytes value) {
+    entries_[std::string(key)] = std::move(value);
+  }
+
+  std::optional<Bytes> get(std::string_view key) const {
+    auto it = entries_.find(std::string(key));
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(std::string_view key) const {
+    return entries_.contains(std::string(key));
+  }
+
+  /// Removes the key; returns whether it existed.
+  bool erase(std::string_view key) {
+    return entries_.erase(std::string(key)) > 0;
+  }
+
+  template <WireEncodable T>
+  void put_as(std::string_view key, const T& value) {
+    put(key, encode_to_bytes(value));
+  }
+
+  template <WireEncodable T>
+  std::optional<T> get_as(std::string_view key) const {
+    auto raw = get(key);
+    if (!raw) return std::nullopt;
+    return decode_from_bytes<T>(*raw);
+  }
+
+  /// Iterates entries in key order (deterministic across runs).
+  void for_each(
+      const std::function<void(const std::string&, const Bytes&)>& fn) const {
+    for (const auto& [k, v] : entries_) fn(k, v);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Total serialized footprint (keys + values), used by the capacity model.
+  std::size_t byte_size() const;
+
+  void encode(ByteWriter& w) const;
+  static Dict decode(ByteReader& r);
+
+ private:
+  std::string name_;
+  // std::map keeps iteration deterministic; dict sizes per bee are small
+  // (a bee typically owns a handful of cells).
+  std::map<std::string, Bytes, std::less<>> entries_;
+};
+
+}  // namespace beehive

@@ -1,0 +1,123 @@
+#include "state/txn.h"
+
+namespace beehive {
+
+bool AccessPolicy::can_access(std::string_view dict,
+                              std::string_view key) const {
+  if (unrestricted) return true;
+  for (const CellKey& c : allowed) {
+    if (c.dict != dict) continue;
+    if (c.is_whole_dict() || c.key == key) return true;
+  }
+  for (const std::string& d : scan_dicts) {
+    if (d == dict) return true;
+  }
+  return false;
+}
+
+bool AccessPolicy::can_scan(std::string_view dict) const {
+  if (unrestricted) return true;
+  for (const CellKey& c : allowed) {
+    if (c.dict == dict && c.is_whole_dict()) return true;
+  }
+  for (const std::string& d : scan_dicts) {
+    if (d == dict) return true;
+  }
+  return false;
+}
+
+Txn::~Txn() {
+  if (!committed_ && !rolled_back_) rollback();
+}
+
+void Txn::check_access(std::string_view dict, std::string_view key) const {
+  if (!policy_.can_access(dict, key)) {
+    throw StateAccessError("handler accessed cell " + std::string(dict) +
+                           "/" + std::string(key) +
+                           " outside its mapped cells " +
+                           policy_.allowed.to_string());
+  }
+}
+
+std::optional<Bytes> Txn::get(std::string_view dict,
+                              std::string_view key) const {
+  check_access(dict, key);
+  const Dict* d = store_.find_dict(dict);
+  if (d == nullptr) return std::nullopt;
+  return d->get(key);
+}
+
+bool Txn::contains(std::string_view dict, std::string_view key) const {
+  check_access(dict, key);
+  const Dict* d = store_.find_dict(dict);
+  return d != nullptr && d->contains(key);
+}
+
+void Txn::record_undo(std::string_view dict, std::string_view key) {
+  const Dict* d = store_.find_dict(dict);
+  std::optional<Bytes> prior;
+  if (d != nullptr) prior = d->get(key);
+  undo_.push_back(
+      {std::string(dict), std::string(key), std::move(prior)});
+}
+
+void Txn::put(std::string_view dict, std::string_view key, Bytes value) {
+  check_access(dict, key);
+  record_undo(dict, key);
+  redo_.push_back(
+      {std::string(dict), std::string(key), /*erased=*/false, value});
+  store_.dict(dict).put(key, std::move(value));
+}
+
+bool Txn::erase(std::string_view dict, std::string_view key) {
+  check_access(dict, key);
+  Dict* d = store_.find_dict(dict) ? &store_.dict(dict) : nullptr;
+  if (d == nullptr || !d->contains(key)) return false;
+  record_undo(dict, key);
+  redo_.push_back({std::string(dict), std::string(key), /*erased=*/true, {}});
+  return d->erase(key);
+}
+
+void Txn::for_each(
+    std::string_view dict,
+    const std::function<void(const std::string&, const Bytes&)>& fn) const {
+  if (!policy_.can_scan(dict)) {
+    throw StateAccessError("handler scanned dictionary " + std::string(dict) +
+                           " without whole-dict access " +
+                           policy_.allowed.to_string());
+  }
+  const Dict* d = store_.find_dict(dict);
+  if (d != nullptr) d->for_each(fn);
+}
+
+std::size_t Txn::dict_size(std::string_view dict) const {
+  if (!policy_.can_scan(dict)) {
+    throw StateAccessError("dict_size on " + std::string(dict) +
+                           " requires whole-dict access");
+  }
+  const Dict* d = store_.find_dict(dict);
+  return d == nullptr ? 0 : d->size();
+}
+
+void Txn::commit() {
+  committed_ = true;
+  undo_.clear();
+  // redo_ is kept: the platform reads it for replication.
+}
+
+void Txn::rollback() {
+  // Reverse order so overlapping writes to the same key restore correctly.
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    Dict& d = store_.dict(it->dict);
+    if (it->prior.has_value()) {
+      d.put(it->key, std::move(*it->prior));
+    } else {
+      d.erase(it->key);
+    }
+  }
+  undo_.clear();
+  redo_.clear();
+  rolled_back_ = true;
+}
+
+}  // namespace beehive

@@ -1,0 +1,143 @@
+// Transactional state access for handlers.
+//
+// Every handler invocation runs inside a transaction (paper §2:
+// "dictionaries … with support for transactions"). The transaction
+//   (a) enforces the handler's declared cell access — a handler may only
+//       touch the cells its Map function returned (or the whole dictionary
+//       when it mapped (D, "*")), which is what makes the platform's
+//       consistency guarantee sound; and
+//   (b) keeps an undo log so that a throwing handler leaves state
+//       untouched (the bee also discards the handler's emitted messages).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "state/cell.h"
+#include "state/store.h"
+
+namespace beehive {
+
+/// Raised when a handler touches state outside its mapped cells. This is a
+/// design bug in the application; surfacing it loudly is how the platform
+/// keeps the "distributed twin" faithful to centralized behaviour.
+class StateAccessError : public std::logic_error {
+ public:
+  explicit StateAccessError(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+/// What a transaction is allowed to touch.
+struct AccessPolicy {
+  CellSet allowed;
+  /// Dictionaries the handler may scan and access key-wise in full. Used
+  /// by foreach handlers: the bee's local slice of the dictionary is
+  /// exclusively owned, so granting the whole local dict is sound.
+  std::vector<std::string> scan_dicts;
+  bool unrestricted = false;  ///< Platform-internal transactions only.
+
+  static AccessPolicy all() {
+    AccessPolicy p;
+    p.unrestricted = true;
+    return p;
+  }
+  static AccessPolicy cells(CellSet c) {
+    AccessPolicy p;
+    p.allowed = std::move(c);
+    return p;
+  }
+  static AccessPolicy local_dict(std::string dict) {
+    AccessPolicy p;
+    p.scan_dicts.push_back(std::move(dict));
+    return p;
+  }
+
+  bool can_access(std::string_view dict, std::string_view key) const;
+  bool can_scan(std::string_view dict) const;
+};
+
+class Txn {
+ public:
+  Txn(StateStore& store, AccessPolicy policy)
+      : store_(store), policy_(std::move(policy)) {}
+  ~Txn();
+
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+
+  // -- Key-level access (requires the cell or whole-dict permission) ------
+
+  std::optional<Bytes> get(std::string_view dict, std::string_view key) const;
+  bool contains(std::string_view dict, std::string_view key) const;
+  void put(std::string_view dict, std::string_view key, Bytes value);
+  bool erase(std::string_view dict, std::string_view key);
+
+  template <WireEncodable T>
+  std::optional<T> get_as(std::string_view dict, std::string_view key) const {
+    auto raw = get(dict, key);
+    if (!raw) return std::nullopt;
+    return decode_from_bytes<T>(*raw);
+  }
+
+  template <WireEncodable T>
+  void put_as(std::string_view dict, std::string_view key, const T& value) {
+    put(dict, key, encode_to_bytes(value));
+  }
+
+  // -- Whole-dictionary access (requires (dict, "*") permission) ----------
+
+  /// Iterates all entries in key order. Mutating the dict during iteration
+  /// is not allowed; collect keys first if you must.
+  void for_each(
+      std::string_view dict,
+      const std::function<void(const std::string&, const Bytes&)>& fn) const;
+
+  std::size_t dict_size(std::string_view dict) const;
+
+  // -- Lifecycle -----------------------------------------------------------
+
+  /// Makes all writes permanent. A transaction not committed before
+  /// destruction rolls back.
+  void commit();
+
+  /// Reverts every write performed through this transaction.
+  void rollback();
+
+  bool committed() const { return committed_; }
+  std::size_t write_count() const { return redo_.size(); }
+
+  /// One committed mutation, in execution order. The platform ships these
+  /// to the bee's replica hive when state replication is enabled.
+  struct WriteRecord {
+    std::string dict;
+    std::string key;
+    bool erased = false;
+    Bytes value;  ///< empty when erased
+  };
+
+  /// The redo log; meaningful after commit() (empty after rollback).
+  const std::vector<WriteRecord>& writes() const { return redo_; }
+
+ private:
+  void check_access(std::string_view dict, std::string_view key) const;
+  void record_undo(std::string_view dict, std::string_view key);
+
+  struct UndoEntry {
+    std::string dict;
+    std::string key;
+    std::optional<Bytes> prior;  ///< nullopt = key did not exist.
+  };
+
+  StateStore& store_;
+  AccessPolicy policy_;
+  std::vector<UndoEntry> undo_;
+  std::vector<WriteRecord> redo_;
+  bool committed_ = false;
+  bool rolled_back_ = false;
+};
+
+}  // namespace beehive

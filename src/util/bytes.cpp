@@ -1,0 +1,20 @@
+#include "util/bytes.h"
+
+namespace beehive {
+
+std::string hex_dump(std::string_view data, std::size_t max_bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  out.reserve(n * 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto b = static_cast<std::uint8_t>(data[i]);
+    if (i) out.push_back(' ');
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  if (n < data.size()) out += " ...";
+  return out;
+}
+
+}  // namespace beehive

@@ -1,0 +1,34 @@
+// Deterministic hashing helpers. FNV-1a is used to derive stable ids from
+// names (app ids, message type ids) so that independently started hives
+// agree on identifiers without coordination.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace beehive {
+
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+constexpr std::uint32_t fnv1a32(std::string_view s) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+inline void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace beehive

@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "util/types.h"
+
+namespace beehive {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex g_log_mutex;
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_log_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+std::string to_string_bee(BeeId bee) {
+  if (bee == kNoBee) return "bee(io)";
+  return "bee(" + std::to_string(bee_home_hive(bee)) + "/" +
+         std::to_string(bee_counter(bee)) + ")";
+}
+
+}  // namespace beehive

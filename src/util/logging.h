@@ -1,0 +1,58 @@
+// Minimal leveled logger. Deliberately tiny: the platform's interesting
+// observability lives in instrument/ (per-bee metrics), not in log lines.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace beehive {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Thread-safe write of one formatted line to stderr.
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define BH_LOG(level)                                             \
+  if (!::beehive::Logger::instance().enabled(level)) {            \
+  } else                                                          \
+    ::beehive::internal::LogLine(level)
+
+#define BH_TRACE BH_LOG(::beehive::LogLevel::kTrace)
+#define BH_DEBUG BH_LOG(::beehive::LogLevel::kDebug)
+#define BH_INFO BH_LOG(::beehive::LogLevel::kInfo)
+#define BH_WARN BH_LOG(::beehive::LogLevel::kWarn)
+#define BH_ERROR BH_LOG(::beehive::LogLevel::kError)
+
+}  // namespace beehive

@@ -1,0 +1,60 @@
+// Fundamental identifier and time types shared across the Beehive platform.
+//
+// All simulated time is kept as integral microseconds so that the
+// discrete-event runtime is exactly reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace beehive {
+
+/// Identifies one controller ("hive") in the cluster. Hive 0 conventionally
+/// hosts cluster-wide services (the cell registry master).
+using HiveId = std::uint32_t;
+
+/// Identifies one application. Stable across hives: derived from the app
+/// name via FNV-1a so that every hive computes the same id.
+using AppId = std::uint32_t;
+
+/// Identifies a message type. Stable across hives (FNV-1a of type name).
+using MsgTypeId = std::uint32_t;
+
+/// Identifies a bee: the hive that created it in the upper 32 bits and a
+/// per-hive counter in the lower 32. BeeId 0 is reserved for "no bee"
+/// (messages injected from IO channels / the outside world).
+using BeeId = std::uint64_t;
+
+inline constexpr BeeId kNoBee = 0;
+
+constexpr BeeId make_bee_id(HiveId hive, std::uint32_t counter) {
+  return (static_cast<BeeId>(hive) << 32) | counter;
+}
+
+constexpr HiveId bee_home_hive(BeeId bee) {
+  return static_cast<HiveId>(bee >> 32);
+}
+
+constexpr std::uint32_t bee_counter(BeeId bee) {
+  return static_cast<std::uint32_t>(bee & 0xffffffffu);
+}
+
+/// Simulated time, microseconds since simulation start.
+using TimePoint = std::int64_t;
+/// Duration in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * 1000;
+inline constexpr TimePoint kTimeInfinity =
+    std::numeric_limits<TimePoint>::max();
+
+/// Identifies a switch in the simulated network substrate.
+using SwitchId = std::uint32_t;
+
+std::string to_string_bee(BeeId bee);
+
+}  // namespace beehive

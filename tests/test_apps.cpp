@@ -1,0 +1,393 @@
+// Tests for the §4 use-case applications: learning switch (Kandoo-style
+// local app), distributed routing, network virtualization, and the ONIX
+// NIB emulation — each running distributed on the simulator.
+#include <gtest/gtest.h>
+
+#include "apps/learning_switch.h"
+#include "apps/messages.h"
+#include "apps/netvirt.h"
+#include "apps/nib.h"
+#include "apps/routing.h"
+#include "cluster/sim.h"
+#include "net/driver.h"
+#include "net/fabric.h"
+#include "tests/test_helpers.h"
+
+namespace beehive {
+namespace {
+
+constexpr std::uint32_t ip(int a, int b, int c, int d) {
+  return (static_cast<std::uint32_t>(a) << 24) |
+         (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | static_cast<std::uint32_t>(d);
+}
+
+/// Records every message of type M in a whole-dict cell (query sinks).
+template <typename M>
+class RecorderApp : public App {
+ public:
+  explicit RecorderApp(std::string name) : App(std::move(name)) {
+    on<M>(
+        [](const M&) { return CellSet::whole_dict("rec"); },
+        [](AppContext& ctx, const M& m) {
+          testing::I64 n =
+              ctx.state().template get_as<testing::I64>("rec", "n").value_or(
+                  testing::I64{});
+          n.v += 1;
+          ctx.state().put_as("rec", "n", n);
+          ctx.state().put_as("rec", "last", m);
+        });
+  }
+
+  struct Captured {
+    std::int64_t count = 0;
+    std::optional<M> last;
+  };
+
+  static Captured captured(SimCluster& sim, AppId app) {
+    Captured out;
+    for (const BeeRecord& rec : sim.registry().live_bees()) {
+      if (rec.app != app) continue;
+      Bee* bee = sim.hive(rec.hive).find_bee(rec.id);
+      if (bee == nullptr) continue;
+      if (auto n = bee->store().dict("rec").get_as<testing::I64>("n")) {
+        out.count = n->v;
+      }
+      out.last = bee->store().dict("rec").template get_as<M>("last");
+    }
+    return out;
+  }
+};
+
+template <typename M>
+void send(SimCluster& sim, HiveId hive, M msg) {
+  sim.hive(hive).inject(
+      MessageEnvelope::make(std::move(msg), 0, kNoBee, hive, sim.now()));
+  sim.run_to_idle();
+}
+
+SimCluster make_sim(const AppSet& apps, std::size_t n_hives) {
+  ClusterConfig config;
+  config.n_hives = n_hives;
+  config.hive.metrics_period = 0;
+  return SimCluster(config, apps);
+}
+
+// ---------------------------------------------------------------------------
+// Learning switch
+// ---------------------------------------------------------------------------
+
+class LearningSwitchTest : public ::testing::Test {
+ protected:
+  LearningSwitchTest() {
+    apps_.emplace<LearningSwitchApp>();
+    recorder_ = &apps_.emplace<RecorderApp<PacketOut>>("test.pkt_rec");
+  }
+  AppSet apps_;
+  RecorderApp<PacketOut>* recorder_ = nullptr;
+};
+
+TEST_F(LearningSwitchTest, UnknownDestinationFloods) {
+  SimCluster sim = make_sim(apps_, 2);
+  sim.start();
+  send(sim, 0, PacketIn{1, 0xaa, 0xbb, 3});
+  auto captured = RecorderApp<PacketOut>::captured(sim, recorder_->id());
+  ASSERT_TRUE(captured.last.has_value());
+  EXPECT_EQ(captured.last->out_port, kFloodPort);
+  EXPECT_EQ(captured.last->sw, 1u);
+}
+
+TEST_F(LearningSwitchTest, LearnedDestinationIsUnicast) {
+  SimCluster sim = make_sim(apps_, 2);
+  sim.start();
+  send(sim, 0, PacketIn{1, 0xaa, 0xbb, 3});   // learn aa@3
+  send(sim, 0, PacketIn{1, 0xbb, 0xaa, 7});   // learn bb@7, dst aa known
+  auto captured = RecorderApp<PacketOut>::captured(sim, recorder_->id());
+  ASSERT_TRUE(captured.last.has_value());
+  EXPECT_EQ(captured.last->out_port, 3);
+  EXPECT_EQ(captured.count, 2);
+}
+
+TEST_F(LearningSwitchTest, MacMovesUpdateThePort) {
+  SimCluster sim = make_sim(apps_, 1);
+  sim.start();
+  send(sim, 0, PacketIn{1, 0xaa, 0x0, 3});
+  send(sim, 0, PacketIn{1, 0xaa, 0x0, 9});  // aa moved to port 9
+  send(sim, 0, PacketIn{1, 0xcc, 0xaa, 1});
+  auto captured = RecorderApp<PacketOut>::captured(sim, recorder_->id());
+  EXPECT_EQ(captured.last->out_port, 9);
+}
+
+TEST_F(LearningSwitchTest, TablesArePerSwitch) {
+  SimCluster sim = make_sim(apps_, 2);
+  sim.start();
+  send(sim, 0, PacketIn{1, 0xaa, 0x0, 3});    // learn aa@3 on switch 1
+  send(sim, 1, PacketIn{2, 0xbb, 0xaa, 5});   // switch 2 must not know aa
+  auto captured = RecorderApp<PacketOut>::captured(sim, recorder_->id());
+  EXPECT_EQ(captured.last->out_port, kFloodPort);
+  // Two separate bees (one per switch), on the hives that saw the packets.
+  AppId lsw = apps_.find_by_name("learning_switch")->id();
+  std::size_t bees = 0;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app == lsw) ++bees;
+  }
+  EXPECT_EQ(bees, 2u);
+}
+
+TEST(MacTableUnit, LearnFindUpdate) {
+  MacTable t;
+  EXPECT_EQ(t.find(0xaa), nullptr);
+  t.learn(0xaa, 1);
+  t.learn(0xbb, 2);
+  t.learn(0xaa, 5);
+  ASSERT_NE(t.find(0xaa), nullptr);
+  EXPECT_EQ(t.find(0xaa)->port, 5);
+  EXPECT_EQ(t.entries.size(), 2u);
+  // codec round-trip
+  MacTable back = decode_from_bytes<MacTable>(encode_to_bytes(t));
+  EXPECT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.find(0xbb)->port, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+class RoutingTest : public ::testing::Test {
+ protected:
+  RoutingTest() {
+    apps_.emplace<RoutingApp>();
+    recorder_ = &apps_.emplace<RecorderApp<RouteResult>>("test.rt_rec");
+  }
+  AppSet apps_;
+  RecorderApp<RouteResult>* recorder_ = nullptr;
+};
+
+TEST_F(RoutingTest, LongestPrefixWins) {
+  SimCluster sim = make_sim(apps_, 2);
+  sim.start();
+  send(sim, 0, RouteAnnounce{ip(10, 0, 0, 0), 8, 111, 10});
+  send(sim, 0, RouteAnnounce{ip(10, 1, 0, 0), 16, 222, 10});
+  send(sim, 1, RouteQuery{ip(10, 1, 2, 3), 42});
+  auto captured = RecorderApp<RouteResult>::captured(sim, recorder_->id());
+  ASSERT_TRUE(captured.last.has_value());
+  EXPECT_TRUE(captured.last->found);
+  EXPECT_EQ(captured.last->query_id, 42u);
+  EXPECT_EQ(captured.last->mask_len, 16);
+  EXPECT_EQ(captured.last->next_hop, 222u);
+}
+
+TEST_F(RoutingTest, MetricBreaksTiesAtEqualLength) {
+  SimCluster sim = make_sim(apps_, 1);
+  sim.start();
+  send(sim, 0, RouteAnnounce{ip(10, 2, 0, 0), 16, 1, 20});
+  send(sim, 0, RouteAnnounce{ip(10, 2, 0, 0), 16, 2, 20});  // replaces
+  send(sim, 0, RouteQuery{ip(10, 2, 9, 9), 1});
+  auto captured = RecorderApp<RouteResult>::captured(sim, recorder_->id());
+  EXPECT_EQ(captured.last->next_hop, 2u);
+}
+
+TEST_F(RoutingTest, WithdrawRemovesRoute) {
+  SimCluster sim = make_sim(apps_, 1);
+  sim.start();
+  send(sim, 0, RouteAnnounce{ip(10, 0, 0, 0), 8, 111, 10});
+  send(sim, 0, RouteWithdraw{ip(10, 0, 0, 0), 8});
+  send(sim, 0, RouteQuery{ip(10, 5, 5, 5), 7});
+  auto captured = RecorderApp<RouteResult>::captured(sim, recorder_->id());
+  ASSERT_TRUE(captured.last.has_value());
+  EXPECT_FALSE(captured.last->found);
+}
+
+TEST_F(RoutingTest, ShardsDistributeByTopOctet) {
+  SimCluster sim = make_sim(apps_, 4);
+  sim.start();
+  send(sim, 0, RouteAnnounce{ip(10, 0, 0, 0), 8, 1, 1});
+  send(sim, 1, RouteAnnounce{ip(20, 0, 0, 0), 8, 2, 1});
+  send(sim, 2, RouteAnnounce{ip(30, 0, 0, 0), 8, 3, 1});
+  AppId rt = apps_.find_by_name("routing")->id();
+  std::vector<HiveId> hives;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app == rt) hives.push_back(rec.hive);
+  }
+  ASSERT_EQ(hives.size(), 3u);  // three /8 buckets, three bees
+  std::sort(hives.begin(), hives.end());
+  EXPECT_EQ(hives, (std::vector<HiveId>{0, 1, 2}));
+}
+
+TEST_F(RoutingTest, QueryMissingBucketReturnsNotFound) {
+  SimCluster sim = make_sim(apps_, 1);
+  sim.start();
+  send(sim, 0, RouteQuery{ip(99, 0, 0, 1), 5});
+  auto captured = RecorderApp<RouteResult>::captured(sim, recorder_->id());
+  ASSERT_TRUE(captured.last.has_value());
+  EXPECT_FALSE(captured.last->found);
+}
+
+TEST(PrefixTableUnit, LookupMaskLogic) {
+  PrefixTable t;
+  t.upsert({ip(10, 0, 0, 0), 8, 1, 0});
+  t.upsert({ip(10, 128, 0, 0), 9, 2, 0});
+  t.upsert({ip(0, 0, 0, 0), 0, 99, 0});  // default route
+  EXPECT_EQ(t.lookup(ip(10, 200, 1, 1))->next_hop, 2u);
+  EXPECT_EQ(t.lookup(ip(10, 1, 1, 1))->next_hop, 1u);
+  EXPECT_EQ(t.lookup(ip(11, 1, 1, 1))->next_hop, 99u);
+  EXPECT_TRUE(t.remove(ip(10, 0, 0, 0), 8));
+  EXPECT_FALSE(t.remove(ip(10, 0, 0, 0), 8));
+  EXPECT_EQ(t.lookup(ip(10, 1, 1, 1))->next_hop, 99u);
+}
+
+// ---------------------------------------------------------------------------
+// Network virtualization
+// ---------------------------------------------------------------------------
+
+class NetVirtTest : public ::testing::Test {
+ protected:
+  NetVirtTest() {
+    apps_.emplace<NetVirtApp>();
+    recorder_ = &apps_.emplace<RecorderApp<TunnelInstall>>("test.nv_rec");
+  }
+  AppSet apps_;
+  RecorderApp<TunnelInstall>* recorder_ = nullptr;
+};
+
+TEST_F(NetVirtTest, AttachMeshesNewSwitchWithExisting) {
+  SimCluster sim = make_sim(apps_, 2);
+  sim.start();
+  send(sim, 0, VnCreate{5});
+  send(sim, 0, VnAttach{5, 1, 1, 0xa});
+  send(sim, 1, VnAttach{5, 2, 1, 0xb});
+  send(sim, 1, VnAttach{5, 3, 1, 0xc});
+  auto captured = RecorderApp<TunnelInstall>::captured(sim, recorder_->id());
+  // sw2 meshes with {1}, sw3 with {1,2}: 3 tunnels total.
+  EXPECT_EQ(captured.count, 3);
+  EXPECT_EQ(captured.last->vn, 5u);
+}
+
+TEST_F(NetVirtTest, SecondMacOnSameSwitchAddsNoTunnel) {
+  SimCluster sim = make_sim(apps_, 1);
+  sim.start();
+  send(sim, 0, VnCreate{1});
+  send(sim, 0, VnAttach{1, 1, 1, 0xa});
+  send(sim, 0, VnAttach{1, 2, 1, 0xb});
+  send(sim, 0, VnAttach{1, 2, 2, 0xc});  // same switch, new mac
+  auto captured = RecorderApp<TunnelInstall>::captured(sim, recorder_->id());
+  EXPECT_EQ(captured.count, 1);
+}
+
+TEST_F(NetVirtTest, VnsAreIndependentCells) {
+  SimCluster sim = make_sim(apps_, 4);
+  sim.start();
+  for (VnId vn = 0; vn < 4; ++vn) {
+    send(sim, vn % 4, VnCreate{vn});
+  }
+  AppId nv = apps_.find_by_name("netvirt")->id();
+  std::size_t bees = 0;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app == nv) ++bees;
+  }
+  EXPECT_EQ(bees, 4u);
+}
+
+TEST_F(NetVirtTest, DetachRemovesEndpoint) {
+  SimCluster sim = make_sim(apps_, 1);
+  sim.start();
+  send(sim, 0, VnCreate{9});
+  send(sim, 0, VnAttach{9, 1, 1, 0xa});
+  send(sim, 0, VnDetach{9, 1, 0xa});
+  AppId nv = apps_.find_by_name("netvirt")->id();
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app != nv) continue;
+    Bee* bee = sim.hive(rec.hive).find_bee(rec.id);
+    auto state = bee->store().dict(NetVirtApp::kDict).get_as<VnState>("9");
+    ASSERT_TRUE(state.has_value());
+    EXPECT_TRUE(state->endpoints.empty());
+  }
+}
+
+TEST_F(NetVirtTest, AttachToUnknownVnIsIgnored) {
+  SimCluster sim = make_sim(apps_, 1);
+  sim.start();
+  send(sim, 0, VnAttach{77, 1, 1, 0xa});
+  auto captured = RecorderApp<TunnelInstall>::captured(sim, recorder_->id());
+  EXPECT_EQ(captured.count, 0);
+}
+
+// ---------------------------------------------------------------------------
+// NIB
+// ---------------------------------------------------------------------------
+
+class NibTest : public ::testing::Test {
+ protected:
+  NibTest() {
+    apps_.emplace<NibApp>();
+    recorder_ = &apps_.emplace<RecorderApp<NibReply>>("test.nib_rec");
+  }
+  AppSet apps_;
+  RecorderApp<NibReply>* recorder_ = nullptr;
+};
+
+TEST_F(NibTest, UpdateThenQueryReturnsAttrsAndNeighbors) {
+  SimCluster sim = make_sim(apps_, 2);
+  sim.start();
+  send(sim, 0, NibNodeUpdate{100, "kind", "switch"});
+  send(sim, 1, NibNodeUpdate{100, "dpid", "0xff"});
+  send(sim, 0, NibLinkAdd{100, 200});
+  send(sim, 0, NibLinkAdd{100, 300});
+  send(sim, 1, NibQuery{100, 77});
+  auto captured = RecorderApp<NibReply>::captured(sim, recorder_->id());
+  ASSERT_TRUE(captured.last.has_value());
+  EXPECT_TRUE(captured.last->found);
+  EXPECT_EQ(captured.last->query_id, 77u);
+  EXPECT_EQ(captured.last->attrs.size(), 2u);
+  EXPECT_EQ(captured.last->neighbors,
+            (std::vector<NodeId>{200, 300}));
+}
+
+TEST_F(NibTest, AttrOverwriteKeepsSingleEntry) {
+  SimCluster sim = make_sim(apps_, 1);
+  sim.start();
+  send(sim, 0, NibNodeUpdate{1, "state", "up"});
+  send(sim, 0, NibNodeUpdate{1, "state", "down"});
+  send(sim, 0, NibQuery{1, 1});
+  auto captured = RecorderApp<NibReply>::captured(sim, recorder_->id());
+  ASSERT_EQ(captured.last->attrs.size(), 1u);
+  EXPECT_EQ(captured.last->attrs[0], "state=down");
+}
+
+TEST_F(NibTest, QueryUnknownNodeNotFound) {
+  SimCluster sim = make_sim(apps_, 1);
+  sim.start();
+  send(sim, 0, NibQuery{424242, 3});
+  auto captured = RecorderApp<NibReply>::captured(sim, recorder_->id());
+  EXPECT_FALSE(captured.last->found);
+}
+
+TEST_F(NibTest, NodesShardAcrossHives) {
+  SimCluster sim = make_sim(apps_, 4);
+  sim.start();
+  for (NodeId n = 0; n < 8; ++n) {
+    send(sim, static_cast<HiveId>(n % 4), NibNodeUpdate{n, "k", "v"});
+  }
+  AppId nib = apps_.find_by_name("nib")->id();
+  std::size_t bees = 0;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app == nib) ++bees;
+  }
+  EXPECT_EQ(bees, 8u);
+}
+
+TEST(NibNodeUnit, DuplicateNeighborIgnored) {
+  NibNode node;
+  node.add_neighbor(5);
+  node.add_neighbor(5);
+  EXPECT_EQ(node.neighbors.size(), 1u);
+  node.set_attr("a", "1");
+  node.set_attr("a", "2");
+  EXPECT_EQ(node.attrs.size(), 1u);
+  NibNode back = decode_from_bytes<NibNode>(encode_to_bytes(node));
+  EXPECT_EQ(back.neighbors.size(), 1u);
+  EXPECT_EQ(back.attrs[0].second, "2");
+}
+
+}  // namespace
+}  // namespace beehive

@@ -1,0 +1,121 @@
+// End-to-end failure detection + automatic failover: heartbeats stop, the
+// detector suspects the hive, the harness callback fails bees over to
+// replicas, and the workload continues.
+#include <gtest/gtest.h>
+
+#include "cluster/sim.h"
+#include "instrument/failure_detector.h"
+#include "tests/test_helpers.h"
+
+namespace beehive {
+namespace {
+
+using testing::CounterApp;
+using testing::I64;
+using testing::Incr;
+
+class FailureDetectorTest : public ::testing::Test {
+ protected:
+  std::int64_t counter_value(SimCluster& sim, AppId app,
+                             const std::string& key) {
+    for (const BeeRecord& rec : sim.registry().live_bees()) {
+      if (rec.app != app) continue;
+      Bee* bee = sim.hive(rec.hive).find_bee(rec.id);
+      if (bee == nullptr) continue;
+      if (auto v = bee->store().dict(CounterApp::kDict).get_as<I64>(key)) {
+        return v->v;
+      }
+    }
+    return -1;
+  }
+};
+
+TEST_F(FailureDetectorTest, SilentHiveIsSuspectedAndFailedOver) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+
+  SimCluster* sim_ptr = nullptr;
+  std::vector<HiveId> suspected;
+  apps.emplace<FailureDetectorApp>(
+      FailureDetectorConfig{.check_period = kSecond,
+                            .suspect_after = 2 * kSecond + 500 *
+                                                              kMillisecond},
+      [&sim_ptr, &suspected](HiveId hive) {
+        suspected.push_back(hive);
+        if (sim_ptr != nullptr) sim_ptr->recover_hive(hive);
+      });
+
+  ClusterConfig config;
+  config.n_hives = 4;
+  config.hive.metrics_period = kSecond;
+  config.hive.replication = true;
+  config.hive.timers_until = 20 * kSecond;
+  SimCluster sim(config, apps);
+  sim_ptr = &sim;
+  sim.start();
+
+  // State on hive 2, then let heartbeats flow for a while.
+  sim.hive(2).inject(
+      MessageEnvelope::make(Incr{"x", 7}, 0, kNoBee, 2, sim.now()));
+  sim.run_until(4 * kSecond);
+  EXPECT_TRUE(suspected.empty());  // everyone healthy so far
+
+  sim.fail_hive(2);
+  sim.run_until(10 * kSecond);
+
+  ASSERT_EQ(suspected, std::vector<HiveId>{2});
+  // The counter bee failed over with its replicated state and still works.
+  AppId counter = apps.find_by_name("test.counter")->id();
+  EXPECT_EQ(counter_value(sim, counter, "x"), 7);
+  sim.hive(0).inject(
+      MessageEnvelope::make(Incr{"x", 1}, 0, kNoBee, 0, sim.now()));
+  sim.run_until(11 * kSecond);
+  EXPECT_EQ(counter_value(sim, counter, "x"), 8);
+
+  // No further (duplicate) suspicions for the same hive.
+  sim.run_until(15 * kSecond);
+  EXPECT_EQ(suspected.size(), 1u);
+}
+
+TEST_F(FailureDetectorTest, HealthyClusterNeverSuspects) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  std::vector<HiveId> suspected;
+  apps.emplace<FailureDetectorApp>(
+      FailureDetectorConfig{.check_period = kSecond,
+                            .suspect_after = 2 * kSecond},
+      [&suspected](HiveId hive) { suspected.push_back(hive); });
+
+  ClusterConfig config;
+  config.n_hives = 3;
+  config.hive.metrics_period = 500 * kMillisecond;
+  config.hive.timers_until = 12 * kSecond;
+  SimCluster sim(config, apps);
+  sim.start();
+  sim.run_until(12 * kSecond);
+  sim.run_to_idle();
+  EXPECT_TRUE(suspected.empty());
+}
+
+TEST_F(FailureDetectorTest, DetectorIsOneCentralBee) {
+  AppSet apps;
+  apps.emplace<FailureDetectorApp>(FailureDetectorConfig{}, nullptr);
+  ClusterConfig config;
+  config.n_hives = 5;
+  config.hive.metrics_period = kSecond;
+  config.hive.timers_until = 5 * kSecond;
+  SimCluster sim(config, apps);
+  sim.start();
+  sim.run_until(5 * kSecond);
+  sim.run_to_idle();
+
+  AppId fd = apps.find_by_name("platform.failure_detector")->id();
+  std::size_t fd_bees = 0;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app == fd) ++fd_bees;
+  }
+  EXPECT_EQ(fd_bees, 1u);
+}
+
+}  // namespace
+}  // namespace beehive

@@ -1,0 +1,93 @@
+// Integration test: the paper's Figure 4 qualitative claims at reduced
+// scale (8 hives, 80 switches, 12 simulated seconds) so the headline
+// reproduction is guarded by ctest, not only by the bench binary.
+#include <gtest/gtest.h>
+
+#include "bench/te_harness.h"
+
+namespace beehive {
+namespace {
+
+using bench::run_te_scenario;
+using bench::TEMode;
+using bench::TEParams;
+using bench::TEResult;
+
+class Fig4Shapes : public ::testing::Test {
+ protected:
+  static TEParams params() {
+    TEParams p;
+    p.n_hives = 8;
+    p.n_switches = 80;
+    p.duration = 12 * kSecond;
+    return p;
+  }
+
+  // The three scenarios are deterministic; run each once for the suite.
+  static const TEResult& naive() {
+    static TEResult r = run_te_scenario(TEMode::kNaive, params());
+    return r;
+  }
+  static const TEResult& decoupled() {
+    static TEResult r = run_te_scenario(TEMode::kDecoupled, params());
+    return r;
+  }
+  static const TEResult& optimized() {
+    static TEResult r = run_te_scenario(TEMode::kOptimized, params());
+    return r;
+  }
+};
+
+TEST_F(Fig4Shapes, NaiveIsEffectivelyCentralized) {
+  // Fig 4a: "most messages are sent to/from the bees on only one hive."
+  EXPECT_GT(naive().hotspot_share, 0.9);
+  EXPECT_EQ(naive().te_bees, 1u);
+  EXPECT_LT(naive().tail_locality, 0.5);
+}
+
+TEST_F(Fig4Shapes, DecoupledDistributesAndLocalizes) {
+  // Fig 4b: "most messages are now processed locally (the diagonal)."
+  EXPECT_GT(decoupled().te_bees, params().n_hives);
+  EXPECT_GT(decoupled().tail_locality, 0.8);
+}
+
+TEST_F(Fig4Shapes, DecoupledSlashesControlBandwidth) {
+  // Fig 4e vs 4d: "control channel consumption is significantly improved."
+  EXPECT_LT(decoupled().wire_bytes * 2, naive().wire_bytes);
+  EXPECT_LT(decoupled().tail_kbps, naive().tail_kbps / 4);
+}
+
+TEST_F(Fig4Shapes, OptimizerMigratesAndConverges) {
+  // Fig 4c/4f: live migration localizes processing; consumption drops to
+  // the decoupled level after the migration spike.
+  EXPECT_GT(optimized().migrations, 0u);
+  EXPECT_GE(optimized().tail_locality, 0.9 * decoupled().tail_locality);
+  EXPECT_LE(optimized().tail_kbps, 1.5 * decoupled().tail_kbps + 1.0);
+}
+
+TEST_F(Fig4Shapes, OptimizedBandwidthDeclinesOverTime) {
+  const auto& kbps = optimized().kbps;
+  ASSERT_GE(kbps.size(), 6u);
+  double head = 0.0;
+  for (std::size_t i = 0; i < kbps.size() / 3; ++i) head += kbps[i];
+  head /= static_cast<double>(kbps.size() / 3);
+  EXPECT_LT(optimized().tail_kbps, head);
+}
+
+TEST_F(Fig4Shapes, AllScenariosRerouteHotFlows) {
+  // The TE control loop closes in every design: 10% of 100 flows on each
+  // of 80 switches get FlowMods (plus occasional noise-driven re-alarms).
+  EXPECT_GE(naive().flow_mods, 800u);
+  EXPECT_GE(decoupled().flow_mods, 800u);
+  EXPECT_GE(optimized().flow_mods, 800u);
+}
+
+TEST_F(Fig4Shapes, ScenariosAreDeterministic) {
+  TEResult again = run_te_scenario(TEMode::kDecoupled, params());
+  EXPECT_EQ(again.wire_bytes, decoupled().wire_bytes);
+  EXPECT_EQ(again.wire_messages, decoupled().wire_messages);
+  EXPECT_EQ(again.kbps, decoupled().kbps);
+}
+
+}  // namespace
+}  // namespace beehive

@@ -1,0 +1,157 @@
+// Tests for the Seattle-style host-location directory (paper §4).
+#include <gtest/gtest.h>
+
+#include "apps/host_location.h"
+#include "cluster/sim.h"
+#include "core/context.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace beehive {
+namespace {
+
+/// Sink recording the last HostLocation reply per query id.
+class LocationSink : public App {
+ public:
+  LocationSink() : App("test.loc_sink") {
+    on<HostLocation>(
+        [](const HostLocation&) { return CellSet::whole_dict("loc"); },
+        [](AppContext& ctx, const HostLocation& m) {
+          ctx.state().put_as("loc", std::to_string(m.query_id), m);
+        });
+  }
+
+  static std::optional<HostLocation> reply(SimCluster& sim, AppId app,
+                                           std::uint64_t query_id) {
+    for (const BeeRecord& rec : sim.registry().live_bees()) {
+      if (rec.app != app) continue;
+      Bee* bee = sim.hive(rec.hive).find_bee(rec.id);
+      if (bee == nullptr) continue;
+      auto v = bee->store().dict("loc").get_as<HostLocation>(
+          std::to_string(query_id));
+      if (v) return v;
+    }
+    return std::nullopt;
+  }
+};
+
+class HostLocationTest : public ::testing::Test {
+ protected:
+  HostLocationTest() {
+    apps_.emplace<HostLocationApp>(16);
+    sink_ = &apps_.emplace<LocationSink>();
+  }
+
+  SimCluster make_sim(std::size_t n_hives) {
+    ClusterConfig config;
+    config.n_hives = n_hives;
+    config.hive.metrics_period = 0;
+    return SimCluster(config, apps_);
+  }
+
+  template <typename M>
+  void send(SimCluster& sim, HiveId hive, M msg) {
+    sim.hive(hive).inject(
+        MessageEnvelope::make(std::move(msg), 0, kNoBee, hive, sim.now()));
+    sim.run_to_idle();
+  }
+
+  AppSet apps_;
+  LocationSink* sink_ = nullptr;
+};
+
+TEST_F(HostLocationTest, RegisterThenLookupFromAnotherHive) {
+  SimCluster sim = make_sim(4);
+  sim.start();
+  send(sim, 0, HostRegister{0xaabb, 7, 3});
+  send(sim, 3, HostLookup{0xaabb, 1});
+  auto reply = LocationSink::reply(sim, sink_->id(), 1);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->found);
+  EXPECT_EQ(reply->sw, 7u);
+  EXPECT_EQ(reply->port, 3);
+}
+
+TEST_F(HostLocationTest, HostMoveUpdatesLocation) {
+  SimCluster sim = make_sim(2);
+  sim.start();
+  send(sim, 0, HostRegister{0xcc, 1, 1});
+  send(sim, 1, HostRegister{0xcc, 9, 5});  // host moved
+  send(sim, 0, HostLookup{0xcc, 2});
+  auto reply = LocationSink::reply(sim, sink_->id(), 2);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->sw, 9u);
+  EXPECT_EQ(reply->port, 5);
+}
+
+TEST_F(HostLocationTest, UnregisterMakesLookupMiss) {
+  SimCluster sim = make_sim(2);
+  sim.start();
+  send(sim, 0, HostRegister{0xdd, 2, 2});
+  send(sim, 1, HostUnregister{0xdd});
+  send(sim, 0, HostLookup{0xdd, 3});
+  auto reply = LocationSink::reply(sim, sink_->id(), 3);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(reply->found);
+}
+
+TEST_F(HostLocationTest, UnknownHostNotFound) {
+  SimCluster sim = make_sim(2);
+  sim.start();
+  send(sim, 1, HostLookup{0x404, 4});
+  auto reply = LocationSink::reply(sim, sink_->id(), 4);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(reply->found);
+}
+
+TEST_F(HostLocationTest, BucketsShardAcrossHives) {
+  SimCluster sim = make_sim(4);
+  sim.start();
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 200; ++i) {
+    send(sim, static_cast<HiveId>(i % 4),
+         HostRegister{rng.next(), static_cast<SwitchId>(i), 1});
+  }
+  AppId app = apps_.find_by_name("seattle.host_location")->id();
+  std::size_t buckets = 0;
+  std::set<HiveId> hives;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app != app) continue;
+    ++buckets;
+    hives.insert(rec.hive);
+  }
+  EXPECT_LE(buckets, 16u);   // at most n_buckets cells
+  EXPECT_GE(buckets, 10u);   // 200 random macs cover most buckets
+  EXPECT_GT(hives.size(), 1u);  // spread over the cluster
+}
+
+TEST_F(HostLocationTest, SameMacAlwaysSameBucketBee) {
+  SimCluster sim = make_sim(4);
+  sim.start();
+  // Register and look up the same MAC from every hive; all operations
+  // must serialize through one bee (count its inputs).
+  for (HiveId h = 0; h < 4; ++h) {
+    send(sim, h, HostRegister{0x77, h, h});
+  }
+  send(sim, 2, HostLookup{0x77, 9});
+  auto reply = LocationSink::reply(sim, sink_->id(), 9);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->sw, 3u);  // last writer wins
+}
+
+TEST(HostBucketUnit, UpsertFindRemoveRoundTrip) {
+  HostBucket bucket;
+  bucket.upsert(1, 10, 1);
+  bucket.upsert(2, 20, 2);
+  bucket.upsert(1, 11, 3);
+  ASSERT_NE(bucket.find(1), nullptr);
+  EXPECT_EQ(bucket.find(1)->sw, 11u);
+  EXPECT_EQ(bucket.entries.size(), 2u);
+  HostBucket back = decode_from_bytes<HostBucket>(encode_to_bytes(bucket));
+  EXPECT_EQ(back.entries.size(), 2u);
+  EXPECT_TRUE(back.remove(1));
+  EXPECT_FALSE(back.remove(1));
+}
+
+}  // namespace
+}  // namespace beehive

@@ -1,0 +1,288 @@
+// Unit tests for the network substrate: tree topology, simulated switches,
+// fabric and the OpenFlow driver app on a live cluster.
+#include <gtest/gtest.h>
+
+#include "apps/messages.h"
+#include "cluster/sim.h"
+#include "core/context.h"
+#include "net/driver.h"
+#include "net/fabric.h"
+#include "net/switch_sim.h"
+#include "net/topology.h"
+
+namespace beehive {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TreeTopology
+// ---------------------------------------------------------------------------
+
+TEST(TreeTopology, LinkCountIsNMinusOne) {
+  TreeTopology topo(400, 4, 40);
+  EXPECT_EQ(topo.links().size(), 399u);
+}
+
+TEST(TreeTopology, ParentChildConsistency) {
+  TreeTopology topo(50, 3, 5);
+  for (SwitchId sw = 0; sw < 50; ++sw) {
+    for (SwitchId child : topo.children(sw)) {
+      EXPECT_EQ(topo.parent(child), sw);
+    }
+  }
+  EXPECT_EQ(topo.parent(0), 0u);  // root
+}
+
+TEST(TreeTopology, DepthIncreasesFromRoot) {
+  TreeTopology topo(40, 2, 4);
+  EXPECT_EQ(topo.depth(0), 0u);
+  EXPECT_EQ(topo.depth(1), 1u);
+  EXPECT_EQ(topo.depth(2), 1u);
+  EXPECT_EQ(topo.depth(3), 2u);
+  for (SwitchId sw = 1; sw < 40; ++sw) {
+    EXPECT_EQ(topo.depth(sw), topo.depth(topo.parent(sw)) + 1);
+  }
+}
+
+TEST(TreeTopology, MasterAssignmentIsBalanced) {
+  TreeTopology topo(400, 4, 40);
+  for (HiveId h = 0; h < 40; ++h) {
+    EXPECT_EQ(topo.switches_of(h).size(), 10u) << "hive " << h;
+  }
+  // Contiguous blocks.
+  EXPECT_EQ(topo.master_hive(0), 0u);
+  EXPECT_EQ(topo.master_hive(9), 0u);
+  EXPECT_EQ(topo.master_hive(10), 1u);
+  EXPECT_EQ(topo.master_hive(399), 39u);
+}
+
+TEST(TreeTopology, PathConnectsEndpoints) {
+  TreeTopology topo(40, 2, 4);
+  auto path = topo.path(17, 23);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 17u);
+  EXPECT_EQ(path.back(), 23u);
+  // Consecutive path nodes are parent/child pairs.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    bool adjacent = topo.parent(path[i]) == path[i + 1] ||
+                    topo.parent(path[i + 1]) == path[i];
+    EXPECT_TRUE(adjacent) << path[i] << " - " << path[i + 1];
+  }
+}
+
+TEST(TreeTopology, PathToSelfIsSingleton) {
+  TreeTopology topo(10, 2, 2);
+  auto path = topo.path(5, 5);
+  EXPECT_EQ(path, std::vector<SwitchId>{5});
+}
+
+TEST(TreeTopology, LinksOfLeafIsUplinkOnly) {
+  TreeTopology topo(7, 2, 2);  // full binary tree, leaves 3..6
+  auto links = topo.links_of(6);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].a, topo.parent(6));
+  EXPECT_EQ(links[0].b, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// SimSwitch
+// ---------------------------------------------------------------------------
+
+class SimSwitchTest : public ::testing::Test {
+ protected:
+  SwitchConfig config_{.n_flows = 100,
+                       .delta_kbps = 1000.0,
+                       .frac_above = 0.10,
+                       .noise_amplitude = 0.10,
+                       .reroute_factor = 0.45};
+  Xoshiro256 rng_{99};
+};
+
+TEST_F(SimSwitchTest, TenPercentOfFlowsRunHot) {
+  SimSwitch sw(1, config_, rng_);
+  EXPECT_EQ(sw.n_flows(), 100u);
+  EXPECT_EQ(sw.flows_above_threshold(kSecond), 10u);
+}
+
+TEST_F(SimSwitchTest, StatsReportAllFlows) {
+  SimSwitch sw(1, config_, rng_);
+  auto stats = sw.stats(5 * kSecond);
+  ASSERT_EQ(stats.size(), 100u);
+  std::size_t above = 0;
+  for (const FlowStat& s : stats) {
+    EXPECT_GT(s.rate_kbps, 0.0);
+    if (s.rate_kbps > config_.delta_kbps) ++above;
+  }
+  EXPECT_EQ(above, 10u);
+}
+
+TEST_F(SimSwitchTest, RatesAreDeterministicPerSecondBucket) {
+  SimSwitch sw(1, config_, rng_);
+  const SimFlow* flow = sw.flow(0);
+  ASSERT_NE(flow, nullptr);
+  double r1 = sw.effective_rate_kbps(*flow, 2 * kSecond + 100);
+  double r2 = sw.effective_rate_kbps(*flow, 2 * kSecond + 900 * kMillisecond);
+  EXPECT_DOUBLE_EQ(r1, r2);  // same bucket
+  // Noise varies across buckets (almost surely).
+  double r3 = sw.effective_rate_kbps(*flow, 3 * kSecond);
+  EXPECT_NE(r1, r3);
+}
+
+TEST_F(SimSwitchTest, FlowModCoolsTheFlowDown) {
+  SimSwitch sw(1, config_, rng_);
+  // Flow 0 is a hot flow by construction.
+  const SimFlow* flow = sw.flow(0);
+  double before = sw.effective_rate_kbps(*flow, kSecond);
+  ASSERT_GT(before, config_.delta_kbps);
+  EXPECT_TRUE(sw.apply_flow_mod(0, 2));
+  double after = sw.effective_rate_kbps(*sw.flow(0), kSecond);
+  EXPECT_LT(after, config_.delta_kbps);
+  EXPECT_EQ(sw.flow_mods_applied(), 1u);
+  EXPECT_EQ(sw.flow(0)->path, 2u);
+}
+
+TEST_F(SimSwitchTest, FlowModUnknownFlowFails) {
+  SimSwitch sw(1, config_, rng_);
+  EXPECT_FALSE(sw.apply_flow_mod(100, 1));
+  EXPECT_EQ(sw.flow_mods_applied(), 0u);
+}
+
+TEST_F(SimSwitchTest, CumulativeBytesGrowWithTime) {
+  SimSwitch sw(1, config_, rng_);
+  auto early = sw.stats(kSecond);
+  auto late = sw.stats(10 * kSecond);
+  EXPECT_GT(late[0].bytes, early[0].bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric + driver on a live cluster
+// ---------------------------------------------------------------------------
+
+class DriverTest : public ::testing::Test {
+ protected:
+  DriverTest()
+      : fabric_(TreeTopology(20, 4, 4), FabricConfig{}) {
+    apps_.emplace<OpenFlowDriverApp>(&fabric_);
+  }
+
+  NetworkFabric fabric_;
+  AppSet apps_;
+};
+
+TEST_F(DriverTest, ConnectCreatesPinnedDriverBeesOnMasters) {
+  ClusterConfig config;
+  config.n_hives = 4;
+  config.hive.metrics_period = 0;
+  SimCluster sim(config, apps_);
+  sim.start();
+  fabric_.connect_all([&sim](HiveId h, MessageEnvelope m) {
+    sim.hive(h).inject(std::move(m));
+  });
+  sim.run_to_idle();
+
+  EXPECT_EQ(sim.registry().live_bee_count(), 20u);
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    EXPECT_TRUE(rec.pinned);
+    ASSERT_EQ(rec.cells.size(), 1u);
+    SwitchId sw = static_cast<SwitchId>(
+        std::stoul(rec.cells.cells()[0].key));
+    EXPECT_EQ(rec.hive, fabric_.topology().master_hive(sw));
+  }
+}
+
+TEST_F(DriverTest, QueryReplyRoundTripThroughDriver) {
+  // A probe app that queries switch 7 and records the reply size.
+  struct ProbeApp : App {
+    explicit ProbeApp() : App("test.probe") {
+      on<FlowStatReply>(
+          [](const FlowStatReply& m) {
+            return CellSet::single("probe", switch_key(m.sw));
+          },
+          [](AppContext& ctx, const FlowStatReply& m) {
+            ctx.state().put_as(
+                "probe", switch_key(m.sw),
+                FlowStatReply{m.sw, m.stats});
+          });
+    }
+  };
+  apps_.emplace<ProbeApp>();
+
+  ClusterConfig config;
+  config.n_hives = 4;
+  config.hive.metrics_period = 0;
+  SimCluster sim(config, apps_);
+  sim.start();
+  fabric_.connect_all([&sim](HiveId h, MessageEnvelope m) {
+    sim.hive(h).inject(std::move(m));
+  });
+  sim.run_to_idle();
+
+  // Query from a non-master hive: driver answers from the master.
+  sim.hive(0).inject(
+      MessageEnvelope::make(FlowStatQuery{7}, 0, kNoBee, 0, sim.now()));
+  sim.run_to_idle();
+
+  AppId probe = apps_.find_by_name("test.probe")->id();
+  bool found = false;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app != probe) continue;
+    Bee* bee = sim.hive(rec.hive).find_bee(rec.id);
+    ASSERT_NE(bee, nullptr);
+    auto reply = bee->store().dict("probe").get_as<FlowStatReply>("7");
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->stats.size(), fabric_.sw(7).n_flows());
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DriverTest, FlowModReachesTheSwitch) {
+  ClusterConfig config;
+  config.n_hives = 4;
+  config.hive.metrics_period = 0;
+  SimCluster sim(config, apps_);
+  sim.start();
+  fabric_.connect_all([&sim](HiveId h, MessageEnvelope m) {
+    sim.hive(h).inject(std::move(m));
+  });
+  sim.run_to_idle();
+
+  sim.hive(2).inject(
+      MessageEnvelope::make(FlowMod{13, 5, 1}, 0, kNoBee, 2, sim.now()));
+  sim.run_to_idle();
+  EXPECT_EQ(fabric_.sw(13).flow_mods_applied(), 1u);
+  EXPECT_EQ(fabric_.sw(13).flow(5)->path, 1u);
+  EXPECT_EQ(fabric_.total_flow_mods(), 1u);
+}
+
+TEST_F(DriverTest, QueryBeforeJoinIsDropped) {
+  ClusterConfig config;
+  config.n_hives = 4;
+  config.hive.metrics_period = 0;
+  SimCluster sim(config, apps_);
+  sim.start();
+  // No connect_all: the driver has no state for switch 3.
+  sim.hive(0).inject(
+      MessageEnvelope::make(FlowStatQuery{3}, 0, kNoBee, 0, sim.now()));
+  sim.run_to_idle();
+  // No crash, no reply; a driver bee exists (created by the resolve) but
+  // holds no switch record.
+  EXPECT_EQ(sim.hive(0).counters().handler_failures, 0u);
+}
+
+TEST_F(DriverTest, PuntPacketArrivesAtMaster) {
+  ClusterConfig config;
+  config.n_hives = 4;
+  config.hive.metrics_period = 0;
+  SimCluster sim(config, apps_);
+  sim.start();
+  fabric_.punt_packet(15, 0xa, 0xb, 3,
+                      [&sim](HiveId h, MessageEnvelope m) {
+                        EXPECT_EQ(h, sim.hive(3).id());
+                        sim.hive(h).inject(std::move(m));
+                      },
+                      sim.now());
+  sim.run_to_idle();
+}
+
+}  // namespace
+}  // namespace beehive

@@ -1,0 +1,217 @@
+// Tests for state replication and hive-failure recovery (the paper's §7
+// fault-tolerance future work, implemented as an extension).
+#include <gtest/gtest.h>
+
+#include "cluster/sim.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace beehive {
+namespace {
+
+using testing::CounterApp;
+using testing::I64;
+using testing::Incr;
+using testing::PairIncr;
+using testing::Poison;
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest() { apps_.emplace<CounterApp>(); }
+
+  SimCluster make_sim(std::size_t n_hives, bool replication = true) {
+    ClusterConfig config;
+    config.n_hives = n_hives;
+    config.hive.metrics_period = 0;
+    config.hive.replication = replication;
+    return SimCluster(config, apps_);
+  }
+
+  template <typename M>
+  void send(SimCluster& sim, HiveId hive, M msg) {
+    sim.hive(hive).inject(
+        MessageEnvelope::make(std::move(msg), 0, kNoBee, hive, sim.now()));
+    sim.run_to_idle();
+  }
+
+  std::int64_t counter_value(SimCluster& sim, const std::string& key) {
+    AppId app = apps_.find_by_name("test.counter")->id();
+    for (const BeeRecord& rec : sim.registry().live_bees()) {
+      if (rec.app != app) continue;
+      Bee* bee = sim.hive(rec.hive).find_bee(rec.id);
+      if (bee == nullptr) continue;
+      if (auto v = bee->store().dict(CounterApp::kDict).get_as<I64>(key)) {
+        return v->v;
+      }
+    }
+    return -1;
+  }
+
+  AppSet apps_;
+};
+
+TEST_F(ReplicationTest, CommittedWritesReachTheReplica) {
+  SimCluster sim = make_sim(3);
+  sim.start();
+  send(sim, 1, Incr{"r", 5});
+  send(sim, 1, Incr{"r", 2});
+
+  BeeId bee = sim.registry().live_bees()[0].id;
+  // Replica of hive 1's bees lives on hive 2.
+  const StateStore* replica = sim.hive(2).replica_store(bee);
+  ASSERT_NE(replica, nullptr);
+  auto v = replica->find_dict(CounterApp::kDict)->get_as<I64>("r");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->v, 7);
+}
+
+TEST_F(ReplicationTest, RollbackedWritesAreNotReplicated) {
+  SimCluster sim = make_sim(3);
+  sim.start();
+  send(sim, 1, Incr{"p", 1});
+  send(sim, 1, Poison{"p"});  // writes 9999, then throws -> rollback
+
+  BeeId bee = sim.registry().live_bees()[0].id;
+  const StateStore* replica = sim.hive(2).replica_store(bee);
+  ASSERT_NE(replica, nullptr);
+  EXPECT_EQ(replica->find_dict(CounterApp::kDict)->get_as<I64>("p")->v, 1);
+}
+
+TEST_F(ReplicationTest, ReplicationOffMeansNoReplicas) {
+  SimCluster sim = make_sim(3, /*replication=*/false);
+  sim.start();
+  send(sim, 1, Incr{"x", 1});
+  EXPECT_EQ(sim.hive(2).replica_count(), 0u);
+}
+
+TEST_F(ReplicationTest, FailoverRecoversStateOnReplicaHive) {
+  SimCluster sim = make_sim(4);
+  sim.start();
+  send(sim, 2, Incr{"f", 10});
+  BeeId bee = sim.registry().live_bees()[0].id;
+  ASSERT_EQ(sim.registry().hive_of(bee), 2u);
+
+  sim.fail_hive(2);
+  EXPECT_EQ(sim.recover_hive(2), 1u);  // one bee, recovered with state
+  sim.run_to_idle();
+
+  EXPECT_EQ(sim.registry().hive_of(bee), 3u);  // ring successor
+  Bee* adopted = sim.hive(3).find_bee(bee);
+  ASSERT_NE(adopted, nullptr);
+  EXPECT_EQ(adopted->store().dict(CounterApp::kDict).get_as<I64>("f")->v,
+            10);
+
+  // The recovered bee keeps working, from any hive.
+  send(sim, 0, Incr{"f", 1});
+  EXPECT_EQ(counter_value(sim, "f"), 11);
+}
+
+TEST_F(ReplicationTest, RecoveredBeeGetsANewReplica) {
+  SimCluster sim = make_sim(4);
+  sim.start();
+  send(sim, 1, Incr{"g", 3});
+  BeeId bee = sim.registry().live_bees()[0].id;
+
+  sim.fail_hive(1);
+  sim.recover_hive(1);
+  sim.run_to_idle();  // adoption snapshot flows to the new replica (hive 3)
+
+  const StateStore* replica = sim.hive(3).replica_store(bee);
+  ASSERT_NE(replica, nullptr);
+  EXPECT_EQ(replica->find_dict(CounterApp::kDict)->get_as<I64>("g")->v, 3);
+}
+
+TEST_F(ReplicationTest, FailoverWithoutReplicationLosesStateButNotLiveness) {
+  SimCluster sim = make_sim(4, /*replication=*/false);
+  sim.start();
+  send(sim, 2, Incr{"l", 42});
+  BeeId bee = sim.registry().live_bees()[0].id;
+
+  sim.fail_hive(2);
+  EXPECT_EQ(sim.recover_hive(2), 0u);  // no replica: lossy restart
+  sim.run_to_idle();
+
+  send(sim, 0, Incr{"l", 1});
+  EXPECT_EQ(counter_value(sim, "l"), 1);  // state restarted from zero
+  EXPECT_EQ(sim.registry().hive_of(bee), 3u);
+}
+
+TEST_F(ReplicationTest, MultipleBeesFailOverTogether) {
+  SimCluster sim = make_sim(4);
+  sim.start();
+  for (int i = 0; i < 6; ++i) {
+    send(sim, 1, Incr{"k" + std::to_string(i), i + 1});
+  }
+  sim.fail_hive(1);
+  EXPECT_EQ(sim.recover_hive(1), 6u);
+  sim.run_to_idle();
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(counter_value(sim, "k" + std::to_string(i)), i + 1);
+  }
+  EXPECT_EQ(sim.hive(2).bee_count(), 6u);
+}
+
+TEST_F(ReplicationTest, MergedBeeStateIsFullyReplicated) {
+  SimCluster sim = make_sim(4);
+  sim.start();
+  send(sim, 1, Incr{"a", 1});
+  send(sim, 2, Incr{"b", 2});
+  send(sim, 1, PairIncr{"a", "b"});  // merge: one bee owns both cells
+  ASSERT_EQ(sim.registry().live_bee_count(), 1u);
+  BeeRecord rec = sim.registry().live_bees()[0];
+
+  sim.fail_hive(rec.hive);
+  EXPECT_EQ(sim.recover_hive(rec.hive), 1u);
+  sim.run_to_idle();
+  EXPECT_EQ(counter_value(sim, "a"), 2);
+  EXPECT_EQ(counter_value(sim, "b"), 3);
+}
+
+TEST_F(ReplicationTest, MigratedBeeReplicatesAtItsNewHome) {
+  SimCluster sim = make_sim(4);
+  sim.start();
+  send(sim, 1, Incr{"m", 9});
+  BeeId bee = sim.registry().live_bees()[0].id;
+  sim.hive(1).request_migration(bee, 2);
+  sim.run_to_idle();
+  ASSERT_EQ(sim.registry().hive_of(bee), 2u);
+
+  // Fail the *new* home: the replica established post-migration (hive 3)
+  // must carry the state.
+  sim.fail_hive(2);
+  EXPECT_EQ(sim.recover_hive(2), 1u);
+  sim.run_to_idle();
+  EXPECT_EQ(counter_value(sim, "m"), 9);
+}
+
+TEST_F(ReplicationTest, FramesToFailedHiveAreDropped) {
+  SimCluster sim = make_sim(3);
+  sim.start();
+  send(sim, 1, Incr{"d", 1});
+  std::uint64_t bytes_before = sim.meter().total_bytes();
+  sim.fail_hive(1);
+  // Injections at live hives that would route to the dead hive vanish.
+  sim.hive(0).inject(
+      MessageEnvelope::make(Incr{"d", 1}, 0, kNoBee, 0, sim.now()));
+  sim.run_to_idle();
+  EXPECT_EQ(sim.meter().total_bytes(), bytes_before);
+}
+
+TEST_F(ReplicationTest, ReplicationOverheadIsMetered) {
+  SimCluster with = make_sim(3, true);
+  SimCluster without = make_sim(3, false);
+  with.start();
+  without.start();
+  for (auto* sim : {&with, &without}) {
+    for (int i = 0; i < 20; ++i) {
+      sim->hive(1).inject(MessageEnvelope::make(Incr{"o", 1}, 0, kNoBee, 1,
+                                                sim->now()));
+    }
+    sim->run_to_idle();
+  }
+  EXPECT_GT(with.meter().total_bytes(), without.meter().total_bytes());
+  EXPECT_GT(with.meter().matrix_bytes(1, 2), 0u);  // hive 1 -> replica 2
+}
+
+}  // namespace
+}  // namespace beehive

@@ -1,0 +1,235 @@
+// Behavioural tests of the Traffic Engineering applications themselves:
+// the Figure 2 pipeline (Init/Query/Collect/Route), alarm hysteresis in
+// the decoupled design, and the discovery app feeding topology.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/discovery.h"
+#include "apps/te_common.h"
+#include "apps/te_decoupled.h"
+#include "apps/te_naive.h"
+#include "cluster/sim.h"
+#include "core/context.h"
+#include "net/driver.h"
+#include "net/fabric.h"
+
+namespace beehive {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value-type units
+// ---------------------------------------------------------------------------
+
+TEST(FlowSeriesEntryUnit, FlagUnflagAndCodec) {
+  FlowSeriesEntry entry;
+  entry.sw = 9;
+  entry.samples = 3;
+  entry.latest.push_back({1, 1500.0, 4096});
+  entry.flag(1);
+  entry.flag(1);
+  entry.flag(7);
+  EXPECT_TRUE(entry.is_flagged(1));
+  EXPECT_FALSE(entry.is_flagged(2));
+  EXPECT_EQ(entry.flagged.size(), 2u);
+  entry.unflag(1);
+  EXPECT_FALSE(entry.is_flagged(1));
+
+  FlowSeriesEntry back =
+      decode_from_bytes<FlowSeriesEntry>(encode_to_bytes(entry));
+  EXPECT_EQ(back.sw, 9u);
+  EXPECT_EQ(back.samples, 3u);
+  ASSERT_EQ(back.latest.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.latest[0].rate_kbps, 1500.0);
+  EXPECT_EQ(back.flagged, std::vector<std::uint32_t>{7});
+}
+
+TEST(RouteLedgerUnit, Codec) {
+  RouteLedger ledger{12, 34};
+  RouteLedger back = decode_from_bytes<RouteLedger>(encode_to_bytes(ledger));
+  EXPECT_EQ(back.alarms_seen, 12u);
+  EXPECT_EQ(back.flow_mods_emitted, 34u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end TE pipelines on a small simulated network
+// ---------------------------------------------------------------------------
+
+class TEPipeline : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kHives = 4;
+  static constexpr std::size_t kSwitches = 12;
+
+  TEPipeline()
+      : topology_(kSwitches, 3, kHives), fabric_(TreeTopology(topology_)) {}
+
+  std::unique_ptr<SimCluster> run(AppSet& apps, Duration duration) {
+    ClusterConfig config;
+    config.n_hives = kHives;
+    config.hive.metrics_period = 0;
+    config.hive.timers_until = duration;
+    auto sim = std::make_unique<SimCluster>(config, apps);
+    sim->start();
+    fabric_.connect_all([&sim](HiveId hive, MessageEnvelope env) {
+      sim->hive(hive).inject(std::move(env));
+    });
+    sim->run_until(duration);
+    sim->run_to_idle();
+    return sim;
+  }
+
+  TreeTopology topology_;
+  NetworkFabric fabric_;
+};
+
+TEST_F(TEPipeline, NaiveInitializesEverySwitchAndReroutesHotFlows) {
+  AppSet apps;
+  apps.emplace<OpenFlowDriverApp>(&fabric_);
+  apps.emplace<DiscoveryApp>(&topology_);
+  apps.emplace<TENaiveApp>();
+  auto sim_ptr = run(apps, 5 * kSecond);
+  SimCluster& sim = *sim_ptr;
+
+  // All stat cells collapsed onto the single Route bee; its S dict holds
+  // one series per switch, each with several samples.
+  AppId te = apps.find_by_name("te.naive")->id();
+  std::size_t te_bees = 0;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app != te) continue;
+    ++te_bees;
+    Bee* bee = sim.hive(rec.hive).find_bee(rec.id);
+    ASSERT_NE(bee, nullptr);
+    const Dict* stats = bee->store().find_dict(TENaiveApp::kStatsDict);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->size(), kSwitches);
+    stats->for_each([](const std::string&, const Bytes& v) {
+      FlowSeriesEntry entry = decode_from_bytes<FlowSeriesEntry>(v);
+      EXPECT_GE(entry.samples, 2u);
+    });
+    // Topology arrived too (links shared with Route's whole-T map).
+    const Dict* topo = bee->store().find_dict(TENaiveApp::kTopoDict);
+    ASSERT_NE(topo, nullptr);
+    EXPECT_EQ(topo->size(), kSwitches - 1);
+  }
+  EXPECT_EQ(te_bees, 1u);
+  // Every hot flow got re-routed exactly once: 10% of 100 per switch.
+  EXPECT_EQ(fabric_.total_flow_mods(), kSwitches * 10);
+}
+
+TEST_F(TEPipeline, DecoupledKeepsStatCellsOnMasters) {
+  AppSet apps;
+  apps.emplace<OpenFlowDriverApp>(&fabric_);
+  apps.emplace<DiscoveryApp>(&topology_);
+  apps.emplace<TEDecoupledApp>();
+  auto sim_ptr = run(apps, 5 * kSecond);
+  SimCluster& sim = *sim_ptr;
+
+  AppId te = apps.find_by_name("te.decoupled")->id();
+  std::size_t stat_bees = 0;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app != te) continue;
+    for (const CellKey& cell : rec.cells) {
+      if (cell.dict == TEDecoupledApp::kStatsDict && !cell.is_whole_dict()) {
+        ++stat_bees;
+        // The stat cell for switch sw sits on sw's master hive.
+        auto sw = static_cast<SwitchId>(std::stoul(cell.key));
+        EXPECT_EQ(rec.hive, topology_.master_hive(sw)) << "switch " << sw;
+      }
+    }
+  }
+  EXPECT_EQ(stat_bees, kSwitches);
+  EXPECT_EQ(fabric_.total_flow_mods(), kSwitches * 10);
+}
+
+TEST_F(TEPipeline, DecoupledRouteLedgerCountsAlarms) {
+  AppSet apps;
+  apps.emplace<OpenFlowDriverApp>(&fabric_);
+  apps.emplace<DiscoveryApp>(&topology_);
+  apps.emplace<TEDecoupledApp>();
+  auto sim_ptr = run(apps, 5 * kSecond);
+  SimCluster& sim = *sim_ptr;
+
+  AppId te = apps.find_by_name("te.decoupled")->id();
+  bool found_ledger = false;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app != te) continue;
+    Bee* bee = sim.hive(rec.hive).find_bee(rec.id);
+    if (bee == nullptr) continue;
+    const Dict* route = bee->store().find_dict(TEDecoupledApp::kRouteDict);
+    if (route == nullptr || route->empty()) continue;
+    auto ledger = route->get_as<RouteLedger>("ledger");
+    ASSERT_TRUE(ledger.has_value());
+    EXPECT_GE(ledger->alarms_seen, kSwitches * 10);
+    EXPECT_EQ(ledger->flow_mods_emitted, ledger->alarms_seen);
+    found_ledger = true;
+  }
+  EXPECT_TRUE(found_ledger);
+}
+
+TEST_F(TEPipeline, RerouteActuallyCoolsTheNetwork) {
+  AppSet apps;
+  apps.emplace<OpenFlowDriverApp>(&fabric_);
+  apps.emplace<DiscoveryApp>(&topology_);
+  apps.emplace<TEDecoupledApp>();
+  auto sim_ptr = run(apps, 6 * kSecond);
+  SimCluster& sim = *sim_ptr;
+
+  // After the control loop has acted, (almost) no flow should still be
+  // above the threshold: the reroute factor drops hot flows below delta.
+  EXPECT_LE(fabric_.total_flows_above_threshold(sim.now()),
+            kSwitches);  // allow noise-edge stragglers
+}
+
+TEST_F(TEPipeline, DiscoveryAnnouncesEachUplinkOnce) {
+  AppSet apps;
+  apps.emplace<OpenFlowDriverApp>(&fabric_);
+  apps.emplace<DiscoveryApp>(&topology_);
+  apps.emplace<TENaiveApp>();
+  auto sim_ptr = run(apps, 3 * kSecond);
+  SimCluster& sim = *sim_ptr;
+
+  // The naive Route bee holds T: exactly one entry per tree link, even
+  // though SwitchJoined may be re-emitted on reconnects.
+  fabric_.connect(5, [&sim](HiveId hive, MessageEnvelope env) {
+    sim.hive(hive).inject(std::move(env));
+  });
+  sim.run_to_idle();
+
+  AppId te = apps.find_by_name("te.naive")->id();
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app != te) continue;
+    Bee* bee = sim.hive(rec.hive).find_bee(rec.id);
+    const Dict* topo = bee->store().find_dict(TENaiveApp::kTopoDict);
+    ASSERT_NE(topo, nullptr);
+    EXPECT_EQ(topo->size(), kSwitches - 1);
+  }
+}
+
+TEST_F(TEPipeline, BehaviourPreservedAcrossClusterSizes) {
+  // Invariant 6 on the real application: the number of FlowMods applied is
+  // the same whether TE runs on 1 hive or on 4.
+  auto flow_mods_with_hives = [this](std::size_t n_hives) {
+    AppSet apps;
+    TreeTopology topo(kSwitches, 3, n_hives);
+    NetworkFabric fabric{TreeTopology(topo)};
+    apps.emplace<OpenFlowDriverApp>(&fabric);
+    apps.emplace<DiscoveryApp>(&topo);
+    apps.emplace<TEDecoupledApp>();
+    ClusterConfig config;
+    config.n_hives = n_hives;
+    config.hive.metrics_period = 0;
+    config.hive.timers_until = 5 * kSecond;
+    SimCluster sim(config, apps);
+    sim.start();
+    fabric.connect_all([&sim](HiveId hive, MessageEnvelope env) {
+      sim.hive(hive).inject(std::move(env));
+    });
+    sim.run_until(5 * kSecond);
+    sim.run_to_idle();
+    return fabric.total_flow_mods();
+  };
+  EXPECT_EQ(flow_mods_with_hives(1), flow_mods_with_hives(4));
+}
+
+}  // namespace
+}  // namespace beehive
