@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causation_report.dir/causation_report.cpp.o"
+  "CMakeFiles/causation_report.dir/causation_report.cpp.o.d"
+  "causation_report"
+  "causation_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causation_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_te.dir/fig4_te.cpp.o"
+  "CMakeFiles/fig4_te.dir/fig4_te.cpp.o.d"
+  "fig4_te"
+  "fig4_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kandoo_emulation.dir/kandoo_emulation.cpp.o"
+  "CMakeFiles/kandoo_emulation.dir/kandoo_emulation.cpp.o.d"
+  "kandoo_emulation"
+  "kandoo_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kandoo_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

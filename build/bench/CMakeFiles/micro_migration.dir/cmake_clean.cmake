@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_migration.dir/micro_migration.cpp.o"
+  "CMakeFiles/micro_migration.dir/micro_migration.cpp.o.d"
+  "micro_migration"
+  "micro_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

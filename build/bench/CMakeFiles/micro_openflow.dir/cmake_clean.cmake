@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_openflow.dir/micro_openflow.cpp.o"
+  "CMakeFiles/micro_openflow.dir/micro_openflow.cpp.o.d"
+  "micro_openflow"
+  "micro_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_registry.dir/micro_registry.cpp.o"
+  "CMakeFiles/micro_registry.dir/micro_registry.cpp.o.d"
+  "micro_registry"
+  "micro_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

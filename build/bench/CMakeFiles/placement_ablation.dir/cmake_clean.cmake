@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_ablation.dir/placement_ablation.cpp.o"
+  "CMakeFiles/placement_ablation.dir/placement_ablation.cpp.o.d"
+  "placement_ablation"
+  "placement_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usecase_apps.dir/usecase_apps.cpp.o"
+  "CMakeFiles/usecase_apps.dir/usecase_apps.cpp.o.d"
+  "usecase_apps"
+  "usecase_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usecase_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kandoo_learning_switch.dir/kandoo_learning_switch.cpp.o"
+  "CMakeFiles/kandoo_learning_switch.dir/kandoo_learning_switch.cpp.o.d"
+  "kandoo_learning_switch"
+  "kandoo_learning_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kandoo_learning_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

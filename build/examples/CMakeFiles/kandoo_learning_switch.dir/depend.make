@@ -1,0 +1,2 @@
+# Empty dependencies file for kandoo_learning_switch.
+# This may be replaced when dependencies are built.

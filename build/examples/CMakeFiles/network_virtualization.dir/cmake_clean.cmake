@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_virtualization.dir/network_virtualization.cpp.o"
+  "CMakeFiles/network_virtualization.dir/network_virtualization.cpp.o.d"
+  "network_virtualization"
+  "network_virtualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

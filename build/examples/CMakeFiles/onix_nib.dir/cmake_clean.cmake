@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onix_nib.dir/onix_nib.cpp.o"
+  "CMakeFiles/onix_nib.dir/onix_nib.cpp.o.d"
+  "onix_nib"
+  "onix_nib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onix_nib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for onix_nib.
+# This may be replaced when dependencies are built.

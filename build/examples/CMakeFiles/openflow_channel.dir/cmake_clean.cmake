@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openflow_channel.dir/openflow_channel.cpp.o"
+  "CMakeFiles/openflow_channel.dir/openflow_channel.cpp.o.d"
+  "openflow_channel"
+  "openflow_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openflow_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/discovery.cpp" "src/CMakeFiles/beehive.dir/apps/discovery.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/apps/discovery.cpp.o.d"
+  "/root/repo/src/apps/host_location.cpp" "src/CMakeFiles/beehive.dir/apps/host_location.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/apps/host_location.cpp.o.d"
+  "/root/repo/src/apps/kandoo_elephant.cpp" "src/CMakeFiles/beehive.dir/apps/kandoo_elephant.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/apps/kandoo_elephant.cpp.o.d"
+  "/root/repo/src/apps/learning_switch.cpp" "src/CMakeFiles/beehive.dir/apps/learning_switch.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/apps/learning_switch.cpp.o.d"
+  "/root/repo/src/apps/messages.cpp" "src/CMakeFiles/beehive.dir/apps/messages.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/apps/messages.cpp.o.d"
+  "/root/repo/src/apps/netvirt.cpp" "src/CMakeFiles/beehive.dir/apps/netvirt.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/apps/netvirt.cpp.o.d"
+  "/root/repo/src/apps/nib.cpp" "src/CMakeFiles/beehive.dir/apps/nib.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/apps/nib.cpp.o.d"
+  "/root/repo/src/apps/routing.cpp" "src/CMakeFiles/beehive.dir/apps/routing.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/apps/routing.cpp.o.d"
+  "/root/repo/src/apps/te_decoupled.cpp" "src/CMakeFiles/beehive.dir/apps/te_decoupled.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/apps/te_decoupled.cpp.o.d"
+  "/root/repo/src/apps/te_naive.cpp" "src/CMakeFiles/beehive.dir/apps/te_naive.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/apps/te_naive.cpp.o.d"
+  "/root/repo/src/cluster/channel.cpp" "src/CMakeFiles/beehive.dir/cluster/channel.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/cluster/channel.cpp.o.d"
+  "/root/repo/src/cluster/registry.cpp" "src/CMakeFiles/beehive.dir/cluster/registry.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/cluster/registry.cpp.o.d"
+  "/root/repo/src/cluster/sim.cpp" "src/CMakeFiles/beehive.dir/cluster/sim.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/cluster/sim.cpp.o.d"
+  "/root/repo/src/cluster/thread_cluster.cpp" "src/CMakeFiles/beehive.dir/cluster/thread_cluster.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/cluster/thread_cluster.cpp.o.d"
+  "/root/repo/src/core/app.cpp" "src/CMakeFiles/beehive.dir/core/app.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/core/app.cpp.o.d"
+  "/root/repo/src/core/hive.cpp" "src/CMakeFiles/beehive.dir/core/hive.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/core/hive.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/CMakeFiles/beehive.dir/core/migration.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/core/migration.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/CMakeFiles/beehive.dir/core/replication.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/core/replication.cpp.o.d"
+  "/root/repo/src/instrument/collector.cpp" "src/CMakeFiles/beehive.dir/instrument/collector.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/instrument/collector.cpp.o.d"
+  "/root/repo/src/instrument/failure_detector.cpp" "src/CMakeFiles/beehive.dir/instrument/failure_detector.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/instrument/failure_detector.cpp.o.d"
+  "/root/repo/src/instrument/metrics.cpp" "src/CMakeFiles/beehive.dir/instrument/metrics.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/instrument/metrics.cpp.o.d"
+  "/root/repo/src/msg/registry.cpp" "src/CMakeFiles/beehive.dir/msg/registry.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/msg/registry.cpp.o.d"
+  "/root/repo/src/net/connection.cpp" "src/CMakeFiles/beehive.dir/net/connection.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/net/connection.cpp.o.d"
+  "/root/repo/src/net/driver.cpp" "src/CMakeFiles/beehive.dir/net/driver.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/net/driver.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/beehive.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/openflow.cpp" "src/CMakeFiles/beehive.dir/net/openflow.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/net/openflow.cpp.o.d"
+  "/root/repo/src/net/switch_sim.cpp" "src/CMakeFiles/beehive.dir/net/switch_sim.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/net/switch_sim.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/beehive.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/net/topology.cpp.o.d"
+  "/root/repo/src/placement/strategy.cpp" "src/CMakeFiles/beehive.dir/placement/strategy.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/placement/strategy.cpp.o.d"
+  "/root/repo/src/state/dict.cpp" "src/CMakeFiles/beehive.dir/state/dict.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/state/dict.cpp.o.d"
+  "/root/repo/src/state/store.cpp" "src/CMakeFiles/beehive.dir/state/store.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/state/store.cpp.o.d"
+  "/root/repo/src/state/txn.cpp" "src/CMakeFiles/beehive.dir/state/txn.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/state/txn.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/beehive.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/beehive.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/beehive.dir/util/logging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

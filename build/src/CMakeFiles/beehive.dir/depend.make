@@ -1,0 +1,2 @@
+# Empty dependencies file for beehive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig4_shapes.dir/test_fig4_shapes.cpp.o"
+  "CMakeFiles/test_fig4_shapes.dir/test_fig4_shapes.cpp.o.d"
+  "test_fig4_shapes"
+  "test_fig4_shapes.pdb"
+  "test_fig4_shapes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig4_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

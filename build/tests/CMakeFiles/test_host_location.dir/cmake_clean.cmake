@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_location.dir/test_host_location.cpp.o"
+  "CMakeFiles/test_host_location.dir/test_host_location.cpp.o.d"
+  "test_host_location"
+  "test_host_location.pdb"
+  "test_host_location[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

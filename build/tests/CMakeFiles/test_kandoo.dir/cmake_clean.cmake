@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kandoo.dir/test_kandoo.cpp.o"
+  "CMakeFiles/test_kandoo.dir/test_kandoo.cpp.o.d"
+  "test_kandoo"
+  "test_kandoo.pdb"
+  "test_kandoo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kandoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_te_apps.dir/test_te_apps.cpp.o"
+  "CMakeFiles/test_te_apps.dir/test_te_apps.cpp.o.d"
+  "test_te_apps"
+  "test_te_apps.pdb"
+  "test_te_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_te_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_cluster.dir/test_thread_cluster.cpp.o"
+  "CMakeFiles/test_thread_cluster.dir/test_thread_cluster.cpp.o.d"
+  "test_thread_cluster"
+  "test_thread_cluster.pdb"
+  "test_thread_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

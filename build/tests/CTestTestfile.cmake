@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_foundation[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_instrument[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_fig4_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_replication[1]_include.cmake")
+include("/root/repo/build/tests/test_host_location[1]_include.cmake")
+include("/root/repo/build/tests/test_core_units[1]_include.cmake")
+include("/root/repo/build/tests/test_te_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_kandoo[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_openflow[1]_include.cmake")
+include("/root/repo/build/tests/test_connection[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_failures[1]_include.cmake")
