@@ -89,7 +89,10 @@ void print_matrix_panel(const char* panel, const char* title,
 int main(int argc, char** argv) {
   TEParams params;
   // --small keeps CI / smoke runs quick (defaults match the paper);
-  // --csv additionally exports the raw matrices and series.
+  // --csv additionally exports the raw matrices and series;
+  // --trace additionally records spans and writes one Chrome trace-event
+  // JSON per scenario (fig4_<scenario>_trace.json, Perfetto-loadable).
+  bool trace = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--small") == 0) {
       params.n_hives = 8;
@@ -97,6 +100,9 @@ int main(int argc, char** argv) {
       params.duration = 12 * beehive::kSecond;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       g_write_csv = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+      params.tracing = true;
     }
   }
 
@@ -108,6 +114,7 @@ int main(int argc, char** argv) {
                   static_cast<double>(beehive::kSecond));
 
   std::printf("\n=== scenario 1/3: naive TE (Fig 4 a, d) ===\n");
+  if (trace) params.trace_path = "fig4_naive_trace.json";
   TEResult naive = run_te_scenario(TEMode::kNaive, params);
   print_matrix_panel("a", "naive TE", naive);
   print_series("\nFig 4d: naive TE", naive.kbps);
@@ -115,6 +122,7 @@ int main(int argc, char** argv) {
   maybe_write_csv("a", "d", naive);
 
   std::printf("\n=== scenario 2/3: decoupled TE (Fig 4 b, e) ===\n");
+  if (trace) params.trace_path = "fig4_decoupled_trace.json";
   TEResult decoupled = run_te_scenario(TEMode::kDecoupled, params);
   print_matrix_panel("b", "decoupled TE", decoupled);
   print_series("\nFig 4e: decoupled TE", decoupled.kbps);
@@ -122,6 +130,7 @@ int main(int argc, char** argv) {
   maybe_write_csv("b", "e", decoupled);
 
   std::printf("\n=== scenario 3/3: runtime-optimized TE (Fig 4 c, f) ===\n");
+  if (trace) params.trace_path = "fig4_optimized_trace.json";
   TEResult optimized = run_te_scenario(TEMode::kOptimized, params);
   print_matrix_panel("c", "optimized TE", optimized);
   print_series("\nFig 4f: optimized TE", optimized.kbps);

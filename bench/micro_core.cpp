@@ -3,6 +3,8 @@
 // transactions, and state snapshots (the unit of migration cost).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "apps/messages.h"
 #include "apps/te_common.h"
 #include "cluster/sim.h"
@@ -152,6 +154,40 @@ void BM_RemoteDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_RemoteDispatch);
 
+void BM_LocalDispatchTraced(benchmark::State& state) {
+  // Same as BM_LocalDispatch with span recording on: the delta is the
+  // tracing overhead per message.
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  ClusterConfig config;
+  config.n_hives = 1;
+  config.hive.metrics_period = 0;
+  config.tracing = true;
+  SimCluster sim(config, apps);
+  sim.start();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    sim.hive(0).inject(
+        MessageEnvelope::make(Incr{"k", 1}, 0, kNoBee, 0, sim.now()));
+    sim.run_to_idle();
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LocalDispatchTraced);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram h;
+  Duration v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = (v * 2654435761u + 1) & ((1 << 22) - 1);  // cheap value spread
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
+
 void BM_DispatchFanout(benchmark::State& state) {
   // Cost of one injected message as the number of distinct cells grows:
   // routing stays O(1) per message regardless of cell population.
@@ -180,7 +216,58 @@ void BM_DispatchFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_DispatchFanout)->Arg(16)->Arg(256)->Arg(4096);
 
+// ---------------------------------------------------------------------------
+// Latency probe: a small 2-hive workload with tracing on, reporting the
+// platform's own histogram percentiles (virtual-clock microseconds).
+// ---------------------------------------------------------------------------
+
+void run_latency_probe() {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  ClusterConfig config;
+  config.n_hives = 2;
+  config.hive.metrics_period = 0;
+  config.tracing = true;
+  SimCluster sim(config, apps);
+  sim.start();
+  // Odd key modulus vs. alternating ingress hive: roughly half the
+  // messages land on the other hive's bee and cross the wire, so the
+  // distribution mixes instant local hops with 200us channel hops.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const HiveId at = static_cast<HiveId>(i % 2);
+    sim.hive(at).inject(MessageEnvelope::make(
+        Incr{"k" + std::to_string(i % 7), 1}, 0, kNoBee, at, sim.now()));
+    sim.run_for(100 * kMicrosecond);
+  }
+  sim.run_to_idle();
+
+  LatencyHistogram queue, handler, e2e;
+  for (HiveId h = 0; h < 2; ++h) {
+    queue.merge(sim.hive(h).queue_latency());
+    handler.merge(sim.hive(h).handler_latency());
+    e2e.merge(sim.hive(h).e2e_latency());
+  }
+  std::printf(
+      "\nlatency probe (2 hives, 1000 msgs, sim us): "
+      "queue p50=%llu p99=%llu | handler p50=%llu p99=%llu | "
+      "e2e p50=%llu p99=%llu (n=%llu)\n",
+      static_cast<unsigned long long>(queue.p50()),
+      static_cast<unsigned long long>(queue.p99()),
+      static_cast<unsigned long long>(handler.p50()),
+      static_cast<unsigned long long>(handler.p99()),
+      static_cast<unsigned long long>(e2e.p50()),
+      static_cast<unsigned long long>(e2e.p99()),
+      static_cast<unsigned long long>(e2e.count()));
+}
+
 }  // namespace
 }  // namespace beehive
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  beehive::run_latency_probe();
+  return 0;
+}

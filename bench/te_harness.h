@@ -18,6 +18,8 @@
 #include "apps/te_naive.h"
 #include "cluster/sim.h"
 #include "instrument/collector.h"
+#include "instrument/histogram.h"
+#include "instrument/trace.h"
 #include "net/driver.h"
 #include "net/fabric.h"
 #include "placement/strategy.h"
@@ -45,6 +47,10 @@ struct TEParams {
   /// ("we artificially assign the cells of all switches to the bees on the
   /// first hive", paper §5).
   HiveId pin_hive = 1;
+  /// Record span events; when `trace_path` is set, export them as Chrome
+  /// trace-event JSON (load in Perfetto / chrome://tracing).
+  bool tracing = false;
+  std::string trace_path;
 };
 
 struct TEResult {
@@ -65,6 +71,10 @@ struct TEResult {
   /// initial merges and (in kOptimized) the migration wave have settled.
   double tail_locality = 0.0;
   double tail_kbps = 0.0;
+  /// Latency distributions merged across every hive (microseconds).
+  LatencyHistogram queue_latency;    ///< emission -> handler start
+  LatencyHistogram handler_latency;  ///< handler duration (0 in sim)
+  LatencyHistogram e2e_latency;      ///< trace ingress -> terminal handler
 };
 
 inline TEResult run_te_scenario(TEMode mode, const TEParams& params) {
@@ -108,6 +118,7 @@ inline TEResult run_te_scenario(TEMode mode, const TEParams& params) {
   ClusterConfig cluster_config;
   cluster_config.n_hives = params.n_hives;
   cluster_config.seed = params.seed;
+  cluster_config.tracing = params.tracing;
   cluster_config.hive.metrics_period = kSecond;
   cluster_config.hive.timers_until = params.duration;
   SimCluster sim(cluster_config, apps);
@@ -194,6 +205,18 @@ inline TEResult run_te_scenario(TEMode mode, const TEParams& params) {
   for (const BeeRecord& rec : sim.registry().live_bees()) {
     if (rec.app == te_id) ++result.te_bees;
   }
+
+  for (HiveId i = 0; i < params.n_hives; ++i) {
+    result.queue_latency.merge(sim.hive(i).queue_latency());
+    result.handler_latency.merge(sim.hive(i).handler_latency());
+    result.e2e_latency.merge(sim.hive(i).e2e_latency());
+  }
+  if (params.tracing && !params.trace_path.empty()) {
+    if (!write_chrome_trace(params.trace_path, sim.trace_events())) {
+      std::fprintf(stderr, "warning: failed to write trace to %s\n",
+                   params.trace_path.c_str());
+    }
+  }
   return result;
 }
 
@@ -202,6 +225,19 @@ inline void print_series(const char* label, const std::vector<double>& kbps) {
   for (std::size_t t = 0; t < kbps.size(); ++t) {
     std::printf("  %2zu  %10.1f\n", t, kbps[t]);
   }
+}
+
+inline void print_latency(const char* label, const TEResult& r) {
+  std::printf(
+      "%s latency (us): queue p50=%llu p99=%llu | handler p50=%llu "
+      "p99=%llu | e2e p50=%llu p99=%llu (n=%llu)\n",
+      label, static_cast<unsigned long long>(r.queue_latency.p50()),
+      static_cast<unsigned long long>(r.queue_latency.p99()),
+      static_cast<unsigned long long>(r.handler_latency.p50()),
+      static_cast<unsigned long long>(r.handler_latency.p99()),
+      static_cast<unsigned long long>(r.e2e_latency.p50()),
+      static_cast<unsigned long long>(r.e2e_latency.p99()),
+      static_cast<unsigned long long>(r.e2e_latency.count()));
 }
 
 inline void print_summary(const char* label, const TEResult& r) {
@@ -221,6 +257,7 @@ inline void print_summary(const char* label, const TEResult& r) {
       r.tail_kbps, r.hotspot_share, r.locality, r.tail_locality, r.te_bees,
       static_cast<unsigned long long>(r.flow_mods),
       static_cast<unsigned long long>(r.migrations));
+  print_latency(label, r);
 }
 
 }  // namespace beehive::bench

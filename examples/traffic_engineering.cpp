@@ -8,13 +8,18 @@
 // plus the optimizer live-migrating stat bees next to their switches.
 //
 // Build & run:  ./build/examples/traffic_engineering
+// Pass --trace <path.json> to record every span of the third phase and
+// export a Chrome trace-event file (open in Perfetto / chrome://tracing).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "apps/discovery.h"
 #include "apps/te_decoupled.h"
 #include "apps/te_naive.h"
 #include "cluster/sim.h"
 #include "instrument/collector.h"
+#include "instrument/trace.h"
 #include "net/driver.h"
 #include "net/fabric.h"
 
@@ -29,9 +34,14 @@ struct Outcome {
   std::uint64_t wire_kb = 0;
   std::uint64_t migrations = 0;
   std::uint64_t flow_mods = 0;
+  std::uint64_t queue_p50 = 0;
+  std::uint64_t queue_p99 = 0;
+  std::uint64_t e2e_p50 = 0;
+  std::uint64_t e2e_p99 = 0;
 };
 
-Outcome run(bool decoupled, bool optimize, bool pin_to_one_hive = false) {
+Outcome run(bool decoupled, bool optimize, bool pin_to_one_hive = false,
+            const std::string& trace_path = {}) {
   constexpr std::size_t kHives = 10;
   constexpr std::size_t kSwitches = 100;
 
@@ -62,6 +72,7 @@ Outcome run(bool decoupled, bool optimize, bool pin_to_one_hive = false) {
   config.n_hives = kHives;
   config.hive.metrics_period = kSecond;
   config.hive.timers_until = 20 * kSecond;
+  config.tracing = !trace_path.empty();
   SimCluster sim(config, apps);
   if (pin_to_one_hive) {
     // Paper §5, "Optimization": start from a pathological placement —
@@ -101,6 +112,23 @@ Outcome run(bool decoupled, bool optimize, bool pin_to_one_hive = false) {
   out.hotspot = sim.meter().hotspot_share();
   out.wire_kb = sim.meter().total_bytes() / 1024;
   out.flow_mods = fabric.total_flow_mods();
+  LatencyHistogram queue, e2e;
+  for (HiveId h = 0; h < kHives; ++h) {
+    queue.merge(sim.hive(h).queue_latency());
+    e2e.merge(sim.hive(h).e2e_latency());
+  }
+  out.queue_p50 = queue.p50();
+  out.queue_p99 = queue.p99();
+  out.e2e_p50 = e2e.p50();
+  out.e2e_p99 = e2e.p99();
+  if (!trace_path.empty()) {
+    if (write_chrome_trace(trace_path, sim.trace_events())) {
+      std::printf("  (wrote Chrome trace JSON: %s)\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "  (failed to write Chrome trace to %s)\n",
+                   trace_path.c_str());
+    }
+  }
   return out;
 }
 
@@ -115,13 +143,29 @@ void report(const char* title, const Outcome& o) {
               static_cast<unsigned long long>(o.wire_kb));
   std::printf("  bee migrations:        %llu\n",
               static_cast<unsigned long long>(o.migrations));
-  std::printf("  flows re-routed:       %llu\n\n",
+  std::printf("  flows re-routed:       %llu\n",
               static_cast<unsigned long long>(o.flow_mods));
+  std::printf("  queue latency (us):    p50=%llu p99=%llu\n",
+              static_cast<unsigned long long>(o.queue_p50),
+              static_cast<unsigned long long>(o.queue_p99));
+  std::printf("  e2e latency (us):      p50=%llu p99=%llu\n\n",
+              static_cast<unsigned long long>(o.e2e_p50),
+              static_cast<unsigned long long>(o.e2e_p99));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 < argc) {
+        trace_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "--trace requires a path; running untraced\n");
+      }
+    }
+  }
   std::printf("Traffic Engineering on Beehive: 10 controllers, 100 "
               "switches, 100 flows each, 20 s\n\n");
 
@@ -138,8 +182,8 @@ int main() {
   std::printf("  >> stat cells stayed per-switch; Route only receives rare "
               "aggregated alarms.\n\n");
 
-  Outcome optimized =
-      run(/*decoupled=*/true, /*optimize=*/true, /*pin_to_one_hive=*/true);
+  Outcome optimized = run(/*decoupled=*/true, /*optimize=*/true,
+                          /*pin_to_one_hive=*/true, trace_path);
   report(
       "[3/3] decoupled TE, stat cells artificially pinned to hive 1, then "
       "greedy runtime optimization:",

@@ -13,9 +13,16 @@ SimCluster::SimCluster(ClusterConfig config, const AppSet& apps)
   assert(config_.n_hives > 0);
   config_.hive.n_hives = config_.n_hives;
   hives_.reserve(config_.n_hives);
+  if (config_.tracing) tracers_.reserve(config_.n_hives);
   for (HiveId id = 0; id < config_.n_hives; ++id) {
+    HiveConfig hc = config_.hive;
+    if (config_.tracing) {
+      tracers_.push_back(
+          std::make_unique<TraceRecorder>(config_.trace_capacity));
+      hc.tracer = tracers_.back().get();
+    }
     hives_.push_back(
-        std::make_unique<Hive>(id, apps, registry_, *this, config_.hive));
+        std::make_unique<Hive>(id, apps, registry_, *this, hc));
   }
 }
 
@@ -40,11 +47,30 @@ void SimCluster::send_frame(HiveId from, HiveId to, Bytes frame) {
   assert(from < hives_.size() && to < hives_.size());
   if (!hive_alive(from) || !hive_alive(to)) return;  // crash = silence
   meter_.record(from, to, frame.size(), now_);
+  // Channel transit spans: send on the source recorder, receive on the
+  // destination's, paired by the event sequence number of the delivery.
+  const std::uint64_t frame_seq = next_seq_;
+  const auto kind = frame.empty()
+                        ? MsgTypeId{0}
+                        : static_cast<MsgTypeId>(
+                              static_cast<unsigned char>(frame[0]));
+  const auto bytes = static_cast<std::uint32_t>(frame.size());
+  if (TraceRecorder* t = tracer(from); t != nullptr) {
+    t->record(TraceEvent{now_, SpanKind::kChannelSend, bytes, 0, from, kNoBee,
+                         0, kind, frame_seq, to});
+  }
   Hive* target = hives_[to].get();
-  events_.push(Event{now_ + config_.wire_latency, next_seq_++,
-                     [this, to, target, f = std::move(frame)]() {
-                       if (hive_alive(to)) target->on_wire(f);
-                     }});
+  events_.push(
+      Event{now_ + config_.wire_latency, next_seq_++,
+            [this, from, to, target, frame_seq, kind, bytes,
+             f = std::move(frame)]() {
+              if (!hive_alive(to)) return;
+              if (TraceRecorder* t = tracer(to); t != nullptr) {
+                t->record(TraceEvent{now_, SpanKind::kChannelRecv, bytes, 0,
+                                     from, kNoBee, 0, kind, frame_seq, to});
+              }
+              target->on_wire(f);
+            }});
 }
 
 bool SimCluster::step() {
@@ -79,6 +105,13 @@ void SimCluster::fail_hive(HiveId hive) {
         "fail_hive: the registry master cannot be failed");
   }
   failed_.insert(hive);
+}
+
+std::vector<TraceEvent> SimCluster::trace_events() const {
+  std::vector<const TraceRecorder*> recorders;
+  recorders.reserve(tracers_.size());
+  for (const auto& t : tracers_) recorders.push_back(t.get());
+  return merge_trace_events(recorders);
 }
 
 std::size_t SimCluster::recover_hive(HiveId hive) {

@@ -30,6 +30,12 @@ struct ClusterConfig {
   Duration bw_bucket = kSecond;
   HiveId registry_hive = 0;
   std::uint64_t seed = 42;
+  /// Record span events (one TraceRecorder per hive) for the Chrome trace
+  /// exporter. Off by default: the dispatch path then never allocates or
+  /// branches past one null check per span site.
+  bool tracing = false;
+  /// Ring capacity (events) of each per-hive recorder.
+  std::size_t trace_capacity = 1 << 16;
   HiveConfig hive;
 };
 
@@ -88,6 +94,15 @@ class SimCluster final : public RuntimeEnv {
   RegistryService& registry() { return registry_; }
   const ClusterConfig& config() const { return config_; }
 
+  /// Per-hive span recorder (nullptr when tracing is off).
+  TraceRecorder* tracer(HiveId id) {
+    return id < tracers_.size() ? tracers_[id].get() : nullptr;
+  }
+
+  /// All hives' recorded spans, merged into causal display order. Empty
+  /// when tracing is off.
+  std::vector<TraceEvent> trace_events() const;
+
  private:
   struct Event {
     TimePoint at;
@@ -103,6 +118,7 @@ class SimCluster final : public RuntimeEnv {
   ChannelMeter meter_;
   RegistryService registry_;
   Xoshiro256 rng_;
+  std::vector<std::unique_ptr<TraceRecorder>> tracers_;
   std::vector<std::unique_ptr<Hive>> hives_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::unordered_set<HiveId> failed_;

@@ -13,10 +13,16 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
   assert(config_.n_hives > 0);
   config_.hive.n_hives = config_.n_hives;
   nodes_.reserve(config_.n_hives);
+  if (config_.tracing) tracers_.reserve(config_.n_hives);
   for (HiveId id = 0; id < config_.n_hives; ++id) {
+    HiveConfig hc = config_.hive;
+    if (config_.tracing) {
+      tracers_.push_back(
+          std::make_unique<TraceRecorder>(config_.trace_capacity));
+      hc.tracer = tracers_.back().get();
+    }
     auto node = std::make_unique<Node>();
-    node->hive =
-        std::make_unique<Hive>(id, apps, registry_, *this, config_.hive);
+    node->hive = std::make_unique<Hive>(id, apps, registry_, *this, hc);
     nodes_.push_back(std::move(node));
   }
 }
@@ -70,10 +76,38 @@ void ThreadCluster::schedule_after(HiveId hive, Duration delay,
 void ThreadCluster::send_frame(HiveId from, HiveId to, Bytes frame) {
   assert(from < nodes_.size() && to < nodes_.size());
   meter_.record(from, to, frame.size(), now());
+  // Channel transit spans paired by a cluster-unique frame sequence. The
+  // send side records on the source hive's recorder (we are on its loop
+  // thread), the receive side on the target's — each recorder stays
+  // single-writer.
+  const std::uint64_t frame_seq = next_seq_.fetch_add(1);
+  const auto kind = frame.empty()
+                        ? MsgTypeId{0}
+                        : static_cast<MsgTypeId>(
+                              static_cast<unsigned char>(frame[0]));
+  const auto bytes = static_cast<std::uint32_t>(frame.size());
+  if (TraceRecorder* t = tracer(from); t != nullptr) {
+    t->record(TraceEvent{now(), SpanKind::kChannelSend, bytes, 0, from,
+                         kNoBee, 0, kind, frame_seq, to});
+  }
   Hive* target = nodes_[to]->hive.get();
   // Delivery runs on the target hive's loop thread, preserving the
   // single-threaded-per-hive execution discipline.
-  post(to, [target, f = std::move(frame)]() { target->on_wire(f); });
+  post(to, [this, from, to, target, frame_seq, kind, bytes,
+            f = std::move(frame)]() {
+    if (TraceRecorder* t = tracer(to); t != nullptr) {
+      t->record(TraceEvent{now(), SpanKind::kChannelRecv, bytes, 0, from,
+                           kNoBee, 0, kind, frame_seq, to});
+    }
+    target->on_wire(f);
+  });
+}
+
+std::vector<TraceEvent> ThreadCluster::trace_events() const {
+  std::vector<const TraceRecorder*> recorders;
+  recorders.reserve(tracers_.size());
+  for (const auto& t : tracers_) recorders.push_back(t.get());
+  return merge_trace_events(recorders);
 }
 
 void ThreadCluster::loop(Node& node) {

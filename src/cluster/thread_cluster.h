@@ -30,6 +30,10 @@ struct ThreadClusterConfig {
   Duration bw_bucket = kSecond;
   HiveId registry_hive = 0;
   std::uint64_t seed = 42;
+  /// Record span events for the Chrome trace exporter (per-hive
+  /// recorders; each hive's spans are written only from its loop thread).
+  bool tracing = false;
+  std::size_t trace_capacity = 1 << 16;
   HiveConfig hive;
 };
 
@@ -61,6 +65,15 @@ class ThreadCluster final : public RuntimeEnv {
   std::size_t n_hives() const { return nodes_.size(); }
   ChannelMeter& meter() { return meter_; }
   RegistryService& registry() { return registry_; }
+
+  /// Per-hive span recorder (nullptr when tracing is off).
+  TraceRecorder* tracer(HiveId id) {
+    return id < tracers_.size() ? tracers_[id].get() : nullptr;
+  }
+
+  /// All hives' recorded spans in display order. Call only when the
+  /// cluster is stopped or idle (recorders are not locked).
+  std::vector<TraceEvent> trace_events() const;
 
   /// Posts `fn` onto a hive's loop thread (e.g. to inject messages with
   /// correct threading) and returns immediately.
@@ -96,6 +109,7 @@ class ThreadCluster final : public RuntimeEnv {
   ThreadClusterConfig config_;
   ChannelMeter meter_;
   RegistryService registry_;
+  std::vector<std::unique_ptr<TraceRecorder>> tracers_;
   Xoshiro256 rng_;  // guarded by rng_mutex_
   std::mutex rng_mutex_;
   std::vector<std::unique_ptr<Node>> nodes_;

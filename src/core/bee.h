@@ -110,6 +110,15 @@ class Bee {
     total_.on_emit(in_reply_to, emitted, bytes);
   }
 
+  /// Records one handler run's latency pair: `queued` = emission to
+  /// handler-start, `ran` = handler-start to handler-end.
+  void note_latency(Duration queued, Duration ran) {
+    window_.queue_latency.record(queued);
+    total_.queue_latency.record(queued);
+    window_.handler_latency.record(ran);
+    total_.handler_latency.record(ran);
+  }
+
   void reset_window() { window_ = BeeMetrics{}; }
 
  private:

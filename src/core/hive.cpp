@@ -25,7 +25,28 @@ void Hive::start() {
 
 void Hive::inject(MessageEnvelope env) {
   ++counters_.injected;
+  ensure_trace(env);
+  trace_span(SpanKind::kIngress, env, kNoBee);
   route(env);
+}
+
+void Hive::ensure_trace(MessageEnvelope& env) {
+  if (env.trace_id() != 0) return;
+  // Root ids are minted deterministically — (hive+1) tag over a per-hive
+  // counter — so simulated runs stay bit-reproducible with tracing on.
+  // hive+1 keeps trace 0 reserved for "untraced".
+  std::uint64_t id = (static_cast<std::uint64_t>(id_) + 1) << 40 |
+                     ++next_trace_;
+  env.set_trace(id, 0, env_.now());
+}
+
+bool Hive::e2e_eligible(const MessageEnvelope& env) {
+  if (env.trace_id() == 0) return false;
+  if (env.causal_depth() > 0) return true;
+  // Terminal depth-0 platform self-messages (timer ticks with no emission,
+  // metrics reports) would swamp the distribution with pure queue delays.
+  return env.type() != msg_type_id<TimerTick>() &&
+         env.type() != msg_type_id<LocalMetricsReport>();
 }
 
 // ---------------------------------------------------------------------------
@@ -49,6 +70,7 @@ void Hive::dispatch_mapped(App& app, const HandlerBinding& binding,
 
   ResolveOutcome out = registry_client_.resolve_or_create(
       app.id(), cells, app.pinned(), env_.now());
+  trace_span(SpanKind::kRegistryResolve, env, out.bee, out.hive);
   if (!out.losers.empty()) {
     ++counters_.merges_started;
     start_merges(app.id(), out);
@@ -112,6 +134,7 @@ void Hive::deliver_local(Bee& bee, const MessageEnvelope& env,
   // Hold when the transfer fence is up — and also behind an existing
   // holdback, so per-bee arrival order is preserved.
   if (bee.blocked() || bee.holdback_size() > 0) {
+    trace_span(SpanKind::kHold, env, bee.id());
     bee.hold(env);
     return;
   }
@@ -128,8 +151,14 @@ void Hive::process(Bee& bee, const MessageEnvelope& env) {
   bee.window().handler_invocations += 1;
   bee.total().handler_invocations += 1;
 
+  const TimePoint started = env_.now();
+  Duration queued = started - env.emitted_at();
+  if (queued < 0) queued = 0;
+  trace_span(SpanKind::kHandlerStart, env, bee.id());
+
   AppContext ctx(bee.store(), std::move(bound->policy), app->id(), bee.id(),
-                 id_, env_.now(), env.type());
+                 id_, started, env.type());
+  TraceLogScope log_scope(env.trace_id(), env.causal_depth());
   try {
     (*bound->handle)(ctx, env);
     ctx.state().commit();
@@ -139,9 +168,29 @@ void Hive::process(Bee& bee, const MessageEnvelope& env) {
     ++counters_.handler_failures;
     bee.window().handler_failures += 1;
     bee.total().handler_failures += 1;
+    const Duration ran_failed = env_.now() - started;
+    bee.note_latency(queued, ran_failed);
+    queue_total_.record(queued);
+    handler_total_.record(ran_failed);
+    trace_span(SpanKind::kHandlerEnd, env, bee.id(), 0, /*failed=*/1);
     BH_WARN << "handler failure in app " << app->name() << " on hive " << id_
             << ": " << e.what();
     return;
+  }
+
+  const TimePoint ended = env_.now();
+  const Duration ran = ended - started;
+  bee.note_latency(queued, ran);
+  queue_total_.record(queued);
+  handler_total_.record(ran);
+  trace_span(SpanKind::kHandlerEnd, env, bee.id(), ctx.emitted().size());
+
+  // A handler that emits nothing terminates its causal chain: the gap from
+  // the trace root's ingress to here is one end-to-end latency sample.
+  if (ctx.emitted().empty() && e2e_eligible(env)) {
+    const Duration e2e = ended - env.trace_root_at();
+    e2e_window_.record(e2e);
+    e2e_total_.record(e2e);
   }
 
   replicate_txn(bee, ctx.state());
@@ -150,13 +199,20 @@ void Hive::process(Bee& bee, const MessageEnvelope& env) {
   // emission chains are iterative events, not recursion, and so a message
   // emitted "now" is observably later than its cause.
   for (MessageEnvelope& out : ctx.emitted()) {
+    out.inherit_trace(env);
     bee.note_emit(env.type(), out.type(), out.wire_size());
+    trace_span(SpanKind::kEnqueue, out, bee.id());
     env_.schedule_after(id_, config_.dispatch_delay,
-                        [this, m = std::move(out)]() { route(m); });
+                        [this, m = std::move(out)]() { route_deferred(m); });
   }
   for (auto [target_bee, to_hive] : ctx.migration_orders()) {
     request_migration(target_bee, to_hive);
   }
+}
+
+void Hive::route_deferred(const MessageEnvelope& env) {
+  trace_span(SpanKind::kDequeue, env, env.from_bee());
+  route(env);
 }
 
 std::optional<Hive::Bound> Hive::bind(App& app,
@@ -302,6 +358,7 @@ void Hive::arm_timer(App& app, const TimerBinding& timer) {
 void Hive::fire_timer(App& app, const TimerBinding& timer) {
   MessageEnvelope env = MessageEnvelope::make(
       TimerTick{app.id(), timer.id}, 0, kNoBee, id_, env_.now());
+  ensure_trace(env);
   if (timer.kind == HandlerBinding::Kind::kMapped) {
     CellSet cells = timer.map(env);
     if (cells.empty()) return;
@@ -340,6 +397,10 @@ void Hive::report_metrics() {
     sample.msgs_out = w.msgs_out;
     sample.bytes_in = w.bytes_in;
     sample.bytes_out = w.bytes_out;
+    sample.handler_invocations = w.handler_invocations;
+    sample.handler_failures = w.handler_failures;
+    sample.queue_latency = w.queue_latency;
+    sample.handler_latency = w.handler_latency;
     sample.cells = bee->store().all_cells().size();
     sample.state_bytes = bee->store().byte_size();
     if (const App* app = apps_.find(bee->app())) {
@@ -358,6 +419,8 @@ void Hive::report_metrics() {
     report.bees.push_back(std::move(sample));
     bee->reset_window();
   }
+  report.e2e_latency = e2e_window_;
+  e2e_window_.reset();
   inject(MessageEnvelope::make(std::move(report), 0, kNoBee, id_,
                                env_.now()));
 }

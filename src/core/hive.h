@@ -24,6 +24,8 @@
 #include "core/app.h"
 #include "core/bee.h"
 #include "core/wire.h"
+#include "instrument/histogram.h"
+#include "instrument/trace.h"
 #include "msg/message.h"
 #include "state/txn.h"
 #include "util/types.h"
@@ -46,6 +48,9 @@ struct HiveConfig {
   /// Cluster size; filled in by the cluster runtime at construction.
   /// Needed to pick replica hives.
   std::size_t n_hives = 1;
+  /// Span recorder for this hive (owned by the cluster runtime); nullptr
+  /// or disabled = tracing off, zero dispatch-path cost.
+  TraceRecorder* tracer = nullptr;
 };
 
 class Hive {
@@ -112,6 +117,15 @@ class Hive {
   };
   const Counters& counters() const { return counters_; }
 
+  // -- Latency (cumulative across every local handler run) ----------------
+
+  /// Emission -> handler-start (queueing + channel transit).
+  const LatencyHistogram& queue_latency() const { return queue_total_; }
+  /// Handler duration (zero under the instantaneous simulator clock).
+  const LatencyHistogram& handler_latency() const { return handler_total_; }
+  /// Trace ingress -> terminal handler, for traces that ended here.
+  const LatencyHistogram& e2e_latency() const { return e2e_total_; }
+
  private:
   friend class MigrationEngine;
 
@@ -140,6 +154,25 @@ class Hive {
 
   Bee& ensure_local_bee(BeeId id, AppId app);
   void send_frame(HiveId to, Bytes frame);
+
+  // Tracing. `ensure_trace` mints a deterministic root id for messages
+  // entering the platform untraced (IO ingress, timer ticks).
+  void ensure_trace(MessageEnvelope& env);
+  bool tracing() const {
+    return config_.tracer != nullptr && config_.tracer->enabled();
+  }
+  void trace_span(SpanKind kind, const MessageEnvelope& env, BeeId bee,
+                  std::uint64_t aux = 0, std::uint64_t aux2 = 0) {
+    if (!tracing()) return;
+    config_.tracer->record(TraceEvent{env_.now(), kind, env.causal_depth(),
+                                      env.trace_id(), id_, bee,
+                                      env.from_app(), env.type(), aux, aux2});
+  }
+  /// Deferred-emission hop: records the dequeue span, then routes.
+  void route_deferred(const MessageEnvelope& env);
+  /// True when a terminal handler of this message should count toward the
+  /// end-to-end latency histogram.
+  static bool e2e_eligible(const MessageEnvelope& env);
 
   // Frame handlers.
   void handle_app_msg(const AppMsgFrame& frame);
@@ -179,6 +212,11 @@ class Hive {
   };
   std::unordered_map<BeeId, Replica> replicas_;
   Counters counters_;
+  std::uint64_t next_trace_ = 0;
+  LatencyHistogram queue_total_;
+  LatencyHistogram handler_total_;
+  LatencyHistogram e2e_total_;
+  LatencyHistogram e2e_window_;
 };
 
 }  // namespace beehive

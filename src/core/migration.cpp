@@ -176,6 +176,11 @@ void Hive::handle_migrate_xfer(const MigrateXferFrame& frame) {
   bee.restore_transfer_counters(frame.transfers_applied,
                                 frame.transfers_required);
   ++counters_.migrations_in;
+  if (tracing()) {
+    config_.tracer->record(TraceEvent{env_.now(), SpanKind::kMigrateIn, 0, 0,
+                                      id_, frame.bee, frame.app, 0,
+                                      frame.snapshot.size(), frame.src_hive});
+  }
   registry_.move_bee_rpc(frame.bee, id_, id_, env_.now());
   replicate_snapshot(bee);
   MigrateAckFrame ack{frame.bee};
@@ -191,6 +196,11 @@ void Hive::handle_migrate_ack(const MigrateAckFrame& frame) {
   AppId app = bee.app();
   std::uint64_t required = bee.transfers_required();
   ++counters_.migrations_out;
+  if (tracing()) {
+    config_.tracer->record(TraceEvent{env_.now(), SpanKind::kMigrateOut, 0, 0,
+                                      id_, frame.bee, app, 0, held.size(),
+                                      bee.migration_target()});
+  }
   bees_.erase(it);
 
   auto hive = registry_client_.hive_of(frame.bee, env_.now());
@@ -223,6 +233,10 @@ void Hive::request_migration(BeeId bee_id, HiveId to) {
   }
 
   bee->begin_migration(to);  // freezes the bee (blocked() is now true)
+  if (tracing()) {
+    config_.tracer->record(TraceEvent{env_.now(), SpanKind::kMigrateStart, 0,
+                                      0, id_, bee_id, bee->app(), 0, to});
+  }
   MigrateXferFrame xfer;
   xfer.bee = bee_id;
   xfer.app = bee->app();

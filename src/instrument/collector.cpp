@@ -24,7 +24,8 @@ CellSet collector_cells() {
       {std::string(CollectorApp::kBeesDict), std::string(kAllKeys)},
       {std::string(CollectorApp::kHivesDict), std::string(kAllKeys)},
       {std::string(CollectorApp::kInTypesDict), std::string(kAllKeys)},
-      {std::string(CollectorApp::kCausationDict), std::string(kAllKeys)}};
+      {std::string(CollectorApp::kCausationDict), std::string(kAllKeys)},
+      {std::string(CollectorApp::kLatencyDict), std::string(kAllKeys)}};
 }
 
 void bump_counter(Txn& txn, std::string_view dict, const std::string& key,
@@ -33,6 +34,42 @@ void bump_counter(Txn& txn, std::string_view dict, const std::string& key,
   counter.cells += delta;
   txn.put_as(dict, key, counter);
 }
+
+void merge_hist(Txn& txn, const std::string& key,
+                const LatencyHistogram& delta) {
+  if (delta.count() == 0) return;
+  LatencyHistogram h =
+      txn.get_as<LatencyHistogram>(CollectorApp::kLatencyDict, key)
+          .value_or(LatencyHistogram{});
+  h.merge(delta);
+  txn.put_as(CollectorApp::kLatencyDict, key, h);
+}
+
+/// Folds "stats.latency" cells into the digest strategies consume; works
+/// over both a live Txn and a raw StateStore.
+struct LatencyFold {
+  LatencyView out;
+  LatencyHistogram queue;
+  LatencyHistogram handler;
+
+  void add(const std::string& key, const Bytes& value) {
+    LatencyHistogram h = decode_from_bytes<LatencyHistogram>(value);
+    if (key == "e2e") {
+      out.e2e_count = h.count();
+      out.e2e_p50 = h.p50();
+      out.e2e_p99 = h.p99();
+    } else if (key.starts_with("queue:")) {
+      queue.merge(h);
+    } else if (key.starts_with("handler:")) {
+      handler.merge(h);
+    }
+  }
+  LatencyView finish() {
+    out.queue_p99 = queue.p99();
+    out.handler_p99 = handler.p99();
+    return out;
+  }
+};
 
 }  // namespace
 
@@ -52,6 +89,7 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
       [bees, hives](AppContext& ctx, const LocalMetricsReport& report) {
         ctx.state().put_as(hives, std::to_string(report.hive),
                            HiveCells{report.hive_cells});
+        merge_hist(ctx.state(), "e2e", report.e2e_latency);
         for (const BeeMetricsSample& sample : report.bees) {
           BeeAgg agg = ctx.state()
                            .get_as<BeeAgg>(bees, bee_key(sample.bee))
@@ -62,6 +100,8 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
           agg.pinned = sample.pinned;
           agg.cells = sample.cells;
           agg.msgs_in_window += sample.msgs_in;
+          agg.handler_invocations += sample.handler_invocations;
+          agg.handler_failures += sample.handler_failures;
           for (const BeeMetricsSample::SourceCount& src : sample.sources) {
             agg.add_inbound(src.from_hive, src.count);
           }
@@ -69,6 +109,10 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
 
           // Cumulative provenance analytics (never windowed).
           const std::string app_prefix = std::to_string(sample.app) + ":";
+          merge_hist(ctx.state(), "queue:" + std::to_string(sample.app),
+                     sample.queue_latency);
+          merge_hist(ctx.state(), "handler:" + std::to_string(sample.app),
+                     sample.handler_latency);
           for (const BeeMetricsSample::TypeCount& t : sample.in_types) {
             bump_counter(ctx.state(), CollectorApp::kInTypesDict,
                          app_prefix + std::to_string(t.type), t.count);
@@ -109,12 +153,21 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
               bee.pinned = agg.pinned;
               bee.cells = agg.cells;
               bee.msgs_in = agg.msgs_in_window;
+              bee.handler_invocations = agg.handler_invocations;
+              bee.handler_failures = agg.handler_failures;
               for (const auto& [hive, count] : agg.inbound_by_hive) {
                 bee.inbound_by_hive[hive] += count;
               }
               view.bees.push_back(std::move(bee));
               keys.push_back(key);
             });
+        LatencyFold fold;
+        ctx.state().for_each(
+            std::string(CollectorApp::kLatencyDict),
+            [&fold](const std::string& key, const Bytes& value) {
+              fold.add(key, value);
+            });
+        view.latency = fold.finish();
 
         for (const MigrationDecision& d : strategy->decide(view)) {
           ctx.order_migration(d.bee, d.to);
@@ -181,11 +234,20 @@ ClusterView CollectorApp::view_from_store(const StateStore& store,
       bee.pinned = agg.pinned;
       bee.cells = agg.cells;
       bee.msgs_in = agg.msgs_in_window;
+      bee.handler_invocations = agg.handler_invocations;
+      bee.handler_failures = agg.handler_failures;
       for (const auto& [hive, count] : agg.inbound_by_hive) {
         bee.inbound_by_hive[hive] += count;
       }
       view.bees.push_back(std::move(bee));
     });
+  }
+  if (const Dict* latency = store.find_dict(kLatencyDict)) {
+    LatencyFold fold;
+    latency->for_each([&fold](const std::string& key, const Bytes& value) {
+      fold.add(key, value);
+    });
+    view.latency = fold.finish();
   }
   return view;
 }

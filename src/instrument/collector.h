@@ -31,6 +31,8 @@ struct BeeAgg {
   bool pinned = false;
   std::uint64_t cells = 0;
   std::uint64_t msgs_in_window = 0;
+  std::uint64_t handler_invocations = 0;
+  std::uint64_t handler_failures = 0;
   std::vector<std::pair<HiveId, std::uint64_t>> inbound_by_hive;
 
   void add_inbound(HiveId from, std::uint64_t count) {
@@ -50,6 +52,8 @@ struct BeeAgg {
     w.boolean(pinned);
     w.varint(cells);
     w.varint(msgs_in_window);
+    w.varint(handler_invocations);
+    w.varint(handler_failures);
     w.varint(inbound_by_hive.size());
     for (const auto& [hive, count] : inbound_by_hive) {
       w.u32(hive);
@@ -64,6 +68,8 @@ struct BeeAgg {
     a.pinned = r.boolean();
     a.cells = r.varint();
     a.msgs_in_window = r.varint();
+    a.handler_invocations = r.varint();
+    a.handler_failures = r.varint();
     std::uint64_t n = r.varint();
     for (std::uint64_t i = 0; i < n; ++i) {
       HiveId hive = r.u32();
@@ -90,6 +96,9 @@ class CollectorApp : public App {
   /// per (app, input type, output type).
   static constexpr std::string_view kInTypesDict = "stats.intypes";
   static constexpr std::string_view kCausationDict = "stats.causation";
+  /// Cumulative latency histograms: "e2e" plus per-app "queue:<app>" and
+  /// "handler:<app>" distributions, merged from every report.
+  static constexpr std::string_view kLatencyDict = "stats.latency";
 
   /// Rebuilds the optimizer's input from a collector bee's state store
   /// (used by tests and by benches for analytics output).

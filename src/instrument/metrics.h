@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "instrument/histogram.h"
 #include "msg/codec.h"
 #include "util/types.h"
 
@@ -42,6 +43,13 @@ struct BeeMetrics {
   /// ratios).
   std::map<MsgTypeId, std::uint64_t> inbound_types;
 
+  /// Emission -> handler-start latency (queueing + channel transit; the
+  /// dominant term under the simulated runtime).
+  LatencyHistogram queue_latency;
+  /// Handler-start -> handler-end duration (wall time under the threaded
+  /// runtime; zero under the simulator, whose handlers are instantaneous).
+  LatencyHistogram handler_latency;
+
   void on_receive(BeeId from, std::size_t bytes, MsgTypeId type = 0) {
     ++msgs_in;
     bytes_in += bytes;
@@ -67,9 +75,15 @@ struct BeeMetricsSample {
   std::uint64_t msgs_out = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  std::uint64_t handler_invocations = 0;
+  std::uint64_t handler_failures = 0;
   std::uint64_t cells = 0;
   std::uint64_t state_bytes = 0;
   bool pinned = false;
+
+  /// Windowed latency distributions (see BeeMetrics for semantics).
+  LatencyHistogram queue_latency;
+  LatencyHistogram handler_latency;
 
   struct SourceCount {
     static constexpr std::string_view kTypeName = "platform.source_count";
@@ -140,9 +154,13 @@ struct BeeMetricsSample {
     w.varint(msgs_out);
     w.varint(bytes_in);
     w.varint(bytes_out);
+    w.varint(handler_invocations);
+    w.varint(handler_failures);
     w.varint(cells);
     w.varint(state_bytes);
     w.boolean(pinned);
+    queue_latency.encode(w);
+    handler_latency.encode(w);
     encode_vector(w, sources);
     encode_vector(w, in_types);
     encode_vector(w, causations);
@@ -156,9 +174,13 @@ struct BeeMetricsSample {
     s.msgs_out = r.varint();
     s.bytes_in = r.varint();
     s.bytes_out = r.varint();
+    s.handler_invocations = r.varint();
+    s.handler_failures = r.varint();
     s.cells = r.varint();
     s.state_bytes = r.varint();
     s.pinned = r.boolean();
+    s.queue_latency = LatencyHistogram::decode(r);
+    s.handler_latency = LatencyHistogram::decode(r);
     s.sources = decode_vector<BeeMetricsSample::SourceCount>(r);
     s.in_types = decode_vector<BeeMetricsSample::TypeCount>(r);
     s.causations = decode_vector<BeeMetricsSample::CausationCount>(r);
@@ -174,12 +196,16 @@ struct LocalMetricsReport {
   HiveId hive = 0;
   TimePoint at = 0;
   std::uint64_t hive_cells = 0;
+  /// End-to-end latency (trace ingress -> terminal handler) of traces that
+  /// ended on this hive during the window.
+  LatencyHistogram e2e_latency;
   std::vector<BeeMetricsSample> bees;
 
   void encode(ByteWriter& w) const {
     w.u32(hive);
     w.i64(at);
     w.varint(hive_cells);
+    e2e_latency.encode(w);
     encode_vector(w, bees);
   }
   static LocalMetricsReport decode(ByteReader& r) {
@@ -187,6 +213,7 @@ struct LocalMetricsReport {
     rep.hive = r.u32();
     rep.at = r.i64();
     rep.hive_cells = r.varint();
+    rep.e2e_latency = LatencyHistogram::decode(r);
     rep.bees = decode_vector<BeeMetricsSample>(r);
     return rep;
   }

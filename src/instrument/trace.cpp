@@ -1,0 +1,263 @@
+#include "instrument/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "msg/registry.h"
+
+namespace beehive {
+
+namespace {
+
+/// Chrome trace pid for the synthetic "control channel" process; hive pids
+/// start at 0, so keep the channel process far away.
+constexpr std::uint64_t kChannelPid = 1u << 20;
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Chrome-trace tid for a bee track. Bee ids are 64-bit but trace viewers
+/// want small ints; the per-hive counter is unique within a hive's process
+/// and the home hive disambiguates foreign bees.
+std::uint64_t bee_tid(BeeId bee) {
+  if (bee == kNoBee) return 0;
+  return static_cast<std::uint64_t>(bee_counter(bee)) +
+         (static_cast<std::uint64_t>(bee_home_hive(bee)) << 24);
+}
+
+std::uint64_t channel_tid(HiveId from, std::uint64_t to) {
+  return (static_cast<std::uint64_t>(from) << 16) | (to & 0xffff);
+}
+
+const char* frame_kind_name(std::uint32_t kind) {
+  switch (kind) {
+    case 1: return "app_msg";
+    case 3: return "merge_cmd";
+    case 4: return "migrate_xfer";
+    case 5: return "migrate_ack";
+    case 6: return "migration_order";
+    case 7: return "replica_txn";
+    case 8: return "replica_snapshot";
+  }
+  return "frame";
+}
+
+void append_event(std::string& out, bool& first, const std::string& body) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "  ";
+  out += body;
+}
+
+std::string common_args(const TraceEvent& e) {
+  std::string args = "\"trace\":" + std::to_string(e.trace_id) +
+                     ",\"depth\":" + std::to_string(e.depth);
+  if (e.type != 0) {
+    args += ",\"msg\":\"" +
+            json_escape(MsgTypeRegistry::instance().name_of(e.type)) + "\"";
+  }
+  return args;
+}
+
+}  // namespace
+
+std::string_view to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kIngress: return "ingress";
+    case SpanKind::kEnqueue: return "enqueue";
+    case SpanKind::kDequeue: return "dequeue";
+    case SpanKind::kRegistryResolve: return "registry_resolve";
+    case SpanKind::kHandlerStart: return "handler_start";
+    case SpanKind::kHandlerEnd: return "handler_end";
+    case SpanKind::kHold: return "hold";
+    case SpanKind::kChannelSend: return "channel_send";
+    case SpanKind::kChannelRecv: return "channel_recv";
+    case SpanKind::kMigrateStart: return "migrate_start";
+    case SpanKind::kMigrateIn: return "migrate_in";
+    case SpanKind::kMigrateOut: return "migrate_out";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRecorder::clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> merge_trace_events(
+    const std::vector<const TraceRecorder*>& recorders) {
+  std::vector<TraceEvent> all;
+  for (const TraceRecorder* rec : recorders) {
+    if (rec == nullptr) continue;
+    std::vector<TraceEvent> part = rec->events();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.hive != b.hive) return a.hive < b.hive;
+                     return a.seq < b.seq;
+                   });
+  return all;
+}
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // Metadata: name hive processes and bee/channel tracks.
+  std::set<HiveId> hives;
+  std::set<std::pair<HiveId, BeeId>> bees;
+  std::set<std::pair<HiveId, std::uint64_t>> links;
+  for (const TraceEvent& e : events) {
+    if (e.kind == SpanKind::kChannelSend || e.kind == SpanKind::kChannelRecv) {
+      links.insert({e.hive, e.aux2});
+    } else {
+      hives.insert(e.hive);
+      bees.insert({e.hive, e.bee});
+    }
+  }
+  for (HiveId h : hives) {
+    append_event(out, first,
+                 "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+                     std::to_string(h) +
+                     ",\"tid\":0,\"args\":{\"name\":\"hive " +
+                     std::to_string(h) + "\"}}");
+  }
+  for (const auto& [hive, bee] : bees) {
+    std::string label = bee == kNoBee ? "io/platform" : to_string_bee(bee);
+    append_event(out, first,
+                 "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+                     std::to_string(hive) +
+                     ",\"tid\":" + std::to_string(bee_tid(bee)) +
+                     ",\"args\":{\"name\":\"" + json_escape(label) + "\"}}");
+  }
+  if (!links.empty()) {
+    append_event(out, first,
+                 "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+                     std::to_string(kChannelPid) +
+                     ",\"tid\":0,\"args\":{\"name\":\"control channel\"}}");
+    for (const auto& [from, to] : links) {
+      append_event(
+          out, first,
+          "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+              std::to_string(kChannelPid) +
+              ",\"tid\":" + std::to_string(channel_tid(from, to)) +
+              ",\"args\":{\"name\":\"hive " + std::to_string(from) +
+              " -> hive " + std::to_string(to) + "\"}}");
+    }
+  }
+
+  // Handler start/end pairs become complete spans; channel send/recv pairs
+  // become spans on the link track; the rest are instants. A hive runs one
+  // handler at a time, so the last unmatched start per (hive, bee) pairs
+  // with the next end.
+  std::map<std::pair<HiveId, BeeId>, TraceEvent> open_handlers;
+  std::map<std::uint64_t, TraceEvent> open_frames;  // keyed by frame seq
+
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case SpanKind::kHandlerStart:
+        open_handlers[{e.hive, e.bee}] = e;
+        break;
+      case SpanKind::kHandlerEnd: {
+        auto it = open_handlers.find({e.hive, e.bee});
+        if (it == open_handlers.end()) break;
+        const TraceEvent& start = it->second;
+        std::string name =
+            "handle " +
+            std::string(MsgTypeRegistry::instance().name_of(start.type));
+        append_event(
+            out, first,
+            "{\"ph\":\"X\",\"name\":\"" + json_escape(name) +
+                "\",\"cat\":\"handler\",\"pid\":" + std::to_string(e.hive) +
+                ",\"tid\":" + std::to_string(bee_tid(e.bee)) +
+                ",\"ts\":" + std::to_string(start.at) +
+                ",\"dur\":" + std::to_string(e.at - start.at) + ",\"args\":{" +
+                common_args(start) + ",\"emitted\":" + std::to_string(e.aux) +
+                ",\"failed\":" + (e.aux2 != 0 ? "true" : "false") + "}}");
+        open_handlers.erase(it);
+        break;
+      }
+      case SpanKind::kChannelSend:
+        open_frames[e.aux] = e;
+        break;
+      case SpanKind::kChannelRecv: {
+        auto it = open_frames.find(e.aux);
+        if (it == open_frames.end()) break;
+        const TraceEvent& send = it->second;
+        append_event(
+            out, first,
+            std::string("{\"ph\":\"X\",\"name\":\"") +
+                frame_kind_name(send.type) +
+                "\",\"cat\":\"channel\",\"pid\":" + std::to_string(kChannelPid) +
+                ",\"tid\":" + std::to_string(channel_tid(send.hive, send.aux2)) +
+                ",\"ts\":" + std::to_string(send.at) +
+                ",\"dur\":" + std::to_string(e.at - send.at) +
+                ",\"args\":{\"bytes\":" + std::to_string(send.depth) + "}}");
+        open_frames.erase(it);
+        break;
+      }
+      default:
+        append_event(
+            out, first,
+            "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" +
+                std::string(to_string(e.kind)) +
+                "\",\"cat\":\"platform\",\"pid\":" + std::to_string(e.hive) +
+                ",\"tid\":" + std::to_string(bee_tid(e.bee)) +
+                ",\"ts\":" + std::to_string(e.at) + ",\"args\":{" +
+                common_args(e) + ",\"aux\":" + std::to_string(e.aux) + "}}");
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = to_chrome_trace(events);
+  std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace beehive

@@ -1,0 +1,115 @@
+// Distributed message tracing (the causal complement of metrics.h).
+//
+// Every message carries a trace_id minted deterministically at IO ingress
+// and a causal_depth that grows by one per emission hop, so one external
+// event's entire fan-out — across bees, hives and the control channel —
+// shares an id. Each hive owns a TraceRecorder: a fixed-capacity ring
+// buffer of span events stamped with the runtime clock. Recording is O(1),
+// allocation-free after construction, and compiled down to a single branch
+// when disabled, so the dispatch path is unaffected by default.
+//
+// Recorded runs export as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing): one process per hive, one track per bee, one track
+// per control-channel direction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace beehive {
+
+enum class SpanKind : std::uint8_t {
+  kIngress = 1,       ///< Message entered the platform on an IO channel.
+  kEnqueue = 2,       ///< Emission buffered for deferred routing.
+  kDequeue = 3,       ///< Deferred emission picked up for routing.
+  kRegistryResolve = 4,  ///< Map cells resolved to a bee (aux = owner hive).
+  kHandlerStart = 5,  ///< Handler invocation began on a bee.
+  kHandlerEnd = 6,    ///< Handler returned (aux = emitted count, aux2 = 1
+                      ///< on failure/rollback).
+  kHold = 7,          ///< Message held behind a transfer fence.
+  kChannelSend = 8,   ///< Frame left a hive (hive = from, aux2 = to hive,
+                      ///< aux = frame sequence for send/recv pairing,
+                      ///< type = FrameKind byte, depth = frame bytes).
+  kChannelRecv = 9,   ///< Frame arrived (same fields as kChannelSend).
+  kMigrateStart = 10,  ///< Source hive froze a bee (aux = target hive).
+  kMigrateIn = 11,     ///< Target hive installed a migrated bee.
+  kMigrateOut = 12,    ///< Source hive retired the bee after the ack.
+};
+
+std::string_view to_string(SpanKind kind);
+
+struct TraceEvent {
+  TimePoint at = 0;
+  SpanKind kind = SpanKind::kIngress;
+  std::uint32_t depth = 0;
+  std::uint64_t trace_id = 0;
+  HiveId hive = 0;
+  BeeId bee = kNoBee;
+  AppId app = 0;
+  MsgTypeId type = 0;
+  std::uint64_t aux = 0;
+  std::uint64_t aux2 = 0;
+  std::uint64_t seq = 0;  ///< Recorder-local order (ties on `at`).
+};
+
+/// Fixed-capacity ring buffer of TraceEvents. Not thread-safe: each hive
+/// (single-threaded by construction in both runtimes) owns its own.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void record(TraceEvent event) {
+    if (!enabled_) return;
+    event.seq = next_seq_++;
+    if (size_ < ring_.size()) {
+      ring_[(head_ + size_) % ring_.size()] = event;
+      ++size_;
+    } else {
+      ring_[head_] = event;  // full: overwrite the oldest
+      head_ = (head_ + 1) % ring_.size();
+      ++dropped_;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const { return dropped_; }
+
+  void clear();
+
+  /// Events in recording order (oldest first).
+  std::vector<TraceEvent> events() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool enabled_ = true;
+};
+
+/// Merges per-hive event streams into one, ordered by (at, hive, seq) —
+/// deterministic for the simulated runtime.
+std::vector<TraceEvent> merge_trace_events(
+    const std::vector<const TraceRecorder*>& recorders);
+
+/// Renders events as Chrome trace-event JSON ("traceEvents" array format):
+/// handler invocations become complete ("X") spans on a per-bee track,
+/// channel frames become spans on per-link tracks under a synthetic
+/// "control channel" process, everything else becomes instant events.
+/// Message-type names resolve through MsgTypeRegistry.
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// Writes to_chrome_trace(events) to `path`. Returns false on IO error.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace beehive

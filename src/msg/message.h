@@ -46,6 +46,28 @@ class MessageEnvelope {
   HiveId from_hive() const { return from_hive_; }
   TimePoint emitted_at() const { return emitted_at_; }
 
+  // -- Tracing ------------------------------------------------------------
+  // trace_id groups one external event's whole causal fan-out; it is
+  // minted deterministically at IO ingress (0 = untraced). causal_depth
+  // grows by one per emission hop; trace_root_at is the ingress timestamp,
+  // propagated unchanged so any hive can compute end-to-end latency.
+
+  std::uint64_t trace_id() const { return trace_id_; }
+  std::uint32_t causal_depth() const { return causal_depth_; }
+  TimePoint trace_root_at() const { return trace_root_at_; }
+
+  void set_trace(std::uint64_t trace_id, std::uint32_t depth,
+                 TimePoint root_at) {
+    trace_id_ = trace_id;
+    causal_depth_ = depth;
+    trace_root_at_ = root_at;
+  }
+
+  /// Stamps this message as one emission hop below `cause`.
+  void inherit_trace(const MessageEnvelope& cause) {
+    set_trace(cause.trace_id_, cause.causal_depth_ + 1, cause.trace_root_at_);
+  }
+
   /// Payload bytes on the wire (excluding the fixed envelope header).
   std::uint32_t payload_size() const { return payload_size_; }
 
@@ -82,6 +104,9 @@ class MessageEnvelope {
     w.u64(from_bee_);
     w.u32(from_hive_);
     w.i64(emitted_at_);
+    w.u64(trace_id_);
+    w.u32(causal_depth_);
+    w.i64(trace_root_at_);
     w.str(entry->encode(body_.get()));
     return std::move(w).take();
   }
@@ -96,6 +121,9 @@ class MessageEnvelope {
     m.from_bee_ = r.u64();
     m.from_hive_ = r.u32();
     m.emitted_at_ = r.i64();
+    m.trace_id_ = r.u64();
+    m.causal_depth_ = r.u32();
+    m.trace_root_at_ = r.i64();
     Bytes payload = r.str();
     m.payload_size_ = static_cast<std::uint32_t>(payload.size());
     const auto* entry = MsgTypeRegistry::instance().find(m.type_);
@@ -106,9 +134,17 @@ class MessageEnvelope {
     return m;
   }
 
-  // Fixed header: type(4) + app(4) + bee(8) + hive(4) + time(8) +
-  // payload length varint (amortized ~2).
-  static constexpr std::uint32_t kHeaderBytes = 30;
+  // Fixed header fields, in wire order: type(4) + app(4) + bee(8) +
+  // hive(4) + time(8) + trace_id(8) + causal_depth(4) + trace_root_at(8).
+  // Kept as a sum of sizeofs so it cannot silently drift from to_wire();
+  // a test additionally asserts it against actual serialized bytes.
+  static constexpr std::uint32_t kFixedHeaderBytes =
+      sizeof(MsgTypeId) + sizeof(AppId) + sizeof(BeeId) + sizeof(HiveId) +
+      sizeof(TimePoint) + sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+      sizeof(TimePoint);
+  /// Accounted header size on a control channel: the fixed fields plus the
+  /// payload length varint (amortized ~2 bytes).
+  static constexpr std::uint32_t kHeaderBytes = kFixedHeaderBytes + 2;
 
  private:
   MsgTypeId type_ = 0;
@@ -116,6 +152,9 @@ class MessageEnvelope {
   BeeId from_bee_ = kNoBee;
   HiveId from_hive_ = 0;
   TimePoint emitted_at_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint32_t causal_depth_ = 0;
+  TimePoint trace_root_at_ = 0;
   std::uint32_t payload_size_ = 0;
   std::shared_ptr<const void> body_;
 };

@@ -27,14 +27,28 @@ struct BeeView {
   bool pinned = false;
   std::uint64_t cells = 0;
   std::uint64_t msgs_in = 0;
+  std::uint64_t handler_invocations = 0;
+  std::uint64_t handler_failures = 0;
   /// Messages received since the last optimization round, by source hive.
   std::map<HiveId, std::uint64_t> inbound_by_hive;
+};
+
+/// Cluster-wide latency digest (microseconds), aggregated by the collector
+/// from every hive's report. Strategies can use it as a health signal —
+/// e.g. refuse to churn placement while tail latency is already degraded.
+struct LatencyView {
+  std::uint64_t e2e_count = 0;
+  std::uint64_t e2e_p50 = 0;
+  std::uint64_t e2e_p99 = 0;
+  std::uint64_t queue_p99 = 0;
+  std::uint64_t handler_p99 = 0;
 };
 
 struct ClusterView {
   std::size_t n_hives = 0;
   std::map<HiveId, std::uint64_t> hive_cells;
   std::vector<BeeView> bees;
+  LatencyView latency;
 };
 
 struct MigrationDecision {

@@ -19,7 +19,31 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 std::mutex g_log_mutex;
+thread_local CurrentTrace g_current_trace;
 }  // namespace
 
 Logger& Logger::instance() {
@@ -27,9 +51,47 @@ Logger& Logger::instance() {
   return logger;
 }
 
+const CurrentTrace& current_trace() { return g_current_trace; }
+
+TraceLogScope::TraceLogScope(std::uint64_t trace_id, std::uint32_t depth)
+    : prev_(g_current_trace) {
+  g_current_trace = CurrentTrace{trace_id, depth};
+}
+
+TraceLogScope::~TraceLogScope() { g_current_trace = prev_; }
+
 void Logger::write(LogLevel level, const std::string& message) {
+  const CurrentTrace trace = g_current_trace;
   std::lock_guard lock(g_log_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  switch (format_) {
+    case LogFormat::kPlain:
+      std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+      break;
+    case LogFormat::kKeyValue:
+      if (trace.id != 0) {
+        std::fprintf(stderr, "level=%s trace=%llx depth=%u msg=\"%s\"\n",
+                     level_name(level),
+                     static_cast<unsigned long long>(trace.id), trace.depth,
+                     message.c_str());
+      } else {
+        std::fprintf(stderr, "level=%s msg=\"%s\"\n", level_name(level),
+                     message.c_str());
+      }
+      break;
+    case LogFormat::kJson:
+      if (trace.id != 0) {
+        std::fprintf(stderr,
+                     "{\"level\":\"%s\",\"trace\":\"%llx\",\"depth\":%u,"
+                     "\"msg\":\"%s\"}\n",
+                     level_name(level),
+                     static_cast<unsigned long long>(trace.id), trace.depth,
+                     escape_json(message).c_str());
+      } else {
+        std::fprintf(stderr, "{\"level\":\"%s\",\"msg\":\"%s\"}\n",
+                     level_name(level), escape_json(message).c_str());
+      }
+      break;
+  }
 }
 
 std::string to_string_bee(BeeId bee) {

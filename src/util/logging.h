@@ -1,13 +1,21 @@
 // Minimal leveled logger. Deliberately tiny: the platform's interesting
-// observability lives in instrument/ (per-bee metrics), not in log lines.
+// observability lives in instrument/ (per-bee metrics and traces), not in
+// log lines — but lines can be emitted as key=value or JSON so external
+// tooling can join them with trace ids.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
 namespace beehive {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+/// Line layout. kPlain is the human default; kKeyValue and kJson are
+/// machine-parseable structured modes that also carry the trace id of the
+/// handler the line was written from (when one is in scope).
+enum class LogFormat { kPlain = 0, kKeyValue, kJson };
 
 class Logger {
  public:
@@ -17,11 +25,38 @@ class Logger {
   LogLevel level() const { return level_; }
   bool enabled(LogLevel level) const { return level >= level_; }
 
+  void set_format(LogFormat format) { format_ = format; }
+  LogFormat format() const { return format_; }
+
   /// Thread-safe write of one formatted line to stderr.
   void write(LogLevel level, const std::string& message);
 
  private:
   LogLevel level_ = LogLevel::kWarn;
+  LogFormat format_ = LogFormat::kPlain;
+};
+
+/// The trace context of the handler currently running on this thread
+/// (0 = none). Installed by the hive around every handler invocation so
+/// application log lines can be correlated with trace spans.
+struct CurrentTrace {
+  std::uint64_t id = 0;
+  std::uint32_t depth = 0;
+};
+const CurrentTrace& current_trace();
+
+/// RAII guard installing a trace context for the current thread; restores
+/// the previous one on destruction (handlers never nest, but timers and
+/// platform paths may interleave scopes on one hive thread).
+class TraceLogScope {
+ public:
+  TraceLogScope(std::uint64_t trace_id, std::uint32_t depth);
+  ~TraceLogScope();
+  TraceLogScope(const TraceLogScope&) = delete;
+  TraceLogScope& operator=(const TraceLogScope&) = delete;
+
+ private:
+  CurrentTrace prev_;
 };
 
 namespace internal {
