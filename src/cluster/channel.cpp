@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/logging.h"
+
 namespace beehive {
 
 ChannelMeter::ChannelMeter(std::size_t n_hives, Duration bucket)
@@ -16,7 +18,13 @@ ChannelMeter::ChannelMeter(std::size_t n_hives, Duration bucket)
 void ChannelMeter::record(HiveId from, HiveId to, std::size_t bytes,
                           TimePoint when) {
   std::lock_guard lock(mutex_);
-  assert(from < n_ && to < n_);
+  if (from >= n_ || to >= n_) {
+    // A corrupt or mis-addressed sample must not index out of bounds (and
+    // in release builds the old assert would have let it). Drop loudly.
+    BH_WARN << "ChannelMeter: dropping sample for out-of-range link "
+            << from << " -> " << to << " (n_hives=" << n_ << ")";
+    return;
+  }
   bytes_[idx(from, to)] += bytes;
   counts_[idx(from, to)] += 1;
   auto bucket = static_cast<std::size_t>(when / bucket_);

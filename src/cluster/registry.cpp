@@ -16,6 +16,24 @@ void RegistryService::set_placement_hook(PlacementHook hook) {
   placement_hook_ = std::move(hook);
 }
 
+void RegistryService::set_rpc_fault_hook(RpcFaultHook hook) {
+  std::lock_guard lock(mutex_);
+  rpc_fault_hook_ = std::move(hook);
+}
+
+bool RegistryService::rpc_attempt_lost(HiveId requester,
+                                       std::size_t request_bytes,
+                                       TimePoint now) {
+  std::lock_guard lock(mutex_);
+  if (requester == registry_hive_ || !rpc_fault_hook_) return false;
+  if (!rpc_fault_hook_(requester)) return false;
+  // The request left the requester's NIC before it was lost: the channel
+  // still carried (and bills) those bytes. No response comes back.
+  if (meter_ != nullptr) meter_->record(requester, registry_hive_,
+                                        request_bytes, now);
+  return true;
+}
+
 void RegistryService::attach_client(Client* client) {
   std::lock_guard lock(mutex_);
   clients_.push_back(client);
@@ -210,6 +228,42 @@ void RegistryService::move_bee_rpc(BeeId bee, HiveId to, HiveId requester,
   move_bee(bee, to, now);
 }
 
+std::uint64_t RegistryService::begin_migration(BeeId bee, HiveId requester,
+                                               TimePoint now) {
+  std::lock_guard lock(mutex_);
+  auto it = bees_.find(bee);
+  if (it == bees_.end() || it->second.dead) return 0;
+  bill_rpc_locked(requester, kRpcRequestBase, now);
+  return ++it->second.mig_epoch;
+}
+
+bool RegistryService::commit_migration(BeeId bee, HiveId to,
+                                       std::uint64_t epoch, HiveId requester,
+                                       TimePoint now) {
+  std::lock_guard lock(mutex_);
+  bill_rpc_locked(requester, kRpcRequestBase, now);
+  auto it = bees_.find(bee);
+  if (it == bees_.end() || it->second.dead) return false;
+  if (it->second.mig_epoch != epoch) return false;  // aborted meanwhile
+  assert(to < n_hives_);
+  // Idempotent for duplicate transfers of the same (live) migration: the
+  // epoch stays current so a retransmitted payload re-commits harmlessly.
+  it->second.hive = to;
+  invalidate_cachers_locked(bee, now);
+  return true;
+}
+
+bool RegistryService::cancel_migration(BeeId bee, HiveId origin,
+                                       HiveId requester, TimePoint now) {
+  std::lock_guard lock(mutex_);
+  bill_rpc_locked(requester, kRpcRequestBase, now);
+  auto it = bees_.find(bee);
+  if (it == bees_.end() || it->second.dead) return false;
+  if (it->second.hive != origin) return false;  // a commit won the race
+  ++it->second.mig_epoch;
+  return true;
+}
+
 void RegistryService::move_bee(BeeId bee, HiveId to, TimePoint now) {
   std::lock_guard lock(mutex_);
   auto it = bees_.find(bee);
@@ -278,6 +332,33 @@ void RegistryService::Client::invalidate(BeeId bee) {
   // next resolve falls through to the master and overwrites them.
 }
 
+bool RegistryService::Client::rpc_admitted(std::size_t request_bytes,
+                                           TimePoint now) {
+  if (self_ == service_.registry_hive()) return true;  // local, lossless
+  if (now < backoff_until_) {
+    // Fast-fail inside the backoff window: the master was just found
+    // unreachable; don't hammer the channel with doomed requests.
+    ++rpc_failures_;
+    return false;
+  }
+  for (int attempt = 1;; ++attempt) {
+    if (!service_.rpc_attempt_lost(self_, request_bytes, now)) {
+      backoff_ = kBackoffInitial;
+      backoff_until_ = 0;
+      return true;
+    }
+    if (attempt >= kMaxRpcAttempts) {
+      ++rpc_failures_;
+      backoff_until_ = now + backoff_;
+      backoff_ = std::min(backoff_ * 2, kBackoffMax);
+      BH_WARN << "registry client on hive " << self_ << ": lookup failed ("
+              << kMaxRpcAttempts << " attempts lost), backing off";
+      return false;
+    }
+    ++rpc_retries_;
+  }
+}
+
 ResolveOutcome RegistryService::Client::resolve_or_create(AppId app,
                                                           const CellSet& cells,
                                                           bool pinned,
@@ -316,6 +397,14 @@ ResolveOutcome RegistryService::Client::resolve_or_create(AppId app,
     ++misses_;
   }
 
+  {
+    ByteWriter w;
+    cells.encode(w);
+    if (!rpc_admitted(RegistryService::kRpcRequestBase + w.size(), now)) {
+      return ResolveOutcome{};  // bee == kNoBee signals the failure
+    }
+  }
+
   ResolveOutcome out =
       service_.resolve_or_create(app, cells, self_, pinned, now);
 
@@ -337,6 +426,9 @@ std::optional<HiveId> RegistryService::Client::hive_of(BeeId bee,
       return it->second;
     }
     ++misses_;
+  }
+  if (!rpc_admitted(RegistryService::kRpcRequestBase, now)) {
+    return std::nullopt;
   }
   auto hive = service_.hive_of(bee);
   BeeId live = kNoBee;

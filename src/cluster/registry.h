@@ -39,6 +39,10 @@ struct BeeRecord {
   bool pinned = false;    ///< Never migrated / never loses a merge (drivers).
   bool dead = false;
   BeeId forwarded_to = kNoBee;  ///< Where this bee's cells went on merge.
+  /// Migration epoch: bumped by begin_migration and cancel_migration, so a
+  /// commit_migration carrying a stale epoch (a transfer frame that out-
+  /// lived its migration's abort) is rejected instead of moving the bee.
+  std::uint64_t mig_epoch = 0;
   /// Monotonic count of state transfers decided *into* this bee (one per
   /// merge loser). Messages carry this as a fence: the bee must have
   /// applied at least this many transfers before processing them.
@@ -89,6 +93,29 @@ class RegistryService {
   /// move_bee plus control-channel billing for the RPC from `requester`.
   void move_bee_rpc(BeeId bee, HiveId to, HiveId requester, TimePoint now);
 
+  // -- Migration epochs ------------------------------------------------------
+  // The source hive mints an epoch when it freezes a bee for migration; the
+  // target commits the move conditionally on that epoch. Aborting the
+  // migration bumps the epoch, so a zombie transfer frame that arrives
+  // after the abort can no longer re-home the bee (split-brain guard).
+
+  /// Starts (or restarts) a migration of `bee`: bumps and returns its
+  /// epoch. Returns 0 for unknown/dead bees.
+  std::uint64_t begin_migration(BeeId bee, HiveId requester, TimePoint now);
+
+  /// Commits the move iff `epoch` is still current. Idempotent for
+  /// duplicate transfers of the same migration. Billed as an RPC from
+  /// `requester`. Returns false when the epoch is stale (aborted).
+  bool commit_migration(BeeId bee, HiveId to, std::uint64_t epoch,
+                        HiveId requester, TimePoint now);
+
+  /// Aborts a migration: bumps the epoch so in-flight transfers cannot
+  /// commit. Fails (returns false) when the bee is no longer at `origin` —
+  /// i.e. a commit won the race and the caller should treat the migration
+  /// as complete instead.
+  bool cancel_migration(BeeId bee, HiveId origin, HiveId requester,
+                        TimePoint now);
+
   /// Registers one additional state transfer decided into `bee` outside a
   /// resolve. Keeps the fence accounting balanced for paths the resolve
   /// did not count.
@@ -114,6 +141,20 @@ class RegistryService {
   std::vector<BeeRecord> live_bees() const;
   std::size_t live_bee_count() const;
   std::size_t cells_on_hive(HiveId hive) const;
+
+  // -- Fault injection (lossy RPC channel) ---------------------------------
+
+  /// Installed by the cluster runtime: decides whether one RPC attempt
+  /// from `requester` is lost on the wire (driven by its FaultPlan and
+  /// seeded RNG). Null = RPCs never fail.
+  using RpcFaultHook = std::function<bool(HiveId requester)>;
+  void set_rpc_fault_hook(RpcFaultHook hook);
+
+  /// One client RPC attempt: returns true (and bills the wasted request
+  /// bytes) when the fault hook declares it lost. Local calls from the
+  /// registry hive never fail. Clients call this before each real RPC.
+  bool rpc_attempt_lost(HiveId requester, std::size_t request_bytes,
+                        TimePoint now);
 
   // -- Client-cache plumbing ----------------------------------------------
 
@@ -149,6 +190,7 @@ class RegistryService {
   ChannelMeter* meter_;
   HiveId registry_hive_;
   PlacementHook placement_hook_;
+  RpcFaultHook rpc_fault_hook_;
   std::unordered_map<AppId, AppTables> apps_;
   std::unordered_map<BeeId, BeeRecord> bees_;
   std::unordered_map<HiveId, std::uint32_t> bee_counters_;
@@ -159,6 +201,12 @@ class RegistryService {
 
 /// Per-hive front end with a Chubby-style cache. Lookups served from the
 /// cache cost nothing on the control channel; misses RPC to the master.
+///
+/// Under a lossy channel (RegistryService::set_rpc_fault_hook) every miss
+/// RPC is retried up to kMaxRpcAttempts times; when a whole round is lost
+/// the client fails the lookup (resolve outcomes report bee == kNoBee,
+/// hive_of returns nullopt) and backs off exponentially — further misses
+/// fail fast, without billing the channel, until the backoff expires.
 class RegistryService::Client {
  public:
   Client(RegistryService& service, HiveId self);
@@ -166,6 +214,11 @@ class RegistryService::Client {
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
+
+  /// RPC attempts per lookup before giving up (the last chance included).
+  static constexpr int kMaxRpcAttempts = 4;
+  static constexpr Duration kBackoffInitial = 2 * kMillisecond;
+  static constexpr Duration kBackoffMax = 256 * kMillisecond;
 
   ResolveOutcome resolve_or_create(AppId app, const CellSet& cells,
                                    bool pinned, TimePoint now);
@@ -179,9 +232,18 @@ class RegistryService::Client {
   HiveId self() const { return self_; }
   std::uint64_t cache_hits() const { return hits_; }
   std::uint64_t cache_misses() const { return misses_; }
+  /// Lost attempts that were retried.
+  std::uint64_t rpc_retries() const { return rpc_retries_; }
+  /// Lookups that failed outright (all attempts lost, or fast-failed
+  /// inside a backoff window).
+  std::uint64_t rpc_failures() const { return rpc_failures_; }
 
  private:
   friend class RegistryService;
+
+  /// Runs the retry loop for one lookup of `request_bytes` on the wire.
+  /// Returns false when the lookup must fail (exhausted or backing off).
+  bool rpc_admitted(std::size_t request_bytes, TimePoint now);
 
   RegistryService& service_;
   HiveId self_;
@@ -206,6 +268,10 @@ class RegistryService::Client {
   std::unordered_map<BeeId, std::uint64_t> bee_expected_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t rpc_retries_ = 0;
+  std::uint64_t rpc_failures_ = 0;
+  TimePoint backoff_until_ = 0;
+  Duration backoff_ = kBackoffInitial;
 };
 
 }  // namespace beehive

@@ -21,9 +21,15 @@ SimCluster::SimCluster(ClusterConfig config, const AppSet& apps)
           std::make_unique<TraceRecorder>(config_.trace_capacity));
       hc.tracer = tracers_.back().get();
     }
+    hc.faults = &faults_;
     hives_.push_back(
         std::make_unique<Hive>(id, apps, registry_, *this, hc));
   }
+  // Registry RPC attempts traverse the same lossy network as frames.
+  registry_.set_rpc_fault_hook([this](HiveId requester) {
+    return faults_.active() &&
+           faults_.rpc_lost(requester, config_.registry_hive, rng_);
+  });
 }
 
 SimCluster::~SimCluster() = default;
@@ -59,18 +65,30 @@ void SimCluster::send_frame(HiveId from, HiveId to, Bytes frame) {
     t->record(TraceEvent{now_, SpanKind::kChannelSend, bytes, 0, from, kNoBee,
                          0, kind, frame_seq, to});
   }
+  // The fault plan decides this frame's fate (drop / duplicate / delay).
+  // Fault-free plans never touch the RNG, so clean runs stay bit-identical
+  // to builds without fault injection.
+  FaultPlan::Delivery fate;
+  if (faults_.active()) {
+    fate = faults_.decide(from, to, config_.wire_latency, rng_);
+    if (fate.copies == 0) return;  // dropped or partitioned
+  }
   Hive* target = hives_[to].get();
-  events_.push(
-      Event{now_ + config_.wire_latency, next_seq_++,
-            [this, from, to, target, frame_seq, kind, bytes,
-             f = std::move(frame)]() {
-              if (!hive_alive(to)) return;
-              if (TraceRecorder* t = tracer(to); t != nullptr) {
-                t->record(TraceEvent{now_, SpanKind::kChannelRecv, bytes, 0,
-                                     from, kNoBee, 0, kind, frame_seq, to});
-              }
-              target->on_wire(f);
-            }});
+  for (std::uint8_t copy = 0; copy < fate.copies; ++copy) {
+    Bytes payload = (copy + 1 == fate.copies) ? std::move(frame) : frame;
+    events_.push(
+        Event{now_ + config_.wire_latency + fate.extra_delay[copy],
+              next_seq_++,
+              [this, from, to, target, frame_seq, kind, bytes,
+               f = std::move(payload)]() {
+                if (!hive_alive(to)) return;
+                if (TraceRecorder* t = tracer(to); t != nullptr) {
+                  t->record(TraceEvent{now_, SpanKind::kChannelRecv, bytes, 0,
+                                       from, kNoBee, 0, kind, frame_seq, to});
+                }
+                target->on_wire(f);
+              }});
+  }
 }
 
 bool SimCluster::step() {
@@ -115,7 +133,18 @@ std::vector<TraceEvent> SimCluster::trace_events() const {
 }
 
 std::size_t SimCluster::recover_hive(HiveId hive) {
-  assert(!hive_alive(hive) && "recover_hive requires a failed hive");
+  if (hive >= hives_.size()) {
+    throw std::invalid_argument("recover_hive: no such hive");
+  }
+  if (hive_alive(hive)) {
+    throw std::logic_error("recover_hive: hive " + std::to_string(hive) +
+                           " has not failed");
+  }
+  if (recovered_.contains(hive)) {
+    throw std::logic_error("recover_hive: hive " + std::to_string(hive) +
+                           " was already recovered");
+  }
+  recovered_.insert(hive);
   std::size_t recovered_with_state = 0;
   for (const BeeRecord& rec : registry_.live_bees()) {
     if (rec.hive != hive) continue;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cluster/channel.h"
+#include "cluster/faults.h"
 #include "cluster/registry.h"
 #include "cluster/runtime_env.h"
 #include "core/hive.h"
@@ -86,6 +87,11 @@ class SimCluster final : public RuntimeEnv {
 
   bool hive_alive(HiveId hive) const { return !failed_.contains(hive); }
 
+  /// The cluster's fault plan. Mutate freely between (or mid-) runs:
+  /// partitions and link faults take effect from the next frame onward.
+  FaultPlan& faults() { return faults_; }
+  const FaultPlan& faults() const { return faults_; }
+
   Hive& hive(HiveId id) { return *hives_.at(id); }
   const Hive& hive(HiveId id) const { return *hives_.at(id); }
   std::size_t n_hives() const { return hives_.size(); }
@@ -118,10 +124,12 @@ class SimCluster final : public RuntimeEnv {
   ChannelMeter meter_;
   RegistryService registry_;
   Xoshiro256 rng_;
+  FaultPlan faults_;
   std::vector<std::unique_ptr<TraceRecorder>> tracers_;
   std::vector<std::unique_ptr<Hive>> hives_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::unordered_set<HiveId> failed_;
+  std::unordered_set<HiveId> recovered_;
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
 };

@@ -21,10 +21,19 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
           std::make_unique<TraceRecorder>(config_.trace_capacity));
       hc.tracer = tracers_.back().get();
     }
+    hc.faults = &faults_;
     auto node = std::make_unique<Node>();
     node->hive = std::make_unique<Hive>(id, apps, registry_, *this, hc);
     nodes_.push_back(std::move(node));
   }
+  // Registry RPC attempts traverse the same lossy network as frames. The
+  // hook runs under the registry mutex on arbitrary hive threads, so the
+  // RNG (and the plan's stats) need the rng mutex.
+  registry_.set_rpc_fault_hook([this](HiveId requester) {
+    if (!faults_.active()) return false;
+    std::lock_guard lock(rng_mutex_);
+    return faults_.rpc_lost(requester, config_.registry_hive, rng_);
+  });
 }
 
 ThreadCluster::~ThreadCluster() { stop(); }
@@ -90,17 +99,29 @@ void ThreadCluster::send_frame(HiveId from, HiveId to, Bytes frame) {
     t->record(TraceEvent{now(), SpanKind::kChannelSend, bytes, 0, from,
                          kNoBee, 0, kind, frame_seq, to});
   }
+  // The fault plan decides this frame's fate (drop / duplicate / delay).
+  FaultPlan::Delivery fate;
+  if (faults_.active()) {
+    std::lock_guard lock(rng_mutex_);
+    fate = faults_.decide(from, to, /*base_latency=*/0, rng_);
+    if (fate.copies == 0) return;  // dropped or partitioned
+  }
   Hive* target = nodes_[to]->hive.get();
   // Delivery runs on the target hive's loop thread, preserving the
   // single-threaded-per-hive execution discipline.
-  post(to, [this, from, to, target, frame_seq, kind, bytes,
-            f = std::move(frame)]() {
-    if (TraceRecorder* t = tracer(to); t != nullptr) {
-      t->record(TraceEvent{now(), SpanKind::kChannelRecv, bytes, 0, from,
-                           kNoBee, 0, kind, frame_seq, to});
-    }
-    target->on_wire(f);
-  });
+  for (std::uint8_t copy = 0; copy < fate.copies; ++copy) {
+    Bytes payload = (copy + 1 == fate.copies) ? std::move(frame) : frame;
+    schedule_after(to, fate.extra_delay[copy],
+                   [this, from, to, target, frame_seq, kind, bytes,
+                    f = std::move(payload)]() {
+                     if (TraceRecorder* t = tracer(to); t != nullptr) {
+                       t->record(TraceEvent{now(), SpanKind::kChannelRecv,
+                                            bytes, 0, from, kNoBee, 0, kind,
+                                            frame_seq, to});
+                     }
+                     target->on_wire(f);
+                   });
+  }
 }
 
 std::vector<TraceEvent> ThreadCluster::trace_events() const {

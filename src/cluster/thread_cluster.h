@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/channel.h"
+#include "cluster/faults.h"
 #include "cluster/registry.h"
 #include "cluster/runtime_env.h"
 #include "core/hive.h"
@@ -60,6 +61,12 @@ class ThreadCluster final : public RuntimeEnv {
   Xoshiro256& rng() override { return rng_; }
 
   // -- Access ---------------------------------------------------------------
+
+  /// The cluster's fault plan. Configure before start(); mutating while
+  /// hives are running is safe only for partition()/heal() style toggles
+  /// made from a single controlling thread (tests).
+  FaultPlan& faults() { return faults_; }
+  const FaultPlan& faults() const { return faults_; }
 
   Hive& hive(HiveId id) { return *nodes_.at(id)->hive; }
   std::size_t n_hives() const { return nodes_.size(); }
@@ -112,6 +119,7 @@ class ThreadCluster final : public RuntimeEnv {
   std::vector<std::unique_ptr<TraceRecorder>> tracers_;
   Xoshiro256 rng_;  // guarded by rng_mutex_
   std::mutex rng_mutex_;
+  FaultPlan faults_;  // decide()/rpc_lost() calls guarded by rng_mutex_
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> next_seq_{0};

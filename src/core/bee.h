@@ -82,6 +82,12 @@ class Bee {
     migrating_ = true;
     migration_target_ = target;
   }
+  /// Unfreezes a bee whose outbound migration timed out: it stays live at
+  /// its origin (the caller drains the holdback afterwards).
+  void abort_migration() {
+    migrating_ = false;
+    migration_target_ = 0;
+  }
 
   // -- Instrumentation ------------------------------------------------------
   // `window` is the delta since the last metrics report (reset on report);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "cluster/faults.h"
 #include "core/context.h"
 #include "util/logging.h"
 
@@ -14,7 +15,12 @@ Hive::Hive(HiveId id, const AppSet& apps, RegistryService& registry,
       registry_(registry),
       registry_client_(registry, id),
       env_(env),
-      config_(config) {}
+      config_(config) {
+  if (config_.transport.enabled) {
+    transport_ =
+        std::make_unique<ReliableTransport>(id_, env_, config_.transport);
+  }
+}
 
 Hive::~Hive() = default;
 
@@ -70,6 +76,14 @@ void Hive::dispatch_mapped(App& app, const HandlerBinding& binding,
 
   ResolveOutcome out = registry_client_.resolve_or_create(
       app.id(), cells, app.pinned(), env_.now());
+  if (out.bee == kNoBee) {
+    // Registry unreachable (lossy RPC channel, retries exhausted): the
+    // message is dropped, like a control-channel loss without transport.
+    ++counters_.registry_failures;
+    BH_WARN << "hive " << id_ << ": registry resolve failed; dropping "
+            << "message of type " << env.type();
+    return;
+  }
   trace_span(SpanKind::kRegistryResolve, env, out.bee, out.hive);
   if (!out.losers.empty()) {
     ++counters_.merges_started;
@@ -110,7 +124,10 @@ void Hive::deliver(BeeId bee, AppId app, HiveId hive,
       }
       if (successor != bee) {
         auto new_hive = registry_client_.hive_of(successor, env_.now());
-        if (!new_hive.has_value()) return;
+        if (!new_hive.has_value()) {
+          ++counters_.registry_failures;
+          return;
+        }
         deliver(successor, app, *new_hive, env,
                 registry_.expected_transfers(successor));
         return;
@@ -266,10 +283,34 @@ std::vector<Bee*> Hive::local_bees() {
 
 void Hive::send_frame(HiveId to, Bytes frame) {
   assert(to != id_ && "send_frame to self; use the local path");
-  env_.send_frame(id_, to, std::move(frame));
+  if (transport_) {
+    transport_->send(to, std::move(frame));
+  } else {
+    env_.send_frame(id_, to, std::move(frame));
+  }
 }
 
 void Hive::on_wire(std::string_view frame) {
+  if (!frame.empty()) {
+    const auto kind = static_cast<FrameKind>(
+        static_cast<unsigned char>(frame[0]));
+    if (kind == FrameKind::kReliable || kind == FrameKind::kAck) {
+      if (!transport_) {
+        BH_WARN << "hive " << id_ << ": reliable frame but transport is "
+                   "disabled; dropping";
+        return;
+      }
+      transport_->on_wire(frame,
+                          [this](std::string_view inner) {
+                            dispatch_frame(inner);
+                          });
+      return;
+    }
+  }
+  dispatch_frame(frame);
+}
+
+void Hive::dispatch_frame(std::string_view frame) {
   ByteReader r(frame);
   auto kind = static_cast<FrameKind>(r.u8());
   switch (kind) {
@@ -314,7 +355,10 @@ void Hive::handle_app_msg(const AppMsgFrame& frame) {
     return;
   }
   auto hive = registry_client_.hive_of(target, env_.now());
-  if (!hive.has_value()) return;
+  if (!hive.has_value()) {
+    ++counters_.registry_failures;
+    return;
+  }
   // The fence value only meant something for the original target; when
   // retargeting to a merge successor, re-fence at the successor's current
   // expected count — it inherited the dead bee's whole transfer ledger, so
@@ -364,6 +408,10 @@ void Hive::fire_timer(App& app, const TimerBinding& timer) {
     if (cells.empty()) return;
     ResolveOutcome out = registry_client_.resolve_or_create(
         app.id(), cells, app.pinned(), env_.now());
+    if (out.bee == kNoBee) {
+      ++counters_.registry_failures;
+      return;  // registry unreachable; this tick is lost.
+    }
     if (!out.losers.empty()) {
       ++counters_.merges_started;
       start_merges(app.id(), out);
@@ -421,6 +469,12 @@ void Hive::report_metrics() {
   }
   report.e2e_latency = e2e_window_;
   e2e_window_.reset();
+  report.transport = transport_counters();
+  report.migration_aborts = counters_.migration_aborts;
+  report.partitions_active =
+      config_.faults != nullptr
+          ? static_cast<std::uint32_t>(config_.faults->partitions_active())
+          : 0;
   inject(MessageEnvelope::make(std::move(report), 0, kNoBee, id_,
                                env_.now()));
 }

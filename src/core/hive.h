@@ -23,6 +23,7 @@
 #include "cluster/runtime_env.h"
 #include "core/app.h"
 #include "core/bee.h"
+#include "core/transport.h"
 #include "core/wire.h"
 #include "instrument/histogram.h"
 #include "instrument/trace.h"
@@ -31,6 +32,8 @@
 #include "util/types.h"
 
 namespace beehive {
+
+class FaultPlan;
 
 struct HiveConfig {
   /// Period of the instrumentation report timer; 0 disables reporting.
@@ -51,6 +54,17 @@ struct HiveConfig {
   /// Span recorder for this hive (owned by the cluster runtime); nullptr
   /// or disabled = tracing off, zero dispatch-path cost.
   TraceRecorder* tracer = nullptr;
+  /// Reliable at-least-once frame transport (core/transport.h). Disabled
+  /// by default: frames ship raw, with zero bookkeeping. Enable whenever
+  /// the cluster's FaultPlan injects loss/duplication/reordering.
+  TransportConfig transport;
+  /// Migration ack timeout (doubles per retry) and the attempt cap after
+  /// which the migration aborts, leaving the bee live at its origin.
+  Duration migrate_timeout = 10 * kMillisecond;
+  int migrate_max_attempts = 3;
+  /// The cluster's fault plan (owned by the runtime; may be null). Hives
+  /// only *read* it, to report partitions_active with their metrics.
+  const FaultPlan* faults = nullptr;
 };
 
 class Hive {
@@ -114,8 +128,17 @@ class Hive {
     std::uint64_t merges_started = 0;
     std::uint64_t migrations_in = 0;
     std::uint64_t migrations_out = 0;
+    std::uint64_t migration_retries = 0;   ///< MigrateXfer re-sent on timeout
+    std::uint64_t migration_aborts = 0;    ///< gave up; bee stayed at origin
+    std::uint64_t registry_failures = 0;   ///< messages dropped: no resolve
   };
   const Counters& counters() const { return counters_; }
+
+  /// Reliable-transport totals (all zero when the transport is disabled).
+  const TransportCounters& transport_counters() const {
+    static const TransportCounters kNone{};
+    return transport_ ? transport_->counters() : kNone;
+  }
 
   // -- Latency (cumulative across every local handler run) ----------------
 
@@ -174,13 +197,24 @@ class Hive {
   /// end-to-end latency histogram.
   static bool e2e_eligible(const MessageEnvelope& env);
 
-  // Frame handlers.
+  // Frame handlers. `dispatch_frame` demuxes a platform frame; on_wire
+  // routes through the reliable transport first when one is configured.
+  void dispatch_frame(std::string_view frame);
   void handle_app_msg(const AppMsgFrame& frame);
   void handle_merge_cmd(const MergeCmdFrame& frame);
   void handle_migrate_xfer(const MigrateXferFrame& frame);
   void handle_migrate_ack(const MigrateAckFrame& frame);
   void handle_replica_txn(const ReplicaTxnFrame& frame);
   void handle_replica_snapshot(const ReplicaSnapshotFrame& frame);
+
+  // Migration retry machinery (core/migration.cpp). The source hive arms
+  // an ack timeout per in-flight migration; on expiry it reconciles with
+  // the registry, re-sends the transfer, or aborts and unfreezes the bee.
+  void send_migrate_xfer(Bee& bee, HiveId to, std::uint64_t epoch);
+  void arm_migration_timer(BeeId bee);
+  void check_migration(BeeId bee, std::uint64_t attempt_epoch);
+  void complete_migration(BeeId bee);
+  void abort_migration(Bee& bee);
 
   // Replication (no-ops when config_.replication is off).
   void replicate_txn(const Bee& bee, const Txn& txn);
@@ -211,6 +245,17 @@ class Hive {
     StateStore store;
   };
   std::unordered_map<BeeId, Replica> replicas_;
+  /// In-flight outbound migrations by bee: registry epoch, retry budget,
+  /// and a local attempt counter that stales superseded timeout events.
+  struct MigrationRetry {
+    HiveId to = 0;
+    std::uint64_t mig_epoch = 0;   ///< registry epoch guarding the commit
+    std::uint64_t attempt = 0;     ///< bumps per (re)send; stales old timers
+    int attempts_left = 0;
+    Duration timeout = 0;
+  };
+  std::unordered_map<BeeId, MigrationRetry> migrations_;
+  std::unique_ptr<ReliableTransport> transport_;
   Counters counters_;
   std::uint64_t next_trace_ = 0;
   LatencyHistogram queue_total_;

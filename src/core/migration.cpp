@@ -145,6 +145,19 @@ void Hive::handle_migrate_xfer(const MigrateXferFrame& frame) {
   // the state belongs to the merge winner now.
   BeeId successor = registry_.live_successor(frame.bee);
   if (successor != frame.bee) {
+    // Zombie guard: if the origin aborted this migration before the merge,
+    // the bee kept running there and this snapshot is stale — forwarding
+    // it would graft outdated state onto the merge winner. Only a current
+    // epoch proves the bee really was frozen when it merged away.
+    if (frame.mig_epoch != 0) {
+      const BeeRecord* rec = registry_.find(frame.bee);
+      if (rec == nullptr || rec->mig_epoch != frame.mig_epoch) {
+        BH_WARN << "hive " << id_ << ": stale migration transfer for "
+                << "merged-away bee " << to_string_bee(frame.bee)
+                << " dropped";
+        return;
+      }
+    }
     if (successor != kNoBee) {
       auto hive = registry_client_.hive_of(successor, env_.now());
       if (hive.has_value()) {
@@ -171,6 +184,21 @@ void Hive::handle_migrate_xfer(const MigrateXferFrame& frame) {
     return;
   }
 
+  // Commit the move conditionally on the migration epoch: a transfer whose
+  // migration the origin has since aborted must not re-home the bee
+  // (split-brain guard). Duplicates of a committed transfer re-commit
+  // idempotently and re-ack — the first ack may have been lost.
+  if (frame.mig_epoch != 0) {
+    if (!registry_.commit_migration(frame.bee, id_, frame.mig_epoch, id_,
+                                    env_.now())) {
+      BH_WARN << "hive " << id_ << ": stale migration transfer for bee "
+              << to_string_bee(frame.bee) << " (epoch " << frame.mig_epoch
+              << ") dropped";
+      return;
+    }
+  } else {
+    registry_.move_bee_rpc(frame.bee, id_, id_, env_.now());
+  }
   Bee& bee = ensure_local_bee(frame.bee, frame.app);
   bee.store().merge_from(StateStore::from_snapshot(frame.snapshot));
   bee.restore_transfer_counters(frame.transfers_applied,
@@ -181,36 +209,43 @@ void Hive::handle_migrate_xfer(const MigrateXferFrame& frame) {
                                       id_, frame.bee, frame.app, 0,
                                       frame.snapshot.size(), frame.src_hive});
   }
-  registry_.move_bee_rpc(frame.bee, id_, id_, env_.now());
   replicate_snapshot(bee);
   MigrateAckFrame ack{frame.bee};
   send_frame(frame.src_hive, encode_frame(FrameKind::kMigrateAck, ack));
 }
 
 void Hive::handle_migrate_ack(const MigrateAckFrame& frame) {
-  auto it = bees_.find(frame.bee);
+  complete_migration(frame.bee);
+}
+
+/// Retires a migrated-out bee: drops the local shell and re-routes its
+/// held-back messages to the new home. Safe to call more than once (late
+/// duplicate acks, ack racing the retry timer's own registry probe).
+void Hive::complete_migration(BeeId bee_id) {
+  migrations_.erase(bee_id);
+  auto it = bees_.find(bee_id);
   if (it == bees_.end()) return;
   Bee& bee = *it->second;
-  assert(bee.migrating());
+  if (!bee.migrating()) return;  // aborted before the (late) ack landed
   auto held = bee.take_holdback();
   AppId app = bee.app();
   std::uint64_t required = bee.transfers_required();
   ++counters_.migrations_out;
   if (tracing()) {
     config_.tracer->record(TraceEvent{env_.now(), SpanKind::kMigrateOut, 0, 0,
-                                      id_, frame.bee, app, 0, held.size(),
+                                      id_, bee_id, app, 0, held.size(),
                                       bee.migration_target()});
   }
   bees_.erase(it);
 
-  auto hive = registry_client_.hive_of(frame.bee, env_.now());
+  auto hive = registry_client_.hive_of(bee_id, env_.now());
   if (!hive.has_value()) {
     BH_ERROR << "hive " << id_ << ": migrated bee "
-             << to_string_bee(frame.bee) << " vanished from registry";
+             << to_string_bee(bee_id) << " vanished from registry";
     return;
   }
   for (MessageEnvelope& env : held) {
-    deliver(frame.bee, app, *hive, env, required);
+    deliver(bee_id, app, *hive, env, required);
   }
 }
 
@@ -232,20 +267,94 @@ void Hive::request_migration(BeeId bee_id, HiveId to) {
     return;  // pinned bees (drivers) are anchored to their IO channel.
   }
 
+  const std::uint64_t epoch =
+      registry_.begin_migration(bee_id, id_, env_.now());
+  if (epoch == 0) return;  // registry does not know a live bee by this id
+
   bee->begin_migration(to);  // freezes the bee (blocked() is now true)
   if (tracing()) {
     config_.tracer->record(TraceEvent{env_.now(), SpanKind::kMigrateStart, 0,
                                       0, id_, bee_id, bee->app(), 0, to});
   }
+  migrations_[bee_id] = MigrationRetry{
+      to, epoch, /*attempt=*/0,
+      std::max(config_.migrate_max_attempts, 1), config_.migrate_timeout};
+  send_migrate_xfer(*bee, to, epoch);
+  arm_migration_timer(bee_id);
+}
+
+void Hive::send_migrate_xfer(Bee& bee, HiveId to, std::uint64_t epoch) {
   MigrateXferFrame xfer;
-  xfer.bee = bee_id;
-  xfer.app = bee->app();
+  xfer.bee = bee.id();
+  xfer.app = bee.app();
   xfer.is_merge = false;
   xfer.src_hive = id_;
-  xfer.transfers_applied = bee->transfers_applied();
-  xfer.transfers_required = bee->transfers_required();
-  xfer.snapshot = bee->store().snapshot();
+  xfer.mig_epoch = epoch;
+  xfer.transfers_applied = bee.transfers_applied();
+  xfer.transfers_required = bee.transfers_required();
+  xfer.snapshot = bee.store().snapshot();
   send_frame(to, encode_frame(FrameKind::kMigrateXfer, xfer));
+}
+
+void Hive::arm_migration_timer(BeeId bee) {
+  auto it = migrations_.find(bee);
+  if (it == migrations_.end() || it->second.timeout <= 0) return;
+  const std::uint64_t attempt = it->second.attempt;
+  env_.schedule_after(id_, it->second.timeout, [this, bee, attempt]() {
+    check_migration(bee, attempt);
+  });
+}
+
+/// Ack-timeout handler for one in-flight outbound migration. Reconciles
+/// with the registry (the ack, not the move, may be what got lost), then
+/// either re-sends the transfer or — once the attempt budget is spent —
+/// cancels the migration and unfreezes the bee at its origin.
+void Hive::check_migration(BeeId bee_id, std::uint64_t attempt_epoch) {
+  auto it = migrations_.find(bee_id);
+  if (it == migrations_.end()) return;           // acked or cleaned up
+  if (it->second.attempt != attempt_epoch) return;  // superseded timer
+  Bee* bee = find_bee(bee_id);
+  if (bee == nullptr || !bee->migrating()) {
+    // The bee merged away (or was otherwise retired) while frozen; the
+    // transfer's fate is the merge protocol's problem now.
+    migrations_.erase(it);
+    return;
+  }
+  // Authoritative probe: did the target commit but lose the ack?
+  if (auto hive = registry_.hive_of(bee_id); hive.has_value() &&
+                                             *hive != id_) {
+    complete_migration(bee_id);
+    return;
+  }
+  MigrationRetry& mr = it->second;
+  if (mr.attempts_left <= 1) {
+    if (!registry_.cancel_migration(bee_id, id_, id_, env_.now())) {
+      // A commit won the race against our cancel: the move happened.
+      complete_migration(bee_id);
+      return;
+    }
+    migrations_.erase(it);
+    abort_migration(*bee);
+    return;
+  }
+  --mr.attempts_left;
+  mr.timeout *= 2;  // exponential backoff on the ack timeout
+  ++mr.attempt;
+  ++counters_.migration_retries;
+  send_migrate_xfer(*bee, mr.to, mr.mig_epoch);
+  arm_migration_timer(bee_id);
+}
+
+/// Gives up on an outbound migration: the epoch is already cancelled in
+/// the registry, so in-flight transfers cannot commit. The bee thaws and
+/// keeps living at its origin; its held-back messages drain locally.
+void Hive::abort_migration(Bee& bee) {
+  ++counters_.migration_aborts;
+  BH_WARN << "hive " << id_ << ": migration of bee "
+          << to_string_bee(bee.id()) << " to hive "
+          << bee.migration_target() << " aborted; bee stays local";
+  bee.abort_migration();
+  if (!bee.blocked()) drain(bee);
 }
 
 void Hive::drain(Bee& bee) {

@@ -1,0 +1,161 @@
+#include "core/transport.h"
+
+#include "core/wire.h"
+#include "util/logging.h"
+
+namespace beehive {
+
+// Reliable header: kind | src hive | seq | cumulative ack | inner frame
+// (raw to the end of the buffer — the channel preserves frame bounds).
+// Standalone ack: kind | src hive | cumulative ack.
+
+ReliableTransport::ReliableTransport(HiveId self, RuntimeEnv& env,
+                                     TransportConfig config)
+    : self_(self), env_(env), config_(config) {}
+
+std::size_t ReliableTransport::unacked_frames() const {
+  std::size_t n = 0;
+  for (const auto& [_, peer] : peers_) n += peer.unacked.size();
+  return n;
+}
+
+void ReliableTransport::ship(HiveId to, Peer& peer, std::uint64_t seq,
+                             const Bytes& inner) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(FrameKind::kReliable));
+  w.u32(self_);
+  w.varint(seq);
+  // Piggyback the freshest cumulative ack for the reverse direction; any
+  // data frame then doubles as an ack and the standalone timer no-ops.
+  w.varint(peer.next_expected - 1);
+  w.raw(inner);
+  peer.ack_pending = false;
+  env_.send_frame(self_, to, std::move(w).take());
+}
+
+void ReliableTransport::send(HiveId to, Bytes inner) {
+  Peer& peer = peers_[to];
+  const std::uint64_t seq = peer.next_seq++;
+  ++counters_.data_frames;
+  ship(to, peer, seq, inner);
+  peer.unacked.emplace(seq, std::move(inner));
+  arm_retransmit(to, peer);
+}
+
+void ReliableTransport::arm_retransmit(HiveId to, Peer& peer) {
+  if (peer.rtx_armed) return;
+  peer.rtx_armed = true;
+  if (peer.rto <= 0) peer.rto = config_.rto_initial;
+  env_.schedule_after(self_, peer.rto, [this, to]() { retransmit_fired(to); });
+}
+
+void ReliableTransport::retransmit_fired(HiveId to) {
+  Peer& peer = peers_[to];
+  peer.rtx_armed = false;
+  if (peer.unacked.empty()) {
+    peer.rounds = 0;
+    peer.rto = config_.rto_initial;
+    return;
+  }
+  if (++peer.rounds > config_.max_rounds) {
+    counters_.frames_abandoned += peer.unacked.size();
+    BH_ERROR << "transport on hive " << self_ << ": abandoning "
+             << peer.unacked.size() << " unacked frame(s) to hive " << to
+             << " after " << config_.max_rounds << " retransmit rounds";
+    peer.unacked.clear();
+    peer.rounds = 0;
+    peer.rto = config_.rto_initial;
+    return;
+  }
+  for (const auto& [seq, inner] : peer.unacked) {
+    ++counters_.retransmits;
+    ship(to, peer, seq, inner);
+  }
+  peer.rto = std::min(peer.rto * 2, config_.rto_max);
+  arm_retransmit(to, peer);
+}
+
+void ReliableTransport::arm_ack(HiveId to, Peer& peer) {
+  peer.ack_pending = true;
+  if (peer.ack_armed) return;
+  peer.ack_armed = true;
+  env_.schedule_after(self_, config_.ack_delay, [this, to]() { ack_fired(to); });
+}
+
+void ReliableTransport::ack_fired(HiveId to) {
+  Peer& peer = peers_[to];
+  peer.ack_armed = false;
+  if (!peer.ack_pending) return;  // a data frame piggybacked it already
+  peer.ack_pending = false;
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(FrameKind::kAck));
+  w.u32(self_);
+  w.varint(peer.next_expected - 1);
+  ++counters_.acks_sent;
+  env_.send_frame(self_, to, std::move(w).take());
+}
+
+void ReliableTransport::process_ack(Peer& peer, std::uint64_t cum_ack) {
+  bool progressed = false;
+  while (!peer.unacked.empty() && peer.unacked.begin()->first <= cum_ack) {
+    peer.unacked.erase(peer.unacked.begin());
+    progressed = true;
+  }
+  if (progressed) {
+    // The link is moving again: restart backoff for what remains.
+    peer.rounds = 0;
+    peer.rto = config_.rto_initial;
+  }
+}
+
+void ReliableTransport::on_wire(std::string_view frame,
+                                const DeliverFn& deliver) {
+  ByteReader r(frame);
+  const auto kind = static_cast<FrameKind>(r.u8());
+  const HiveId src = r.u32();
+  if (kind == FrameKind::kAck) {
+    process_ack(peers_[src], r.varint());
+    return;
+  }
+  const std::uint64_t seq = r.varint();
+  const std::uint64_t ack = r.varint();
+  Peer& peer = peers_[src];
+  process_ack(peer, ack);
+
+  if (seq < peer.next_expected) {
+    // Duplicate of something already delivered; the sender keeps
+    // retransmitting it because our ack was lost — re-ack.
+    ++counters_.dup_frames_dropped;
+    arm_ack(src, peer);
+    return;
+  }
+  if (seq > peer.next_expected) {
+    // Early arrival: hold it so handlers see per-pair FIFO order.
+    auto [it, inserted] = peer.reorder.emplace(seq, Bytes(r.view(r.remaining())));
+    (void)it;
+    if (inserted) {
+      ++counters_.reorder_buffered;
+    } else {
+      ++counters_.dup_frames_dropped;
+    }
+    arm_ack(src, peer);
+    return;
+  }
+
+  // In sequence: deliver, then drain any buffered run behind it. Delivery
+  // can trigger sends back to `src`, which re-enter peers_ — take copies
+  // out of the map before each up-call.
+  deliver(r.view(r.remaining()));
+  peer.next_expected++;
+  while (true) {
+    auto it = peer.reorder.find(peer.next_expected);
+    if (it == peer.reorder.end()) break;
+    Bytes inner = std::move(it->second);
+    peer.reorder.erase(it);
+    peer.next_expected++;
+    deliver(inner);
+  }
+  arm_ack(src, peer);
+}
+
+}  // namespace beehive

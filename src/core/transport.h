@@ -1,0 +1,108 @@
+// Reliable at-least-once frame transport between hives.
+//
+// The cluster runtimes model a lossy channel (cluster/faults.h): frames
+// can be dropped, duplicated, delayed or reordered, and links can be
+// partitioned outright. This sublayer sits between Hive::send_frame /
+// Hive::on_wire and the raw channel and restores the delivery contract the
+// platform protocols were written against — effectively-once, per-pair
+// FIFO — as long as the fault is transient:
+//
+//   * every data frame to a peer carries a per-(src,dst) sequence number
+//     and is buffered until cumulatively acked;
+//   * acks are cumulative, piggybacked on every reverse data frame and
+//     otherwise sent as delayed standalone ack frames;
+//   * unacked frames are retransmitted on a per-peer timer with
+//     exponential backoff, up to a round cap — past it the frames are
+//     abandoned (the link is treated as dead; higher layers such as the
+//     migration retry protocol decide what that means);
+//   * the receiver delivers frames strictly in sequence order, buffering
+//     early arrivals and discarding duplicates, so handlers never observe
+//     the network's duplication or reordering.
+//
+// Retransmissions and acks go through RuntimeEnv::send_frame like any
+// other frame, so the robustness overhead is billed to the ChannelMeter
+// and visible in Figure-4 bandwidth terms.
+//
+// The transport is opt-in (TransportConfig::enabled); a hive built without
+// it sends raw frames exactly as before, with zero bookkeeping on the
+// dispatch hot path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "cluster/runtime_env.h"
+#include "instrument/metrics.h"
+#include "util/bytes.h"
+#include "util/types.h"
+
+namespace beehive {
+
+struct TransportConfig {
+  /// Off by default: frames bypass the transport entirely.
+  bool enabled = false;
+  /// First retransmit fires this long after a send; should comfortably
+  /// exceed one round trip of the wire latency.
+  Duration rto_initial = 2 * kMillisecond;
+  /// Backoff cap for the per-peer retransmit timer.
+  Duration rto_max = 64 * kMillisecond;
+  /// Retransmit rounds before the peer's unacked frames are abandoned.
+  int max_rounds = 10;
+  /// Standalone acks are delayed this long, giving reverse traffic a
+  /// chance to piggyback the ack for free.
+  Duration ack_delay = 400 * kMicrosecond;
+};
+
+class ReliableTransport {
+ public:
+  ReliableTransport(HiveId self, RuntimeEnv& env, TransportConfig config);
+
+  ReliableTransport(const ReliableTransport&) = delete;
+  ReliableTransport& operator=(const ReliableTransport&) = delete;
+
+  /// Wraps `inner` (a platform frame, kind byte first) in a reliable
+  /// header and ships it; keeps a copy for retransmission until acked.
+  void send(HiveId to, Bytes inner);
+
+  /// Entry point for kReliable / kAck frames. Frames that complete an
+  /// in-order run are handed to `deliver` (the hive's frame demux), in
+  /// sequence order.
+  using DeliverFn = std::function<void(std::string_view)>;
+  void on_wire(std::string_view frame, const DeliverFn& deliver);
+
+  const TransportCounters& counters() const { return counters_; }
+
+  /// Frames currently buffered awaiting ack, across all peers (tests).
+  std::size_t unacked_frames() const;
+
+ private:
+  struct Peer {
+    // Outbound.
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, Bytes> unacked;  ///< seq -> inner frame
+    Duration rto = 0;
+    int rounds = 0;
+    bool rtx_armed = false;
+    // Inbound.
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, Bytes> reorder;  ///< seq -> inner frame
+    bool ack_pending = false;
+    bool ack_armed = false;
+  };
+
+  void ship(HiveId to, Peer& peer, std::uint64_t seq, const Bytes& inner);
+  void arm_retransmit(HiveId to, Peer& peer);
+  void retransmit_fired(HiveId to);
+  void arm_ack(HiveId to, Peer& peer);
+  void ack_fired(HiveId to);
+  void process_ack(Peer& peer, std::uint64_t cum_ack);
+
+  HiveId self_;
+  RuntimeEnv& env_;
+  TransportConfig config_;
+  std::map<HiveId, Peer> peers_;  ///< ordered: deterministic iteration
+  TransportCounters counters_;
+};
+
+}  // namespace beehive

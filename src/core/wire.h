@@ -27,6 +27,9 @@ enum class FrameKind : std::uint8_t {
                         ///< shipped to the bee's replica hive.
   kReplicaSnapshot = 8,  ///< Full state refresh of a bee's replica (sent
                          ///< after merges, migrations and adoptions).
+  kReliable = 9,  ///< Reliable-transport envelope: src, seq, cumulative
+                  ///< ack, then any of the frames above (core/transport.h).
+  kAck = 10,      ///< Standalone cumulative ack (src, ack).
 };
 
 struct AppMsgFrame {
@@ -99,6 +102,10 @@ struct MigrateXferFrame {
   /// arriving out of decision order can never satisfy an earlier fence —
   /// a later-decided transfer always announces every earlier decision.
   std::uint64_t winner_expected = 0;
+  /// Whole-bee migrations: the registry epoch minted when this migration
+  /// started. The target commits conditionally on it, so a transfer from
+  /// an aborted (timed-out) migration can never move the bee afterwards.
+  std::uint64_t mig_epoch = 0;
   Bytes snapshot;  ///< StateStore::snapshot()
 
   void encode(ByteWriter& w) const {
@@ -110,6 +117,7 @@ struct MigrateXferFrame {
     w.varint(transfers_applied);
     w.varint(transfers_required);
     w.varint(winner_expected);
+    w.varint(mig_epoch);
     w.str(snapshot);
   }
   static MigrateXferFrame decode(ByteReader& r) {
@@ -122,6 +130,7 @@ struct MigrateXferFrame {
     f.transfers_applied = r.varint();
     f.transfers_required = r.varint();
     f.winner_expected = r.varint();
+    f.mig_epoch = r.varint();
     f.snapshot = r.str();
     return f;
   }

@@ -19,13 +19,36 @@ struct HiveCells {
 
 std::string bee_key(BeeId bee) { return std::to_string(bee); }
 
+/// Codec for one "stats.transport" cell (latest snapshot per hive; the
+/// counters are lifetime totals so overwrite, don't accumulate).
+struct TransportAgg {
+  static constexpr std::string_view kTypeName = "stats.transport_agg";
+  TransportCounters transport;
+  std::uint64_t migration_aborts = 0;
+  std::uint32_t partitions_active = 0;
+
+  void encode(ByteWriter& w) const {
+    transport.encode(w);
+    w.varint(migration_aborts);
+    w.u32(partitions_active);
+  }
+  static TransportAgg decode(ByteReader& r) {
+    TransportAgg a;
+    a.transport = TransportCounters::decode(r);
+    a.migration_aborts = r.varint();
+    a.partitions_active = r.u32();
+    return a;
+  }
+};
+
 CellSet collector_cells() {
   return CellSet{
       {std::string(CollectorApp::kBeesDict), std::string(kAllKeys)},
       {std::string(CollectorApp::kHivesDict), std::string(kAllKeys)},
       {std::string(CollectorApp::kInTypesDict), std::string(kAllKeys)},
       {std::string(CollectorApp::kCausationDict), std::string(kAllKeys)},
-      {std::string(CollectorApp::kLatencyDict), std::string(kAllKeys)}};
+      {std::string(CollectorApp::kLatencyDict), std::string(kAllKeys)},
+      {std::string(CollectorApp::kTransportDict), std::string(kAllKeys)}};
 }
 
 void bump_counter(Txn& txn, std::string_view dict, const std::string& key,
@@ -79,6 +102,7 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
   register_metrics_messages();
   MsgTypeRegistry::instance().ensure<BeeAgg>();
   MsgTypeRegistry::instance().ensure<HiveCells>();
+  MsgTypeRegistry::instance().ensure<TransportAgg>();
   const std::string bees(kBeesDict);
   const std::string hives(kHivesDict);
 
@@ -89,6 +113,10 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
       [bees, hives](AppContext& ctx, const LocalMetricsReport& report) {
         ctx.state().put_as(hives, std::to_string(report.hive),
                            HiveCells{report.hive_cells});
+        ctx.state().put_as(
+            CollectorApp::kTransportDict, std::to_string(report.hive),
+            TransportAgg{report.transport, report.migration_aborts,
+                         report.partitions_active});
         merge_hist(ctx.state(), "e2e", report.e2e_latency);
         for (const BeeMetricsSample& sample : report.bees) {
           BeeAgg agg = ctx.state()
@@ -209,6 +237,19 @@ std::vector<CollectorApp::CausationRow> CollectorApp::causation_from_store(
                                   : static_cast<double>(row.emitted) /
                                         static_cast<double>(row.inputs);
       rows.push_back(row);
+    });
+  }
+  return rows;
+}
+
+std::vector<CollectorApp::TransportRow> CollectorApp::transport_from_store(
+    const StateStore& store) {
+  std::vector<TransportRow> rows;
+  if (const Dict* d = store.find_dict(kTransportDict)) {
+    d->for_each([&rows](const std::string& key, const Bytes& value) {
+      TransportAgg agg = decode_from_bytes<TransportAgg>(value);
+      rows.push_back({static_cast<HiveId>(std::stoul(key)), agg.transport,
+                      agg.migration_aborts, agg.partitions_active});
     });
   }
   return rows;

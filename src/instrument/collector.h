@@ -99,6 +99,9 @@ class CollectorApp : public App {
   /// Cumulative latency histograms: "e2e" plus per-app "queue:<app>" and
   /// "handler:<app>" distributions, merged from every report.
   static constexpr std::string_view kLatencyDict = "stats.latency";
+  /// Per-hive reliability health, one cell per hive: latest cumulative
+  /// transport totals plus migration aborts and the partition gauge.
+  static constexpr std::string_view kTransportDict = "stats.transport";
 
   /// Rebuilds the optimizer's input from a collector bee's state store
   /// (used by tests and by benches for analytics output).
@@ -117,6 +120,16 @@ class CollectorApp : public App {
     double ratio = 0.0;        ///< emitted / inputs
   };
   static std::vector<CausationRow> causation_from_store(
+      const StateStore& store);
+
+  /// One hive's reliability record as stored in "stats.transport".
+  struct TransportRow {
+    HiveId hive = 0;
+    TransportCounters transport;
+    std::uint64_t migration_aborts = 0;
+    std::uint32_t partitions_active = 0;
+  };
+  static std::vector<TransportRow> transport_from_store(
       const StateStore& store);
 };
 

@@ -2,6 +2,7 @@
 
 #include "core/context.h"
 #include "msg/registry.h"
+#include "util/logging.h"
 
 namespace beehive {
 
@@ -29,20 +30,46 @@ struct HiveLiveness {
 
 FailureDetectorApp::FailureDetectorApp(
     FailureDetectorConfig config, std::function<void(HiveId)> on_suspect)
-    : App("platform.failure_detector") {
+    : App("platform.failure_detector"), config_(config) {
+  // Sanity-check the timeout against the heartbeat period: anything at or
+  // under one period suspects healthy hives between two reports. Clamp to
+  // two periods — the tightest setting with any slack for channel delay.
+  if (config_.metrics_period > 0 &&
+      config_.suspect_after < 2 * config_.metrics_period) {
+    BH_WARN << "failure detector: suspect_after (" << config_.suspect_after
+            << "us) does not exceed twice the heartbeat period ("
+            << config_.metrics_period << "us); clamping to "
+            << 2 * config_.metrics_period << "us";
+    config_.suspect_after = 2 * config_.metrics_period;
+  }
+  config = config_;
   register_metrics_messages();
   MsgTypeRegistry::instance().ensure<HiveSuspected>();
+  MsgTypeRegistry::instance().ensure<HiveRecovered>();
   MsgTypeRegistry::instance().ensure<HiveLiveness>();
   const std::string dict(kDict);
 
-  // Heartbeat ingestion: any report refreshes (and un-suspects) its hive.
+  // Heartbeat ingestion: any report refreshes its hive, and a heartbeat
+  // from a suspected hive announces the recovery (resumed after a healed
+  // partition, a failover, or plain slowness).
   on<LocalMetricsReport>(
       [dict](const LocalMetricsReport&) { return CellSet::whole_dict(dict); },
       [dict](AppContext& ctx, const LocalMetricsReport& report) {
+        const std::string key = std::to_string(report.hive);
+        bool was_suspected = false;
+        TimePoint last_seen = 0;
+        if (auto prev = ctx.state().get(dict, key); prev.has_value()) {
+          HiveLiveness before = decode_from_bytes<HiveLiveness>(*prev);
+          was_suspected = before.suspected;
+          last_seen = before.last_seen;
+        }
         HiveLiveness liveness;
         liveness.last_seen = ctx.now();
         liveness.suspected = false;
-        ctx.state().put_as(dict, std::to_string(report.hive), liveness);
+        ctx.state().put_as(dict, key, liveness);
+        if (was_suspected) {
+          ctx.emit(HiveRecovered{report.hive, ctx.now() - last_seen});
+        }
       });
 
   // Detection sweep.

@@ -34,11 +34,35 @@ struct HiveSuspected {
   }
 };
 
+/// Broadcast when a previously-suspected hive heartbeats again (e.g. a
+/// healed partition, or SimCluster::recover_hive bringing its bees back):
+/// consumers that reacted to HiveSuspected can un-quarantine it.
+struct HiveRecovered {
+  static constexpr std::string_view kTypeName = "platform.hive_recovered";
+  HiveId hive = 0;
+  /// How long the hive had been silent when it reappeared.
+  Duration down_for = 0;
+
+  void encode(ByteWriter& w) const {
+    w.u32(hive);
+    w.i64(down_for);
+  }
+  static HiveRecovered decode(ByteReader& r) {
+    HiveRecovered m;
+    m.hive = r.u32();
+    m.down_for = r.i64();
+    return m;
+  }
+};
+
 struct FailureDetectorConfig {
   Duration check_period = 2 * kSecond;
   /// A hive is suspected after this much silence. Must comfortably exceed
-  /// the hives' metrics_period.
+  /// `metrics_period` or healthy hives get suspected between heartbeats;
+  /// the constructor clamps it to at least twice that, with a warning.
   Duration suspect_after = 3 * kSecond;
+  /// The hives' heartbeat (metrics report) period, for the sanity clamp.
+  Duration metrics_period = kSecond;
 };
 
 class FailureDetectorApp : public App {
@@ -48,7 +72,13 @@ class FailureDetectorApp : public App {
   FailureDetectorApp(FailureDetectorConfig config,
                      std::function<void(HiveId)> on_suspect);
 
+  /// The validated (possibly clamped) configuration actually in force.
+  const FailureDetectorConfig& config() const { return config_; }
+
   static constexpr std::string_view kDict = "fd.hives";
+
+ private:
+  FailureDetectorConfig config_;
 };
 
 }  // namespace beehive

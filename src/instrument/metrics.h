@@ -64,6 +64,38 @@ struct BeeMetrics {
   }
 };
 
+/// Lifetime totals of one hive's reliable control-channel transport
+/// (core/transport.h). All-zero when the transport is disabled. Shipped
+/// inside every LocalMetricsReport so the collector can chart what the
+/// robustness machinery costs in Figure-4 units.
+struct TransportCounters {
+  std::uint64_t data_frames = 0;        ///< reliable frames first-sent
+  std::uint64_t retransmits = 0;        ///< frames re-sent on ack timeout
+  std::uint64_t acks_sent = 0;          ///< standalone ack frames
+  std::uint64_t dup_frames_dropped = 0; ///< receive-side dedup discards
+  std::uint64_t reorder_buffered = 0;   ///< frames held for in-order delivery
+  std::uint64_t frames_abandoned = 0;   ///< gave up after the retransmit cap
+
+  void encode(ByteWriter& w) const {
+    w.varint(data_frames);
+    w.varint(retransmits);
+    w.varint(acks_sent);
+    w.varint(dup_frames_dropped);
+    w.varint(reorder_buffered);
+    w.varint(frames_abandoned);
+  }
+  static TransportCounters decode(ByteReader& r) {
+    TransportCounters c;
+    c.data_frames = r.varint();
+    c.retransmits = r.varint();
+    c.acks_sent = r.varint();
+    c.dup_frames_dropped = r.varint();
+    c.reorder_buffered = r.varint();
+    c.frames_abandoned = r.varint();
+    return c;
+  }
+};
+
 /// One bee's flattened metrics snapshot as shipped to the collector.
 struct BeeMetricsSample {
   static constexpr std::string_view kTypeName = "platform.bee_metrics_sample";
@@ -199,6 +231,12 @@ struct LocalMetricsReport {
   /// End-to-end latency (trace ingress -> terminal handler) of traces that
   /// ended on this hive during the window.
   LatencyHistogram e2e_latency;
+  /// Reliable-transport lifetime totals (zeros when disabled).
+  TransportCounters transport;
+  /// Migrations this hive gave up on after the retry cap (lifetime).
+  std::uint64_t migration_aborts = 0;
+  /// Partitions currently injected by the cluster's FaultPlan.
+  std::uint32_t partitions_active = 0;
   std::vector<BeeMetricsSample> bees;
 
   void encode(ByteWriter& w) const {
@@ -206,6 +244,9 @@ struct LocalMetricsReport {
     w.i64(at);
     w.varint(hive_cells);
     e2e_latency.encode(w);
+    transport.encode(w);
+    w.varint(migration_aborts);
+    w.u32(partitions_active);
     encode_vector(w, bees);
   }
   static LocalMetricsReport decode(ByteReader& r) {
@@ -214,6 +255,9 @@ struct LocalMetricsReport {
     rep.at = r.i64();
     rep.hive_cells = r.varint();
     rep.e2e_latency = LatencyHistogram::decode(r);
+    rep.transport = TransportCounters::decode(r);
+    rep.migration_aborts = r.varint();
+    rep.partitions_active = r.u32();
     rep.bees = decode_vector<BeeMetricsSample>(r);
     return rep;
   }

@@ -97,6 +97,83 @@ TEST_F(FailureDetectorTest, HealthyClusterNeverSuspects) {
   EXPECT_TRUE(suspected.empty());
 }
 
+TEST_F(FailureDetectorTest, SuspectAfterIsClampedAgainstHeartbeatPeriod) {
+  // suspect_after below two heartbeat periods would suspect healthy hives
+  // between reports; the constructor clamps it (with a warning).
+  FailureDetectorApp tight(
+      FailureDetectorConfig{.check_period = kSecond,
+                            .suspect_after = 500 * kMillisecond,
+                            .metrics_period = kSecond},
+      nullptr);
+  EXPECT_EQ(tight.config().suspect_after, 2 * kSecond);
+
+  // A sane configuration passes through untouched.
+  FailureDetectorApp sane(
+      FailureDetectorConfig{.check_period = kSecond,
+                            .suspect_after = 3 * kSecond,
+                            .metrics_period = kSecond},
+      nullptr);
+  EXPECT_EQ(sane.config().suspect_after, 3 * kSecond);
+}
+
+/// Records every HiveRecovered broadcast by the detector.
+class RecoverySink : public App {
+ public:
+  explicit RecoverySink(std::vector<HiveRecovered>* out)
+      : App("test.recovery_sink") {
+    on<HiveRecovered>(
+        [](const HiveRecovered&) { return CellSet::whole_dict("rsink"); },
+        [out](AppContext& ctx, const HiveRecovered& m) {
+          out->push_back(m);
+          ctx.state().put_as("rsink", std::to_string(m.hive), I64{1});
+        });
+  }
+};
+
+TEST_F(FailureDetectorTest, HealedPartitionEmitsHiveRecovered) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  std::vector<HiveId> suspected;
+  std::vector<HiveRecovered> recovered;
+  apps.emplace<FailureDetectorApp>(
+      FailureDetectorConfig{.check_period = kSecond,
+                            .suspect_after = 2 * kSecond + 500 * kMillisecond,
+                            .metrics_period = kSecond},
+      [&suspected](HiveId hive) { suspected.push_back(hive); });
+  apps.emplace<RecoverySink>(&recovered);
+
+  ClusterConfig config;
+  config.n_hives = 4;
+  config.hive.metrics_period = kSecond;
+  config.hive.timers_until = 12 * kSecond;
+  SimCluster sim(config, apps);
+  sim.start();
+  sim.run_until(3 * kSecond);
+  EXPECT_TRUE(suspected.empty());
+
+  // Partition one reporter away from the detector's hive: its heartbeats
+  // stop arriving even though the hive itself is healthy.
+  AppId fd = apps.find_by_name("platform.failure_detector")->id();
+  HiveId fd_hive = 0;
+  for (const BeeRecord& rec : sim.registry().live_bees()) {
+    if (rec.app == fd) fd_hive = rec.hive;
+  }
+  const HiveId victim = fd_hive == 2 ? 1 : 2;
+  sim.faults().partition(victim, fd_hive);
+  sim.run_until(7 * kSecond);
+  ASSERT_EQ(suspected, std::vector<HiveId>{victim});
+  EXPECT_TRUE(recovered.empty());
+
+  // Heal: the next heartbeat through announces the hive is back.
+  sim.faults().heal(victim, fd_hive);
+  sim.run_until(9 * kSecond);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].hive, victim);
+  EXPECT_GT(recovered[0].down_for, 2 * kSecond);
+  // And no duplicate suspicion fired for the still-healthy hive.
+  EXPECT_EQ(suspected.size(), 1u);
+}
+
 TEST_F(FailureDetectorTest, DetectorIsOneCentralBee) {
   AppSet apps;
   apps.emplace<FailureDetectorApp>(FailureDetectorConfig{}, nullptr);

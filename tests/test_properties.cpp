@@ -283,6 +283,94 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
+// Determinism under fault injection: the same seed, fault plan and workload
+// must reproduce the run bit-for-bit — traffic matrix, bandwidth series,
+// injected-fault tallies and final application state.
+// ---------------------------------------------------------------------------
+
+class FaultedDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultedDeterminism, IdenticalFaultedRunsAreIdentical) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+
+  auto run = [&apps](std::uint64_t seed) {
+    ClusterConfig config;
+    config.n_hives = 4;
+    config.seed = seed;
+    config.hive.metrics_period = 0;
+    config.hive.transport.enabled = true;
+    SimCluster sim(config, apps);
+    sim.start();
+    sim.faults().set_default_link({.drop = 0.1,
+                                   .duplicate = 0.05,
+                                   .jitter = 0.3,
+                                   .jitter_max = kMillisecond,
+                                   .reorder = 0.1});
+    sim.faults().partition(1, 3);
+    Xoshiro256 workload(seed + 1);
+    for (int i = 0; i < 200; ++i) {
+      auto hive = static_cast<HiveId>(workload.next_below(4));
+      std::string key = "k" + std::to_string(workload.next_below(8));
+      sim.hive(hive).inject(MessageEnvelope::make(Incr{key, 1}, 0, kNoBee,
+                                                  hive, sim.now()));
+      sim.run_for(100 * kMicrosecond);
+      if (i == 100) sim.faults().heal(1, 3);
+    }
+    sim.run_to_idle();
+
+    struct Result {
+      std::vector<std::uint64_t> matrix;
+      std::vector<std::uint64_t> series;
+      std::uint64_t dropped, duplicated, delayed, partitioned;
+      std::map<std::string, std::int64_t> counters;
+    } r;
+    for (HiveId from = 0; from < 4; ++from) {
+      for (HiveId to = 0; to < 4; ++to) {
+        r.matrix.push_back(sim.meter().matrix_bytes(from, to));
+        r.matrix.push_back(sim.meter().matrix_messages(from, to));
+      }
+    }
+    r.series = sim.meter().bandwidth_series();
+    r.dropped = sim.faults().stats().frames_dropped;
+    r.duplicated = sim.faults().stats().frames_duplicated;
+    r.delayed = sim.faults().stats().frames_delayed;
+    r.partitioned = sim.faults().stats().frames_partitioned;
+    AppId app = apps.find_by_name("test.counter")->id();
+    for (const BeeRecord& rec : sim.registry().live_bees()) {
+      if (rec.app != app) continue;
+      Bee* bee = sim.hive(rec.hive).find_bee(rec.id);
+      if (bee == nullptr) continue;
+      if (const Dict* d = bee->store().find_dict(CounterApp::kDict)) {
+        d->for_each([&r](const std::string& key, const Bytes& v) {
+          r.counters[key] = decode_from_bytes<I64>(v).v;
+        });
+      }
+    }
+    return r;
+  };
+
+  auto a = run(GetParam());
+  auto b = run(GetParam());
+  EXPECT_EQ(a.matrix, b.matrix);
+  EXPECT_EQ(a.series, b.series);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.delayed, b.delayed);
+  EXPECT_EQ(a.partitioned, b.partitioned);
+  EXPECT_EQ(a.counters, b.counters);
+  // The plan actually did something, and the workload still landed exactly.
+  EXPECT_GT(a.dropped, 0u);
+  EXPECT_GT(a.partitioned, 0u);
+  std::int64_t total = 0;
+  for (const auto& [key, v] : a.counters) total += v;
+  EXPECT_EQ(total, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultedDeterminism,
+                         ::testing::Values(11u, 22u, 33u));
+
+// ---------------------------------------------------------------------------
 // Codec property sweep: random values survive a wire round-trip.
 // ---------------------------------------------------------------------------
 

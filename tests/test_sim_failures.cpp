@@ -166,6 +166,16 @@ TEST_F(SimFailureTest, HiveAliveReportsStatus) {
   EXPECT_TRUE(sim.hive_alive(2));
 }
 
+TEST_F(SimFailureTest, RecoverHiveValidatesItsArguments) {
+  SimCluster sim = make_sim(3);
+  sim.start();
+  EXPECT_THROW(sim.recover_hive(99), std::invalid_argument);  // no such hive
+  EXPECT_THROW(sim.recover_hive(1), std::logic_error);  // still alive
+  sim.fail_hive(1);
+  sim.recover_hive(1);
+  EXPECT_THROW(sim.recover_hive(1), std::logic_error);  // double recovery
+}
+
 TEST_F(SimFailureTest, RegistryMasterCannotBeFailed) {
   SimCluster sim = make_sim(3);
   EXPECT_THROW(sim.fail_hive(0), std::invalid_argument);
