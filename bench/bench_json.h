@@ -1,0 +1,118 @@
+// Machine-readable bench output.
+//
+// Each bench binary appends its headline numbers into one shared JSON
+// report (BENCH_observability.json by default) so CI can archive a single
+// artifact per run and diff throughput / latency / channel-byte regressions
+// across commits without scraping stdout.
+//
+// The report is a flat two-level object: sections (one per scenario or
+// bench) of key -> number/string/bool/array leaves, written in insertion
+// order. Deliberately tiny — no external JSON dependency exists in this
+// repo, and the writer side needs only rendering, never parsing.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace beehive::bench {
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void number(const std::string& section, const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    set(section, key, buf);
+  }
+  void integer(const std::string& section, const std::string& key,
+               std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    set(section, key, buf);
+  }
+  void boolean(const std::string& section, const std::string& key, bool v) {
+    set(section, key, v ? "true" : "false");
+  }
+  void text(const std::string& section, const std::string& key,
+            const std::string& v) {
+    std::string out = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    set(section, key, out);
+  }
+  void array(const std::string& section, const std::string& key,
+             const std::vector<double>& values) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", values[i]);
+      if (i != 0) out += ", ";
+      out += buf;
+    }
+    out += "]";
+    set(section, key, out);
+  }
+
+  /// Writes `{"bench": ..., "<section>": {...}, ...}`. Returns false on
+  /// I/O failure (benches warn but do not fail the run on it).
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", bench_name_.c_str());
+    for (const Section& s : sections_) {
+      std::fprintf(f, ",\n  \"%s\": {\n", s.name.c_str());
+      for (std::size_t i = 0; i < s.leaves.size(); ++i) {
+        std::fprintf(f, "    \"%s\": %s%s\n", s.leaves[i].first.c_str(),
+                     s.leaves[i].second.c_str(),
+                     i + 1 < s.leaves.size() ? "," : "");
+      }
+      std::fprintf(f, "  }");
+    }
+    std::fprintf(f, "\n}\n");
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> leaves;
+  };
+
+  void set(const std::string& section, const std::string& key,
+           std::string rendered) {
+    for (Section& s : sections_) {
+      if (s.name != section) continue;
+      for (auto& leaf : s.leaves) {
+        if (leaf.first == key) {
+          leaf.second = std::move(rendered);
+          return;
+        }
+      }
+      s.leaves.emplace_back(key, std::move(rendered));
+      return;
+    }
+    sections_.push_back(Section{section, {{key, std::move(rendered)}}});
+  }
+
+  std::string bench_name_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace beehive::bench

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "bench/te_harness.h"
 
 namespace {
@@ -53,8 +54,11 @@ void maybe_write_csv(const char* matrix_panel, const char* bw_panel,
   }
 }
 
+using beehive::bench::JsonReport;
+using beehive::bench::print_decisions;
 using beehive::bench::print_series;
 using beehive::bench::print_summary;
+using beehive::bench::report_te;
 using beehive::bench::run_te_scenario;
 using beehive::bench::TEMode;
 using beehive::bench::TEParams;
@@ -93,6 +97,7 @@ int main(int argc, char** argv) {
   // --trace additionally records spans and writes one Chrome trace-event
   // JSON per scenario (fig4_<scenario>_trace.json, Perfetto-loadable).
   bool trace = false;
+  std::string json_path = "BENCH_observability.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--small") == 0) {
       params.n_hives = 8;
@@ -103,6 +108,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
       params.tracing = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     }
   }
 
@@ -135,7 +142,18 @@ int main(int argc, char** argv) {
   print_matrix_panel("c", "optimized TE", optimized);
   print_series("\nFig 4f: optimized TE", optimized.kbps);
   print_summary("fig4.optimized", optimized);
+  print_decisions(optimized);
   maybe_write_csv("c", "f", optimized);
+
+  JsonReport report("fig4_te");
+  report_te(report, "fig4.naive", naive, params);
+  report_te(report, "fig4.decoupled", decoupled, params);
+  report_te(report, "fig4.optimized", optimized, params);
+  if (report.write_file(json_path)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: failed to write %s\n", json_path.c_str());
+  }
 
   // -- Shape checks: the paper's qualitative claims ------------------------
   std::printf("\n=== shape checks (paper's qualitative claims) ===\n");

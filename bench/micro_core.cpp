@@ -4,10 +4,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "apps/messages.h"
 #include "apps/te_common.h"
+#include "bench/bench_json.h"
 #include "cluster/sim.h"
+#include "instrument/registry.h"
 #include "state/txn.h"
 #include "tests/test_helpers.h"
 
@@ -188,6 +192,69 @@ void BM_HistogramRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramRecord);
 
+// ---------------------------------------------------------------------------
+// Metrics-registry hot paths: the scrape-safe cells hives update per
+// message / per window. All must stay O(1) and allocation-free.
+// ---------------------------------------------------------------------------
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("bench_counter", {{"hive", "0"}});
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("bench_hist", {{"hive", "0"}});
+  Duration v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = (v * 2654435761u + 1) & ((1 << 22) - 1);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsHistogramRecord);
+
+void BM_TimeSeriesRingPush(benchmark::State& state) {
+  MetricsRegistry reg;
+  TimeSeriesRing& ring = reg.ring("bench_ring", {{"hive", "0"}});
+  TimePoint t = 0;
+  for (auto _ : state) {
+    ring.push(t, 1.0);
+    t += kSecond;
+    benchmark::DoNotOptimize(ring);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimeSeriesRingPush);
+
+void BM_PrometheusScrape(benchmark::State& state) {
+  // Cost of rendering one exposition page for a mid-size cluster's worth
+  // of series (scrape side, off the hive hot path).
+  MetricsRegistry reg;
+  const auto hives = static_cast<std::size_t>(state.range(0));
+  for (std::size_t h = 0; h < hives; ++h) {
+    MetricLabels labels{{"hive", std::to_string(h)}};
+    reg.counter("beehive_messages_total", labels).inc(h * 1000);
+    reg.gauge("beehive_queue_depth", labels).set(static_cast<double>(h));
+    reg.histogram("beehive_e2e_latency_us", labels).record(200);
+  }
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string page = reg.prometheus_text();
+    bytes += page.size();
+    benchmark::DoNotOptimize(page);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PrometheusScrape)->Arg(4)->Arg(40);
+
 void BM_DispatchFanout(benchmark::State& state) {
   // Cost of one injected message as the number of distinct cells grows:
   // routing stays O(1) per message regardless of cell population.
@@ -221,7 +288,7 @@ BENCHMARK(BM_DispatchFanout)->Arg(16)->Arg(256)->Arg(4096);
 // platform's own histogram percentiles (virtual-clock microseconds).
 // ---------------------------------------------------------------------------
 
-void run_latency_probe() {
+void run_latency_probe(const std::string& json_path) {
   AppSet apps;
   apps.emplace<CounterApp>();
   ClusterConfig config;
@@ -258,16 +325,49 @@ void run_latency_probe() {
       static_cast<unsigned long long>(e2e.p50()),
       static_cast<unsigned long long>(e2e.p99()),
       static_cast<unsigned long long>(e2e.count()));
+
+  if (json_path.empty()) return;
+  const double seconds =
+      static_cast<double>(sim.now()) / static_cast<double>(kSecond);
+  bench::JsonReport report("micro_core");
+  const std::string s = "latency_probe";
+  report.number(s, "throughput_msgs_per_s",
+                seconds == 0.0
+                    ? 0.0
+                    : static_cast<double>(e2e.count()) / seconds);
+  report.integer(s, "e2e_count", e2e.count());
+  report.integer(s, "e2e_p50_us", e2e.p50());
+  report.integer(s, "e2e_p99_us", e2e.p99());
+  report.integer(s, "queue_p50_us", queue.p50());
+  report.integer(s, "queue_p99_us", queue.p99());
+  report.integer(s, "wire_bytes", sim.meter().total_bytes());
+  report.integer(s, "wire_messages", sim.meter().total_messages());
+  if (report.write_file(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: failed to write %s\n", json_path.c_str());
+  }
 }
 
 }  // namespace
 }  // namespace beehive
 
 int main(int argc, char** argv) {
+  // Strip our own --json flag before google-benchmark sees the arguments.
+  std::string json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  beehive::run_latency_probe();
+  beehive::run_latency_probe(json_path);
   return 0;
 }

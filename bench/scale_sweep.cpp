@@ -5,20 +5,35 @@
 // and optimized keep locality high as the cluster grows — the platform's
 // scaling argument in one table.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/te_harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace beehive;
   using namespace beehive::bench;
 
-  const std::size_t hive_counts[] = {5, 10, 20, 40, 80};
+  // --small trims the sweep for CI smoke runs; --json <path> appends the
+  // machine-readable table.
+  std::vector<std::size_t> hive_counts = {5, 10, 20, 40, 80};
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      hive_counts = {5, 10};
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
 
   std::printf("TE scaling sweep: 10 switches per hive, 100 flows/switch, "
               "20 s simulated\n\n");
   std::printf("%-10s %6s %12s %10s %9s %9s %8s\n", "design", "hives",
               "wire(KB)", "KB/s avg", "hotspot", "locality", "te_bees");
 
+  JsonReport report("scale_sweep");
   for (TEMode mode :
        {TEMode::kNaive, TEMode::kDecoupled, TEMode::kOptimized}) {
     const char* name = mode == TEMode::kNaive       ? "naive"
@@ -36,8 +51,18 @@ int main() {
       std::printf("%-10s %6zu %12.1f %10.1f %9.2f %9.2f %8zu\n", name, hives,
                   static_cast<double>(r.wire_bytes) / 1024.0, avg,
                   r.hotspot_share, r.locality, r.te_bees);
+      report_te(report, std::string(name) + "." + std::to_string(hives), r,
+                params);
     }
     std::printf("\n");
+  }
+  if (!json_path.empty()) {
+    if (report.write_file(json_path)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: failed to write %s\n",
+                   json_path.c_str());
+    }
   }
   return 0;
 }

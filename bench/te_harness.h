@@ -16,6 +16,7 @@
 #include "apps/discovery.h"
 #include "apps/te_decoupled.h"
 #include "apps/te_naive.h"
+#include "bench/bench_json.h"
 #include "cluster/sim.h"
 #include "instrument/collector.h"
 #include "instrument/histogram.h"
@@ -75,6 +76,9 @@ struct TEResult {
   LatencyHistogram queue_latency;    ///< emission -> handler start
   LatencyHistogram handler_latency;  ///< handler duration (0 in sim)
   LatencyHistogram e2e_latency;      ///< trace ingress -> terminal handler
+  /// The optimizer's explained decision rounds ("stats.decisions"), oldest
+  /// first; empty unless the strategy considered at least one candidate.
+  std::vector<PlacementRound> decision_rounds;
 };
 
 inline TEResult run_te_scenario(TEMode mode, const TEParams& params) {
@@ -202,8 +206,17 @@ inline TEResult run_te_scenario(TEMode mode, const TEParams& params) {
   result.tail_kbps = tail_n == 0 ? 0.0 : tail_sum / static_cast<double>(tail_n);
 
   const AppId te_id = apps.find_by_name(te_name)->id();
+  const AppId collector_id = apps.find_by_name("platform.collector")->id();
   for (const BeeRecord& rec : sim.registry().live_bees()) {
     if (rec.app == te_id) ++result.te_bees;
+    if (rec.app == collector_id) {
+      // The collector centralizes on one bee; its store holds the
+      // explained decision log.
+      if (Bee* bee = sim.hive(rec.hive).find_bee(rec.id)) {
+        auto rounds = CollectorApp::decisions_from_store(bee->store());
+        if (!rounds.empty()) result.decision_rounds = std::move(rounds);
+      }
+    }
   }
 
   for (HiveId i = 0; i < params.n_hives; ++i) {
@@ -240,6 +253,39 @@ inline void print_latency(const char* label, const TEResult& r) {
       static_cast<unsigned long long>(r.e2e_latency.count()));
 }
 
+/// Prints the optimizer's explained decisions: why each candidate bee was
+/// migrated or left in place (paper §4's "optimizer" made auditable).
+inline void print_decisions(const TEResult& r, std::size_t max_rows = 12) {
+  if (r.decision_rounds.empty()) {
+    std::printf("decision log: empty (no optimization candidates)\n");
+    return;
+  }
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (const PlacementRound& round : r.decision_rounds) {
+    for (const PlacementDecision& d : round.decisions) {
+      (d.accepted ? accepted : rejected) += 1;
+    }
+  }
+  std::printf("decision log: %zu round(s), %zu accepted, %zu rejected\n",
+              r.decision_rounds.size(), accepted, rejected);
+  std::size_t rows = 0;
+  for (const PlacementRound& round : r.decision_rounds) {
+    for (const PlacementDecision& d : round.decisions) {
+      if (rows++ >= max_rows) return;
+      std::printf(
+          "  round %llu t=%.1fs bee %llu: hive %u -> %u %s (%s, "
+          "%llu/%llu msgs from target, score %.2f)\n",
+          static_cast<unsigned long long>(round.round),
+          static_cast<double>(round.at) / static_cast<double>(kSecond),
+          static_cast<unsigned long long>(d.bee), d.from, d.to,
+          d.accepted ? "MIGRATE" : "stay", d.reason.c_str(),
+          static_cast<unsigned long long>(d.msgs_from_target),
+          static_cast<unsigned long long>(d.msgs_total), d.score);
+    }
+  }
+}
+
 inline void print_summary(const char* label, const TEResult& r) {
   double avg_kbps = 0.0;
   double peak = 0.0;
@@ -258,6 +304,54 @@ inline void print_summary(const char* label, const TEResult& r) {
       static_cast<unsigned long long>(r.flow_mods),
       static_cast<unsigned long long>(r.migrations));
   print_latency(label, r);
+}
+
+/// Fills one JSON report section with a scenario's headline numbers —
+/// throughput, latency percentiles, bytes on the control channel, and the
+/// decision-log tally (the BENCH_observability.json schema).
+inline void report_te(JsonReport& report, const std::string& section,
+                      const TEResult& r, const TEParams& params) {
+  const double seconds = static_cast<double>(params.duration) /
+                         static_cast<double>(kSecond);
+  double avg_kbps = 0.0;
+  double peak_kbps = 0.0;
+  for (double v : r.kbps) {
+    avg_kbps += v;
+    if (v > peak_kbps) peak_kbps = v;
+  }
+  if (!r.kbps.empty()) avg_kbps /= static_cast<double>(r.kbps.size());
+
+  report.integer(section, "wire_bytes", r.wire_bytes);
+  report.integer(section, "wire_messages", r.wire_messages);
+  report.number(section, "avg_kbps", avg_kbps);
+  report.number(section, "peak_kbps", peak_kbps);
+  report.number(section, "tail_kbps", r.tail_kbps);
+  report.number(section, "hotspot_share", r.hotspot_share);
+  report.number(section, "locality", r.locality);
+  report.number(section, "tail_locality", r.tail_locality);
+  report.number(section, "throughput_msgs_per_s",
+                seconds == 0.0
+                    ? 0.0
+                    : static_cast<double>(r.e2e_latency.count()) / seconds);
+  report.integer(section, "e2e_count", r.e2e_latency.count());
+  report.integer(section, "e2e_p50_us", r.e2e_latency.p50());
+  report.integer(section, "e2e_p99_us", r.e2e_latency.p99());
+  report.integer(section, "queue_p50_us", r.queue_latency.p50());
+  report.integer(section, "queue_p99_us", r.queue_latency.p99());
+  report.integer(section, "te_bees", r.te_bees);
+  report.integer(section, "flow_mods", r.flow_mods);
+  report.integer(section, "migrations", r.migrations);
+
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  for (const PlacementRound& round : r.decision_rounds) {
+    for (const PlacementDecision& d : round.decisions) {
+      (d.accepted ? accepted : rejected) += 1;
+    }
+  }
+  report.integer(section, "decision_rounds", r.decision_rounds.size());
+  report.integer(section, "decisions_accepted", accepted);
+  report.integer(section, "decisions_rejected", rejected);
 }
 
 }  // namespace beehive::bench

@@ -31,6 +31,17 @@ int main() {
                     "bees over to replicas\n",
                     static_cast<long long>(cluster_ptr->now() / kSecond),
                     hive);
+        // Post-mortem first: dump the flight recorder's recent per-hive
+        // activity (including the optimizer/migration lines leading up to
+        // the crash) before mutating anything.
+        if (FlightRecorder* fr = cluster_ptr->flight_recorder()) {
+          const std::string path = "fault_tolerant_flight.txt";
+          if (fr->dump(path,
+                       "hive " + std::to_string(hive) + " suspected")) {
+            std::printf("         flight recorder dumped to %s\n",
+                        path.c_str());
+          }
+        }
         std::size_t recovered = cluster_ptr->recover_hive(hive);
         std::printf("         %zu bees recovered with replicated state\n",
                     recovered);
@@ -41,6 +52,7 @@ int main() {
   config.hive.metrics_period = kSecond;
   config.hive.replication = true;
   config.hive.timers_until = 20 * kSecond;
+  config.flight_recorder = true;
   SimCluster cluster(config, apps);
   cluster_ptr = &cluster;
   cluster.start();
@@ -101,5 +113,14 @@ int main() {
               "bytes spent: %llu KB\n",
               static_cast<unsigned long long>(
                   cluster.meter().total_bytes() / 1024));
+
+  // Second dump, now that failover has run: the replica hives' adoption
+  // lines (and any migration activity) are in the ring by this point.
+  if (FlightRecorder* fr = cluster.flight_recorder()) {
+    if (fr->dump("fault_tolerant_flight.txt", "post-failover")) {
+      std::printf("flight recorder (post-failover) dumped to "
+                  "fault_tolerant_flight.txt\n");
+    }
+  }
   return macs_after == macs_before ? 0 : 1;
 }

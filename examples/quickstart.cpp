@@ -10,11 +10,25 @@
 // the trade-off the paper's Figure 2 Route function makes).
 //
 // Build & run:  ./build/examples/quickstart
+//
+// `--serve [seconds]` runs the same app on the threaded runtime instead,
+// with the StatusApp on board and the HTTP exposition endpoint live:
+//   curl http://127.0.0.1:9780/metrics      # Prometheus text format
+//   curl http://127.0.0.1:9780/status.json  # per-hive / per-bee snapshot
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "cluster/sim.h"
+#include "cluster/thread_cluster.h"
 #include "core/context.h"
+#include "instrument/status_app.h"
+#include "net/http_export.h"
 
 using namespace beehive;
 
@@ -80,7 +94,107 @@ class WordCountApp : public App {
   }
 };
 
-int main() {
+// -- Serve mode: ThreadCluster + StatusApp + HTTP exposition ----------------
+
+/// Builds /status.json on the status bee's own loop thread (posted task,
+/// so it serializes with handlers) and hands the result to the HTTP
+/// thread. Falls back to "{}" when the bee isn't up yet or is slow.
+std::string status_json_from(ThreadCluster& cluster, AppId status_app) {
+  for (const BeeRecord& rec : cluster.registry().live_bees()) {
+    if (rec.app != status_app) continue;
+    auto promise = std::make_shared<std::promise<std::string>>();
+    auto future = promise->get_future();
+    const HiveId hive = rec.hive;
+    const BeeId bee_id = rec.id;
+    cluster.post(hive, [&cluster, hive, bee_id, promise] {
+      Bee* bee = cluster.hive(hive).find_bee(bee_id);
+      promise->set_value(
+          bee == nullptr
+              ? std::string("{}\n")
+              : StatusApp::report_from_store(bee->store(), cluster.now())
+                    .to_json());
+    });
+    if (future.wait_for(std::chrono::seconds(2)) ==
+        std::future_status::ready) {
+      return future.get();
+    }
+    return "{}\n";
+  }
+  return "{}\n";
+}
+
+int serve(Duration run_for, std::uint16_t port) {
+  AppSet apps;
+  apps.emplace<WordCountApp>();
+  apps.emplace<StatusApp>();
+  const AppId status_app = apps.find_by_name("platform.status")->id();
+
+  ThreadClusterConfig config;
+  config.n_hives = 4;
+  config.hive.metrics_period = kSecond / 2;
+  ThreadCluster cluster(config, apps);
+  cluster.start();
+
+  HttpExportServer server(*cluster.metrics(), port);
+  server.set_status_source(
+      [&cluster, status_app] { return status_json_from(cluster, status_app); });
+  std::printf("serving http://127.0.0.1:%u/metrics and /status.json for "
+              "%.0f s\n",
+              server.port(),
+              static_cast<double>(run_for) / static_cast<double>(kSecond));
+  std::fflush(stdout);
+
+  // A steady trickle of words keeps the counters, rate rings and the
+  // StatusApp's windows moving while scrapers watch.
+  const char* stream[] = {"to", "bee", "or", "not", "to", "bee",
+                          "that", "is", "the", "question", "bee"};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(run_for);
+  std::size_t i = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const HiveId hive = static_cast<HiveId>(i % 4);
+    const std::string word = stream[i % (sizeof(stream) / sizeof(*stream))];
+    ++i;
+    cluster.post(hive, [&cluster, hive, word] {
+      cluster.hive(hive).inject(MessageEnvelope::make(
+          Word{word}, 0, kNoBee, hive, cluster.now()));
+    });
+    if (i == 16) {
+      // Force the whole-dict query once so the app centralizes and the
+      // status view shows the merged bee.
+      cluster.post(0, [&cluster] {
+        cluster.hive(0).inject(MessageEnvelope::make(TopWordQuery{1}, 0,
+                                                     kNoBee, 0,
+                                                     cluster.now()));
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  std::printf("served %llu request(s); shutting down\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  server.stop();
+  cluster.stop();
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      Duration run_for = 30 * kSecond;
+      std::uint16_t port = 9780;
+      if (i + 1 < argc && std::atoi(argv[i + 1]) > 0) {
+        run_for = static_cast<Duration>(std::atoi(argv[i + 1])) * kSecond;
+      }
+      for (int j = 1; j + 1 < argc; ++j) {
+        if (std::strcmp(argv[j], "--port") == 0) {
+          port = static_cast<std::uint16_t>(std::atoi(argv[j + 1]));
+        }
+      }
+      return serve(run_for, port);
+    }
+  }
+
   AppSet apps;
   apps.emplace<WordCountApp>();
 

@@ -12,6 +12,15 @@ SimCluster::SimCluster(ClusterConfig config, const AppSet& apps)
       rng_(config.seed) {
   assert(config_.n_hives > 0);
   config_.hive.n_hives = config_.n_hives;
+  if (config_.metrics) metrics_ = std::make_unique<MetricsRegistry>();
+  if (config_.flight_recorder) {
+    recorder_ =
+        std::make_unique<FlightRecorder>(config_.flight_recorder_lines);
+    // Single-threaded runtime: pulling spans from inside a dump is safe.
+    if (config_.tracing) {
+      recorder_->set_span_source([this] { return trace_events(); });
+    }
+  }
   hives_.reserve(config_.n_hives);
   if (config_.tracing) tracers_.reserve(config_.n_hives);
   for (HiveId id = 0; id < config_.n_hives; ++id) {
@@ -22,8 +31,28 @@ SimCluster::SimCluster(ClusterConfig config, const AppSet& apps)
       hc.tracer = tracers_.back().get();
     }
     hc.faults = &faults_;
+    hc.metrics = metrics_.get();
+    hc.recorder = recorder_.get();
     hives_.push_back(
         std::make_unique<Hive>(id, apps, registry_, *this, hc));
+  }
+  if (metrics_) {
+    // Control-channel totals are pull-gauges: the meter has its own lock,
+    // so they are read at scrape time instead of being pushed.
+    metrics_->gauge_fn(
+        "beehive_channel_bytes_total", {},
+        [this] { return static_cast<double>(meter_.total_bytes()); },
+        "Bytes that crossed the inter-hive control channel.",
+        /*counter_semantics=*/true);
+    metrics_->gauge_fn(
+        "beehive_channel_messages_total", {},
+        [this] { return static_cast<double>(meter_.total_messages()); },
+        "Frames that crossed the inter-hive control channel.",
+        /*counter_semantics=*/true);
+    metrics_->gauge_fn(
+        "beehive_channel_hotspot_share", {},
+        [this] { return meter_.hotspot_share(); },
+        "Fraction of inter-hive traffic involving the busiest hive.");
   }
   // Registry RPC attempts traverse the same lossy network as frames.
   registry_.set_rpc_fault_hook([this](HiveId requester) {

@@ -20,6 +20,8 @@
 #include "cluster/registry.h"
 #include "cluster/runtime_env.h"
 #include "core/hive.h"
+#include "instrument/flight_recorder.h"
+#include "instrument/registry.h"
 
 namespace beehive {
 
@@ -37,6 +39,17 @@ struct ClusterConfig {
   bool tracing = false;
   /// Ring capacity (events) of each per-hive recorder.
   std::size_t trace_capacity = 1 << 16;
+  /// Own a MetricsRegistry and register every hive's counters, gauges,
+  /// latency histograms and rate rings into it. Registration happens once
+  /// here in the constructor; the per-message hot path is unchanged (the
+  /// counters are the same atomic cells either way), and windowed values
+  /// are published once per metrics report.
+  bool metrics = true;
+  /// Keep a bounded ring of recent log lines and decisions per hive for
+  /// post-mortem dumps (instrument/flight_recorder.h).
+  bool flight_recorder = false;
+  /// Lines retained per hive by the flight recorder.
+  std::size_t flight_recorder_lines = 256;
   HiveConfig hive;
 };
 
@@ -109,6 +122,14 @@ class SimCluster final : public RuntimeEnv {
   /// when tracing is off.
   std::vector<TraceEvent> trace_events() const;
 
+  /// The cluster-owned metrics registry (nullptr when config.metrics is
+  /// off). Scrape-safe at any point of the run.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// The cluster-owned flight recorder (nullptr unless enabled).
+  FlightRecorder* flight_recorder() { return recorder_.get(); }
+
  private:
   struct Event {
     TimePoint at;
@@ -125,6 +146,8 @@ class SimCluster final : public RuntimeEnv {
   RegistryService registry_;
   Xoshiro256 rng_;
   FaultPlan faults_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<FlightRecorder> recorder_;
   std::vector<std::unique_ptr<TraceRecorder>> tracers_;
   std::vector<std::unique_ptr<Hive>> hives_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;

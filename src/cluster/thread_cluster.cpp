@@ -12,6 +12,13 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
       epoch_(std::chrono::steady_clock::now()) {
   assert(config_.n_hives > 0);
   config_.hive.n_hives = config_.n_hives;
+  if (config_.metrics) metrics_ = std::make_unique<MetricsRegistry>();
+  if (config_.flight_recorder) {
+    recorder_ =
+        std::make_unique<FlightRecorder>(config_.flight_recorder_lines);
+    // No span source here: the per-hive trace recorders are single-writer
+    // and unlocked, so a dump from an arbitrary thread must not read them.
+  }
   nodes_.reserve(config_.n_hives);
   if (config_.tracing) tracers_.reserve(config_.n_hives);
   for (HiveId id = 0; id < config_.n_hives; ++id) {
@@ -22,9 +29,29 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
       hc.tracer = tracers_.back().get();
     }
     hc.faults = &faults_;
+    hc.metrics = metrics_.get();
+    hc.recorder = recorder_.get();
     auto node = std::make_unique<Node>();
     node->hive = std::make_unique<Hive>(id, apps, registry_, *this, hc);
     nodes_.push_back(std::move(node));
+  }
+  if (metrics_) {
+    // Channel totals as pull-gauges; the meter's own mutex makes the reads
+    // thread-safe at scrape time.
+    metrics_->gauge_fn(
+        "beehive_channel_bytes_total", {},
+        [this] { return static_cast<double>(meter_.total_bytes()); },
+        "Bytes that crossed the inter-hive control channel.",
+        /*counter_semantics=*/true);
+    metrics_->gauge_fn(
+        "beehive_channel_messages_total", {},
+        [this] { return static_cast<double>(meter_.total_messages()); },
+        "Frames that crossed the inter-hive control channel.",
+        /*counter_semantics=*/true);
+    metrics_->gauge_fn(
+        "beehive_channel_hotspot_share", {},
+        [this] { return meter_.hotspot_share(); },
+        "Fraction of inter-hive traffic involving the busiest hive.");
   }
   // Registry RPC attempts traverse the same lossy network as frames. The
   // hook runs under the registry mutex on arbitrary hive threads, so the

@@ -23,6 +23,8 @@
 #include "cluster/registry.h"
 #include "cluster/runtime_env.h"
 #include "core/hive.h"
+#include "instrument/flight_recorder.h"
+#include "instrument/registry.h"
 
 namespace beehive {
 
@@ -35,6 +37,15 @@ struct ThreadClusterConfig {
   /// recorders; each hive's spans are written only from its loop thread).
   bool tracing = false;
   std::size_t trace_capacity = 1 << 16;
+  /// Own a MetricsRegistry and register every hive's metrics into it; the
+  /// registry (and therefore /metrics via net/http_export.h) is safe to
+  /// scrape from any thread while hives run.
+  bool metrics = true;
+  /// Keep a bounded ring of recent log lines and decisions per hive for
+  /// post-mortem dumps (instrument/flight_recorder.h).
+  bool flight_recorder = false;
+  /// Lines retained per hive by the flight recorder.
+  std::size_t flight_recorder_lines = 256;
   HiveConfig hive;
 };
 
@@ -82,6 +93,14 @@ class ThreadCluster final : public RuntimeEnv {
   /// cluster is stopped or idle (recorders are not locked).
   std::vector<TraceEvent> trace_events() const;
 
+  /// The cluster-owned metrics registry (nullptr when config.metrics is
+  /// off). Scrape-safe from any thread while the cluster runs.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// The cluster-owned flight recorder (nullptr unless enabled).
+  FlightRecorder* flight_recorder() { return recorder_.get(); }
+
   /// Posts `fn` onto a hive's loop thread (e.g. to inject messages with
   /// correct threading) and returns immediately.
   void post(HiveId hive, std::function<void()> fn);
@@ -116,6 +135,8 @@ class ThreadCluster final : public RuntimeEnv {
   ThreadClusterConfig config_;
   ChannelMeter meter_;
   RegistryService registry_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<FlightRecorder> recorder_;
   std::vector<std::unique_ptr<TraceRecorder>> tracers_;
   Xoshiro256 rng_;  // guarded by rng_mutex_
   std::mutex rng_mutex_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "msg/message.h"
+#include "placement/strategy.h"
 #include "state/txn.h"
 #include "util/types.h"
 
@@ -45,6 +46,14 @@ class AppContext {
     migration_orders_.emplace_back(bee, to);
   }
 
+  /// Explains a placement decision. Buffered like emissions; after commit
+  /// the hive turns each record into a kDecision trace span and a flight-
+  /// recorder line, so optimizer reasoning lands in the same streams as
+  /// the migrations it causes.
+  void note_decision(PlacementDecision decision) {
+    decisions_.push_back(std::move(decision));
+  }
+
   AppId app() const { return app_; }
   BeeId self() const { return bee_; }
   HiveId hive() const { return hive_; }
@@ -59,6 +68,7 @@ class AppContext {
   std::vector<std::pair<BeeId, HiveId>>& migration_orders() {
     return migration_orders_;
   }
+  std::vector<PlacementDecision>& decisions() { return decisions_; }
 
  private:
   Txn txn_;
@@ -69,6 +79,7 @@ class AppContext {
   MsgTypeId in_reply_to_;
   std::vector<MessageEnvelope> emitted_;
   std::vector<std::pair<BeeId, HiveId>> migration_orders_;
+  std::vector<PlacementDecision> decisions_;
 };
 
 }  // namespace beehive

@@ -4,6 +4,7 @@
 
 #include "cluster/faults.h"
 #include "core/context.h"
+#include "instrument/flight_recorder.h"
 #include "util/logging.h"
 
 namespace beehive {
@@ -20,6 +21,95 @@ Hive::Hive(HiveId id, const AppSet& apps, RegistryService& registry,
     transport_ =
         std::make_unique<ReliableTransport>(id_, env_, config_.transport);
   }
+  register_metrics();
+}
+
+void Hive::register_metrics() {
+  MetricsRegistry* reg = config_.metrics;
+  if (reg == nullptr) return;
+  const MetricLabels labels{{"hive", std::to_string(id_)}};
+
+  // Routing/protocol counters: the live atomic cells themselves are
+  // exposed, so scrapes see up-to-the-message values with zero extra work
+  // on the dispatch path.
+  reg->expose_counter("beehive_messages_injected_total", labels,
+                      &counters_.injected,
+                      "Messages entering the platform on IO channels");
+  reg->expose_counter("beehive_messages_routed_local_total", labels,
+                      &counters_.routed_local,
+                      "Messages delivered to a bee on the resolving hive");
+  reg->expose_counter("beehive_messages_routed_remote_total", labels,
+                      &counters_.routed_remote,
+                      "Messages relayed to another hive after resolve");
+  reg->expose_counter("beehive_messages_forwarded_total", labels,
+                      &counters_.forwarded,
+                      "Messages re-forwarded because the sender cache was stale");
+  reg->expose_counter("beehive_handler_runs_total", labels,
+                      &counters_.handler_runs, "Handler invocations");
+  reg->expose_counter("beehive_handler_failures_total", labels,
+                      &counters_.handler_failures,
+                      "Handler invocations rolled back on exception");
+  reg->expose_counter("beehive_merges_started_total", labels,
+                      &counters_.merges_started,
+                      "Merge protocols initiated by this hive");
+  reg->expose_counter("beehive_migrations_in_total", labels,
+                      &counters_.migrations_in,
+                      "Bees installed here by migration");
+  reg->expose_counter("beehive_migrations_out_total", labels,
+                      &counters_.migrations_out,
+                      "Bees migrated away from this hive");
+  reg->expose_counter("beehive_migration_retries_total", labels,
+                      &counters_.migration_retries,
+                      "Migration transfers re-sent on ack timeout");
+  reg->expose_counter("beehive_migration_aborts_total", labels,
+                      &counters_.migration_aborts,
+                      "Migrations abandoned after the retry cap");
+  reg->expose_counter("beehive_registry_failures_total", labels,
+                      &counters_.registry_failures,
+                      "Messages dropped because the registry was unreachable");
+
+  // Window-published cells (see publish_window).
+  published_.msgs_window =
+      &reg->ring("beehive_handler_runs_window", labels);
+  published_.e2e_p99_window =
+      &reg->ring("beehive_e2e_p99_window_us", labels);
+  published_.bees =
+      &reg->gauge("beehive_bees", labels, "Live bees on this hive");
+  published_.cells =
+      &reg->gauge("beehive_cells", labels, "Cells owned by local bees");
+  published_.queue_depth =
+      &reg->gauge("beehive_queue_depth", labels,
+                  "Messages held behind transfer fences at report time");
+  published_.e2e = &reg->histogram(
+      "beehive_e2e_latency_us", labels,
+      "Trace ingress to terminal handler latency (microseconds)");
+  published_.queue = &reg->histogram(
+      "beehive_queue_latency_us", labels,
+      "Emission to handler-start latency (microseconds)");
+  published_.handler = &reg->histogram(
+      "beehive_handler_latency_us", labels,
+      "Handler duration (microseconds)");
+  published_.tx_data = &reg->gauge(
+      "beehive_transport_data_frames", labels,
+      "Reliable transport: data frames first-sent (lifetime)");
+  published_.tx_retransmits = &reg->gauge(
+      "beehive_transport_retransmits", labels,
+      "Reliable transport: frames re-sent on ack timeout (lifetime)");
+  published_.tx_acks =
+      &reg->gauge("beehive_transport_acks_sent", labels,
+                  "Reliable transport: standalone ack frames (lifetime)");
+  published_.tx_dups = &reg->gauge(
+      "beehive_transport_dup_frames_dropped", labels,
+      "Reliable transport: receive-side dedup discards (lifetime)");
+  published_.tx_reorder = &reg->gauge(
+      "beehive_transport_reorder_buffered", labels,
+      "Reliable transport: frames held for in-order delivery (lifetime)");
+  published_.tx_abandoned = &reg->gauge(
+      "beehive_transport_frames_abandoned", labels,
+      "Reliable transport: frames dropped after the retransmit cap");
+  published_.partitions =
+      &reg->gauge("beehive_partitions_active", labels,
+                  "Partitions currently injected by the fault plan");
 }
 
 Hive::~Hive() = default;
@@ -80,6 +170,11 @@ void Hive::dispatch_mapped(App& app, const HandlerBinding& binding,
     // Registry unreachable (lossy RPC channel, retries exhausted): the
     // message is dropped, like a control-channel loss without transport.
     ++counters_.registry_failures;
+    if (config_.recorder != nullptr) {
+      config_.recorder->note(id_, "registry resolve failed app=" +
+                                      app.name() + "; dropped msg type=" +
+                                      std::to_string(env.type()));
+    }
     BH_WARN << "hive " << id_ << ": registry resolve failed; dropping "
             << "message of type " << env.type();
     return;
@@ -118,6 +213,10 @@ void Hive::deliver(BeeId bee, AppId app, HiveId hive,
       // superseded). Never resurrect a dead bee — chase the successor.
       BeeId successor = registry_.live_successor(bee);
       if (successor == kNoBee) {
+        if (config_.recorder != nullptr) {
+          config_.recorder->note(
+              id_, "dropped message for vanished bee " + to_string_bee(bee));
+        }
         BH_WARN << "hive " << id_ << ": dropping message for vanished bee "
                 << to_string_bee(bee);
         return;
@@ -190,6 +289,11 @@ void Hive::process(Bee& bee, const MessageEnvelope& env) {
     queue_total_.record(queued);
     handler_total_.record(ran_failed);
     trace_span(SpanKind::kHandlerEnd, env, bee.id(), 0, /*failed=*/1);
+    if (config_.recorder != nullptr) {
+      config_.recorder->note(id_, "handler failure app=" + app->name() +
+                                      " bee=" + to_string_bee(bee.id()) +
+                                      ": " + e.what());
+    }
     BH_WARN << "handler failure in app " << app->name() << " on hive " << id_
             << ": " << e.what();
     return;
@@ -224,6 +328,28 @@ void Hive::process(Bee& bee, const MessageEnvelope& env) {
   }
   for (auto [target_bee, to_hive] : ctx.migration_orders()) {
     request_migration(target_bee, to_hive);
+  }
+  if (!ctx.decisions().empty()) record_decisions(env, ctx.decisions());
+}
+
+void Hive::record_decisions(const MessageEnvelope& env,
+                            std::vector<PlacementDecision>& decisions) {
+  for (const PlacementDecision& d : decisions) {
+    trace_span(SpanKind::kDecision, env, d.bee, d.to, d.accepted ? 1 : 0);
+    if (config_.recorder != nullptr || Logger::instance().enabled(
+                                           LogLevel::kDebug)) {
+      std::string line =
+          "decision bee=" + to_string_bee(d.bee) + " from=" +
+          std::to_string(d.from) + " to=" + std::to_string(d.to) +
+          (d.accepted ? " accepted" : " rejected") + " reason=" + d.reason +
+          " msgs=" + std::to_string(d.msgs_from_target) + "/" +
+          std::to_string(d.msgs_total) +
+          " score=" + std::to_string(d.score);
+      if (config_.recorder != nullptr) {
+        config_.recorder->note(id_, line);
+      }
+      BH_DEBUG << line;
+    }
   }
 }
 
@@ -451,6 +577,7 @@ void Hive::report_metrics() {
     sample.handler_latency = w.handler_latency;
     sample.cells = bee->store().all_cells().size();
     sample.state_bytes = bee->store().byte_size();
+    sample.holdback = bee->holdback_size();
     if (const App* app = apps_.find(bee->app())) {
       sample.pinned = app->pinned();
     }
@@ -475,8 +602,40 @@ void Hive::report_metrics() {
       config_.faults != nullptr
           ? static_cast<std::uint32_t>(config_.faults->partitions_active())
           : 0;
+  if (config_.metrics != nullptr) {
+    std::uint64_t queue_depth = 0;
+    for (const BeeMetricsSample& s : report.bees) queue_depth += s.holdback;
+    const std::uint64_t runs = counters_.handler_runs;
+    publish_window(report, runs - prev_handler_runs_, queue_depth);
+    prev_handler_runs_ = runs;
+  }
   inject(MessageEnvelope::make(std::move(report), 0, kNoBee, id_,
                                env_.now()));
+}
+
+void Hive::publish_window(const LocalMetricsReport& report,
+                          std::uint64_t window_msgs,
+                          std::uint64_t queue_depth) {
+  published_.msgs_window->push(report.at,
+                               static_cast<double>(window_msgs));
+  published_.e2e_p99_window->push(
+      report.at, static_cast<double>(report.e2e_latency.p99()));
+  published_.bees->set(static_cast<double>(bees_.size()));
+  published_.cells->set(static_cast<double>(report.hive_cells));
+  published_.queue_depth->set(static_cast<double>(queue_depth));
+  published_.e2e->merge(report.e2e_latency);
+  for (const BeeMetricsSample& s : report.bees) {
+    published_.queue->merge(s.queue_latency);
+    published_.handler->merge(s.handler_latency);
+  }
+  const TransportCounters& t = report.transport;
+  published_.tx_data->set(static_cast<double>(t.data_frames));
+  published_.tx_retransmits->set(static_cast<double>(t.retransmits));
+  published_.tx_acks->set(static_cast<double>(t.acks_sent));
+  published_.tx_dups->set(static_cast<double>(t.dup_frames_dropped));
+  published_.tx_reorder->set(static_cast<double>(t.reorder_buffered));
+  published_.tx_abandoned->set(static_cast<double>(t.frames_abandoned));
+  published_.partitions->set(static_cast<double>(report.partitions_active));
 }
 
 }  // namespace beehive

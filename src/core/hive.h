@@ -26,14 +26,18 @@
 #include "core/transport.h"
 #include "core/wire.h"
 #include "instrument/histogram.h"
+#include "instrument/registry.h"
 #include "instrument/trace.h"
 #include "msg/message.h"
+#include "placement/strategy.h"
 #include "state/txn.h"
 #include "util/types.h"
 
 namespace beehive {
 
 class FaultPlan;
+class FlightRecorder;
+struct LocalMetricsReport;
 
 struct HiveConfig {
   /// Period of the instrumentation report timer; 0 disables reporting.
@@ -65,6 +69,14 @@ struct HiveConfig {
   /// The cluster's fault plan (owned by the runtime; may be null). Hives
   /// only *read* it, to report partitions_active with their metrics.
   const FaultPlan* faults = nullptr;
+  /// Cluster metrics registry (owned by the runtime; may be null). The
+  /// hive exposes its counters into it at construction and publishes
+  /// window snapshots (rings, gauges, latency histograms) once per
+  /// metrics period — never on the per-message path.
+  MetricsRegistry* metrics = nullptr;
+  /// Cluster flight recorder (owned by the runtime; may be null). The
+  /// hive notes optimizer decisions and migration aborts into it.
+  FlightRecorder* recorder = nullptr;
 };
 
 class Hive {
@@ -118,19 +130,22 @@ class Hive {
   const StateStore* replica_store(BeeId bee) const;
   std::size_t replica_count() const { return replicas_.size(); }
 
+  /// Routing/protocol counters. Each field is a registry Counter (relaxed
+  /// atomic) so the scrape thread can read while the hive thread writes;
+  /// ++/+=/implicit-uint64_t conversion keep call sites unchanged.
   struct Counters {
-    std::uint64_t injected = 0;
-    std::uint64_t routed_local = 0;
-    std::uint64_t routed_remote = 0;
-    std::uint64_t forwarded = 0;
-    std::uint64_t handler_runs = 0;
-    std::uint64_t handler_failures = 0;
-    std::uint64_t merges_started = 0;
-    std::uint64_t migrations_in = 0;
-    std::uint64_t migrations_out = 0;
-    std::uint64_t migration_retries = 0;   ///< MigrateXfer re-sent on timeout
-    std::uint64_t migration_aborts = 0;    ///< gave up; bee stayed at origin
-    std::uint64_t registry_failures = 0;   ///< messages dropped: no resolve
+    Counter injected;
+    Counter routed_local;
+    Counter routed_remote;
+    Counter forwarded;
+    Counter handler_runs;
+    Counter handler_failures;
+    Counter merges_started;
+    Counter migrations_in;
+    Counter migrations_out;
+    Counter migration_retries;   ///< MigrateXfer re-sent on timeout
+    Counter migration_aborts;    ///< gave up; bee stayed at origin
+    Counter registry_failures;   ///< messages dropped: no resolve
   };
   const Counters& counters() const { return counters_; }
 
@@ -233,6 +248,17 @@ class Hive {
   void arm_metrics_timer();
   void report_metrics();
 
+  // Registry plumbing: expose counters once at construction; publish each
+  // window's rates/gauges/latency at report time (1/metrics_period, off
+  // the dispatch path).
+  void register_metrics();
+  void publish_window(const LocalMetricsReport& report,
+                      std::uint64_t window_msgs, std::uint64_t queue_depth);
+  /// Drains ctx.note_decision() records into the trace stream and the
+  /// flight recorder.
+  void record_decisions(const MessageEnvelope& env,
+                        std::vector<PlacementDecision>& decisions);
+
   HiveId id_;
   const AppSet& apps_;
   RegistryService& registry_;
@@ -262,6 +288,28 @@ class Hive {
   LatencyHistogram handler_total_;
   LatencyHistogram e2e_total_;
   LatencyHistogram e2e_window_;
+
+  /// Registry metric cells this hive publishes into at report time (all
+  /// null when config_.metrics is null).
+  struct Published {
+    TimeSeriesRing* msgs_window = nullptr;   ///< handler runs per window
+    TimeSeriesRing* e2e_p99_window = nullptr;
+    Gauge* bees = nullptr;
+    Gauge* cells = nullptr;
+    Gauge* queue_depth = nullptr;
+    HistogramMetric* e2e = nullptr;
+    HistogramMetric* queue = nullptr;
+    HistogramMetric* handler = nullptr;
+    Gauge* tx_data = nullptr;
+    Gauge* tx_retransmits = nullptr;
+    Gauge* tx_acks = nullptr;
+    Gauge* tx_dups = nullptr;
+    Gauge* tx_reorder = nullptr;
+    Gauge* tx_abandoned = nullptr;
+    Gauge* partitions = nullptr;
+  };
+  Published published_;
+  std::uint64_t prev_handler_runs_ = 0;  ///< for per-window deltas
 };
 
 }  // namespace beehive

@@ -18,6 +18,7 @@
 #include <cassert>
 
 #include "core/hive.h"
+#include "instrument/flight_recorder.h"
 #include "util/logging.h"
 
 namespace beehive {
@@ -204,6 +205,13 @@ void Hive::handle_migrate_xfer(const MigrateXferFrame& frame) {
   bee.restore_transfer_counters(frame.transfers_applied,
                                 frame.transfers_required);
   ++counters_.migrations_in;
+  if (config_.recorder != nullptr) {
+    config_.recorder->note(id_, "migrate in bee=" + to_string_bee(frame.bee) +
+                                    " from=" +
+                                    std::to_string(frame.src_hive) +
+                                    " snapshot_bytes=" +
+                                    std::to_string(frame.snapshot.size()));
+  }
   if (tracing()) {
     config_.tracer->record(TraceEvent{env_.now(), SpanKind::kMigrateIn, 0, 0,
                                       id_, frame.bee, frame.app, 0,
@@ -231,6 +239,13 @@ void Hive::complete_migration(BeeId bee_id) {
   AppId app = bee.app();
   std::uint64_t required = bee.transfers_required();
   ++counters_.migrations_out;
+  if (config_.recorder != nullptr) {
+    config_.recorder->note(id_, "migrate out bee=" + to_string_bee(bee_id) +
+                                    " to=" +
+                                    std::to_string(bee.migration_target()) +
+                                    " held_msgs=" +
+                                    std::to_string(held.size()));
+  }
   if (tracing()) {
     config_.tracer->record(TraceEvent{env_.now(), SpanKind::kMigrateOut, 0, 0,
                                       id_, bee_id, app, 0, held.size(),
@@ -341,6 +356,12 @@ void Hive::check_migration(BeeId bee_id, std::uint64_t attempt_epoch) {
   mr.timeout *= 2;  // exponential backoff on the ack timeout
   ++mr.attempt;
   ++counters_.migration_retries;
+  if (config_.recorder != nullptr) {
+    config_.recorder->note(id_, "migrate retry bee=" + to_string_bee(bee_id) +
+                                    " to=" + std::to_string(mr.to) +
+                                    " attempts_left=" +
+                                    std::to_string(mr.attempts_left));
+  }
   send_migrate_xfer(*bee, mr.to, mr.mig_epoch);
   arm_migration_timer(bee_id);
 }
@@ -350,6 +371,11 @@ void Hive::check_migration(BeeId bee_id, std::uint64_t attempt_epoch) {
 /// keeps living at its origin; its held-back messages drain locally.
 void Hive::abort_migration(Bee& bee) {
   ++counters_.migration_aborts;
+  if (config_.recorder != nullptr) {
+    config_.recorder->note(
+        id_, "migrate abort bee=" + to_string_bee(bee.id()) + " to=" +
+                 std::to_string(bee.migration_target()) + "; bee stays local");
+  }
   BH_WARN << "hive " << id_ << ": migration of bee "
           << to_string_bee(bee.id()) << " to hive "
           << bee.migration_target() << " aborted; bee stays local";

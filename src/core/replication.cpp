@@ -11,6 +11,7 @@
 // bee of the failed hive at its replica hive, which adopts the bee from
 // the replicated state and establishes a new replica downstream.
 #include "core/hive.h"
+#include "instrument/flight_recorder.h"
 #include "util/logging.h"
 
 namespace beehive {
@@ -70,6 +71,11 @@ bool Hive::adopt_from_replica(BeeId bee_id, AppId app) {
   } else {
     BH_WARN << "hive " << id_ << ": adopting " << to_string_bee(bee_id)
             << " with no replica — state lost";
+  }
+  if (config_.recorder != nullptr) {
+    config_.recorder->note(id_, "adopted bee=" + to_string_bee(bee_id) +
+                                    (found ? " from replica"
+                                           : " WITHOUT replica (state lost)"));
   }
   // Establish the bee's new replica downstream of its new home.
   replicate_snapshot(bee);

@@ -1,5 +1,6 @@
 #include "instrument/collector.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "core/context.h"
@@ -48,7 +49,8 @@ CellSet collector_cells() {
       {std::string(CollectorApp::kInTypesDict), std::string(kAllKeys)},
       {std::string(CollectorApp::kCausationDict), std::string(kAllKeys)},
       {std::string(CollectorApp::kLatencyDict), std::string(kAllKeys)},
-      {std::string(CollectorApp::kTransportDict), std::string(kAllKeys)}};
+      {std::string(CollectorApp::kTransportDict), std::string(kAllKeys)},
+      {std::string(CollectorApp::kDecisionsDict), std::string(kAllKeys)}};
 }
 
 void bump_counter(Txn& txn, std::string_view dict, const std::string& key,
@@ -103,6 +105,7 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
   MsgTypeRegistry::instance().ensure<BeeAgg>();
   MsgTypeRegistry::instance().ensure<HiveCells>();
   MsgTypeRegistry::instance().ensure<TransportAgg>();
+  MsgTypeRegistry::instance().ensure<PlacementRound>();
   const std::string bees(kBeesDict);
   const std::string hives(kHivesDict);
 
@@ -197,8 +200,34 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
             });
         view.latency = fold.finish();
 
-        for (const MigrationDecision& d : strategy->decide(view)) {
+        std::vector<PlacementDecision> decision_log;
+        for (const MigrationDecision& d :
+             strategy->decide_explained(view, &decision_log)) {
           ctx.order_migration(d.bee, d.to);
+        }
+        if (!decision_log.empty()) {
+          // Persist the explained round (bounded history) and hand the
+          // records to the hive for tracing/flight-recording.
+          const std::string dict(CollectorApp::kDecisionsDict);
+          HiveCells next =
+              ctx.state().get_as<HiveCells>(dict, "next").value_or(
+                  HiveCells{});
+          PlacementRound round;
+          round.round = next.cells;
+          round.at = ctx.now();
+          round.strategy = std::string(strategy->name());
+          round.decisions = decision_log;
+          ctx.state().put_as(dict, "r" + std::to_string(round.round), round);
+          next.cells += 1;
+          ctx.state().put_as(dict, "next", next);
+          if (round.round >= CollectorApp::kDecisionRoundsKept) {
+            ctx.state().erase(
+                dict, "r" + std::to_string(
+                          round.round - CollectorApp::kDecisionRoundsKept));
+          }
+          for (PlacementDecision& d : decision_log) {
+            ctx.note_decision(std::move(d));
+          }
         }
         for (const std::string& key : keys) {
           ctx.state().erase(bees, key);
@@ -253,6 +282,22 @@ std::vector<CollectorApp::TransportRow> CollectorApp::transport_from_store(
     });
   }
   return rows;
+}
+
+std::vector<PlacementRound> CollectorApp::decisions_from_store(
+    const StateStore& store) {
+  std::vector<PlacementRound> rounds;
+  if (const Dict* d = store.find_dict(kDecisionsDict)) {
+    d->for_each([&rounds](const std::string& key, const Bytes& value) {
+      if (key == "next") return;
+      rounds.push_back(decode_from_bytes<PlacementRound>(value));
+    });
+  }
+  std::sort(rounds.begin(), rounds.end(),
+            [](const PlacementRound& a, const PlacementRound& b) {
+              return a.round < b.round;
+            });
+  return rounds;
 }
 
 ClusterView CollectorApp::view_from_store(const StateStore& store,

@@ -102,6 +102,12 @@ class CollectorApp : public App {
   /// Per-hive reliability health, one cell per hive: latest cumulative
   /// transport totals plus migration aborts and the partition gauge.
   static constexpr std::string_view kTransportDict = "stats.transport";
+  /// Explained optimizer decisions, one PlacementRound cell per
+  /// optimization round that considered at least one candidate (keys
+  /// "r<round>", plus "next" holding the round counter). Only the last
+  /// kDecisionRoundsKept rounds are retained.
+  static constexpr std::string_view kDecisionsDict = "stats.decisions";
+  static constexpr std::uint64_t kDecisionRoundsKept = 8;
 
   /// Rebuilds the optimizer's input from a collector bee's state store
   /// (used by tests and by benches for analytics output).
@@ -130,6 +136,10 @@ class CollectorApp : public App {
     std::uint32_t partitions_active = 0;
   };
   static std::vector<TransportRow> transport_from_store(
+      const StateStore& store);
+
+  /// Retained decision rounds, oldest first (tests, benches, StatusApp).
+  static std::vector<PlacementRound> decisions_from_store(
       const StateStore& store);
 };
 

@@ -1,0 +1,89 @@
+// Post-mortem flight recorder: a bounded ring of recent log lines per hive
+// that can be dumped to disk when something goes wrong.
+//
+// Traces answer "what happened across the cluster"; the flight recorder
+// answers the narrower operational question "what was *this hive* doing in
+// the seconds before the crash / suspicion / hang" — without keeping logs
+// at debug verbosity all the time. Lines are recorded pre-formatted, so a
+// dump is readable with no tooling.
+//
+// Dump triggers:
+//   - on demand (StatusApp, tests, examples call dump()),
+//   - fault-detector suspicion (examples wire on_suspect to dump()),
+//   - process crash: install_crash_handler() registers SIGSEGV/SIGABRT/
+//     SIGFPE handlers that write the rings with async-signal-safe IO
+//     before re-raising.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "instrument/trace.h"
+#include "util/types.h"
+
+namespace beehive {
+
+class FlightRecorder {
+ public:
+  /// `lines_per_hive` bounds each hive's ring; memory is allocated lazily
+  /// per hive on first note().
+  explicit FlightRecorder(std::size_t lines_per_hive = 256)
+      : lines_per_hive_(lines_per_hive == 0 ? 1 : lines_per_hive) {}
+
+  /// Appends one line to `hive`'s ring. O(1); the only allocation is the
+  /// line string itself (already built by the caller) moving into the slot.
+  void note(HiveId hive, std::string line);
+
+  /// Tees the global Logger into this recorder *and* the previous sink
+  /// behaviour (stderr). Lines written outside handler scope attribute to
+  /// hive 0. Restore with Logger::set_sink({}).
+  void tee_logger();
+
+  /// Optional span source: when set, dumps append the most recent trace
+  /// events (per hive) after the log lines. Bound by clusters to their
+  /// recorders' events().
+  using SpanSource = std::function<std::vector<TraceEvent>()>;
+  void set_span_source(SpanSource source);
+
+  /// Writes every hive's ring (oldest line first) to `path`, prefixed with
+  /// `reason`. Returns false on IO error. Thread-safe.
+  bool dump(const std::string& path, const std::string& reason) const;
+
+  /// Renders the same content as a string (tests, /status endpoints).
+  std::string render(const std::string& reason) const;
+
+  /// Registers crash-signal handlers (SIGSEGV, SIGABRT, SIGFPE, SIGBUS)
+  /// that write this recorder's rings to `path` and re-raise. Only one
+  /// recorder can be the crash recorder per process; calling again
+  /// rebinds. The handler writes with write(2) and reads the rings
+  /// without locking — best-effort by design: a torn line in a crash dump
+  /// beats a deadlock on a mutex the crashing thread may hold.
+  void install_crash_handler(const std::string& path);
+
+  std::size_t line_count(HiveId hive) const;
+
+  /// Signal-handler path: writes the rings with open(2)/write(2), no
+  /// locking, no allocation. Public only for the installed handler.
+  void crash_dump_unsafe(const char* path, int sig) const;
+
+ private:
+  struct Ring {
+    HiveId hive = 0;
+    std::vector<std::string> lines;  // capacity-bounded circular buffer
+    std::size_t head = 0;
+    std::size_t size = 0;
+  };
+
+  Ring& ring_for_locked(HiveId hive);
+  std::string render_locked(const std::string& reason) const;
+
+  const std::size_t lines_per_hive_;
+  mutable std::mutex mutex_;
+  std::vector<Ring> rings_;
+  SpanSource span_source_;
+};
+
+}  // namespace beehive

@@ -41,7 +41,20 @@ class LatencyHistogram {
   }
 
   std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
   std::uint64_t max() const { return max_; }
+  std::uint64_t bucket_count(std::uint32_t i) const { return buckets_[i]; }
+
+  /// Adds `c` samples directly into bucket `i` (registry snapshots fold
+  /// atomic bucket arrays in this way); the sum and max are approximated
+  /// with the bucket midpoint since the original values are gone.
+  void add_bucket_count(std::uint32_t i, std::uint64_t c) {
+    if (c == 0) return;
+    buckets_[i] += c;
+    count_ += c;
+    sum_ += bucket_mid(i) * c;
+    if (bucket_mid(i) > max_) max_ = bucket_mid(i);
+  }
   double mean() const {
     return count_ == 0
                ? 0.0

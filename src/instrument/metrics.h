@@ -111,6 +111,9 @@ struct BeeMetricsSample {
   std::uint64_t handler_failures = 0;
   std::uint64_t cells = 0;
   std::uint64_t state_bytes = 0;
+  /// Messages held behind the bee's transfer fence at report time — the
+  /// instantaneous queue depth the StatusApp surfaces.
+  std::uint64_t holdback = 0;
   bool pinned = false;
 
   /// Windowed latency distributions (see BeeMetrics for semantics).
@@ -190,6 +193,7 @@ struct BeeMetricsSample {
     w.varint(handler_failures);
     w.varint(cells);
     w.varint(state_bytes);
+    w.varint(holdback);
     w.boolean(pinned);
     queue_latency.encode(w);
     handler_latency.encode(w);
@@ -210,6 +214,7 @@ struct BeeMetricsSample {
     s.handler_failures = r.varint();
     s.cells = r.varint();
     s.state_bytes = r.varint();
+    s.holdback = r.varint();
     s.pinned = r.boolean();
     s.queue_latency = LatencyHistogram::decode(r);
     s.handler_latency = LatencyHistogram::decode(r);

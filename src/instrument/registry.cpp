@@ -1,0 +1,448 @@
+#include "instrument/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace beehive {
+
+namespace {
+
+/// Formats a double the way Prometheus expects: integers without a
+/// fraction, everything else with enough digits to round-trip.
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Escapes a label value: backslash, double-quote and newline per the
+/// exposition format spec.
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_labels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += prometheus_sanitize(k);
+    out += "=\"";
+    out += escape_label_value(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Labels plus one extra pair — used for histogram `le` buckets.
+std::string render_labels_with(const MetricLabels& labels,
+                               const std::string& extra_key,
+                               const std::string& extra_value) {
+  MetricLabels all = labels;
+  all.emplace_back(extra_key, extra_value);
+  return render_labels(all);
+}
+
+/// Coarse exposition bounds (microseconds): powers of 4 from 1us up to
+/// ~4.4 min, then +Inf. The native 448-bucket resolution stays available
+/// through snapshot()/percentiles; exposition trades it for scrape size.
+const std::uint64_t kExpoBoundsUs[] = {
+    1,        4,        16,        64,        256,       1024,     4096,
+    16384,    65536,    262144,    1048576,   4194304,   16777216, 67108864,
+    268435456};
+
+/// JSON string escaping (control chars, quote, backslash).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  return format_value(v);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HistogramMetric
+
+void HistogramMetric::merge(const LatencyHistogram& h) {
+  if (h.count() == 0) return;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (std::uint64_t c = h.bucket_count(i)) {
+      buckets_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(h.count(), std::memory_order_relaxed);
+  sum_.fetch_add(h.sum(), std::memory_order_relaxed);
+}
+
+LatencyHistogram HistogramMetric::snapshot() const {
+  LatencyHistogram out;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    out.add_bucket_count(static_cast<std::uint32_t>(i),
+                         buckets_[i].load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesRing
+
+std::vector<TimeSeriesRing::Sample> TimeSeriesRing::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Sample> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(samples_[(head_ + i) % samples_.size()]);
+  }
+  return out;
+}
+
+double TimeSeriesRing::rate_per_second() const {
+  std::lock_guard lock(mutex_);
+  if (size_ < 2) return 0.0;
+  const Sample& oldest = samples_[head_];
+  const Sample& newest = samples_[(head_ + size_ - 1) % samples_.size()];
+  const double span_us = static_cast<double>(newest.at - oldest.at);
+  if (span_us <= 0) return 0.0;
+  double sum = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    sum += samples_[(head_ + i) % samples_.size()].value;
+  }
+  return sum / (span_us / 1e6);
+}
+
+double TimeSeriesRing::last() const {
+  std::lock_guard lock(mutex_);
+  if (size_ == 0) return 0.0;
+  return samples_[(head_ + size_ - 1) % samples_.size()].value;
+}
+
+void TimeSeriesRing::encode(ByteWriter& w) const {
+  std::lock_guard lock(mutex_);
+  w.varint(samples_.size());
+  w.varint(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Sample& s = samples_[(head_ + i) % samples_.size()];
+    w.i64(s.at);
+    w.f64(s.value);
+  }
+}
+
+TimeSeriesRing TimeSeriesRing::decode(ByteReader& r) {
+  const std::size_t capacity = r.varint();
+  TimeSeriesRing ring(capacity);
+  const std::size_t n = r.varint();
+  for (std::size_t i = 0; i < n; ++i) {
+    TimePoint at = r.i64();
+    double value = r.f64();
+    ring.push(at, value);
+  }
+  return ring;
+}
+
+void TimeSeriesRing::copy_from(const TimeSeriesRing& other) {
+  std::scoped_lock lock(mutex_, other.mutex_);
+  samples_ = other.samples_;
+  head_ = other.head_;
+  size_ = other.size_;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+std::string prometheus_sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || (digit && i > 0)) {
+      out += c;
+    } else if (digit) {  // leading digit
+      out += '_';
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_locked(
+    const std::string& name, const MetricLabels& labels) {
+  for (Entry& e : entries_) {
+    if (e.name == name && e.labels == labels) return &e;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, MetricLabels labels,
+                                  const std::string& help) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name, labels)) return *e->counter;
+  Counter& c = counters_.emplace_back();
+  entries_.push_back(
+      {name, std::move(labels), help, Kind::kCounter, false, &c});
+  return c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, MetricLabels labels,
+                              const std::string& help) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name, labels)) return *e->gauge;
+  Gauge& g = gauges_.emplace_back();
+  Entry e{name, std::move(labels), help, Kind::kGauge};
+  e.gauge = &g;
+  entries_.push_back(std::move(e));
+  return g;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            MetricLabels labels,
+                                            const std::string& help) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name, labels)) return *e->histogram;
+  HistogramMetric& h = histograms_.emplace_back();
+  Entry e{name, std::move(labels), help, Kind::kHistogram};
+  e.histogram = &h;
+  entries_.push_back(std::move(e));
+  return h;
+}
+
+TimeSeriesRing& MetricsRegistry::ring(const std::string& name,
+                                      MetricLabels labels,
+                                      std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name, labels)) return *e->ring;
+  TimeSeriesRing& r = rings_.emplace_back(capacity);
+  Entry e{name, std::move(labels), "", Kind::kRing};
+  e.ring = &r;
+  entries_.push_back(std::move(e));
+  return r;
+}
+
+void MetricsRegistry::expose_counter(const std::string& name,
+                                     MetricLabels labels, const Counter* cell,
+                                     const std::string& help) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name, labels)) {
+    e->counter = const_cast<Counter*>(cell);
+    return;
+  }
+  Entry e{name, std::move(labels), help, Kind::kCounter};
+  e.counter = const_cast<Counter*>(cell);
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::gauge_fn(const std::string& name, MetricLabels labels,
+                               std::function<double()> fn,
+                               const std::string& help,
+                               bool counter_semantics) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name, labels)) {
+    e->fn = std::move(fn);
+    return;
+  }
+  Entry e{name, std::move(labels), help, Kind::kFn, counter_semantics};
+  e.fn = std::move(fn);
+  entries_.push_back(std::move(e));
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard lock(mutex_);
+
+  // Group series by (sanitized) family name so HELP/TYPE print once.
+  std::map<std::string, std::vector<const Entry*>> families;
+  for (const Entry& e : entries_) {
+    if (e.kind == Kind::kRing) continue;  // rings go to /status.json only
+    families[prometheus_sanitize(e.name)].push_back(&e);
+  }
+
+  std::string out;
+  for (const auto& [name, series] : families) {
+    const Entry* first = series.front();
+    const char* type = "gauge";
+    if (first->kind == Kind::kCounter ||
+        (first->kind == Kind::kFn && first->counter_semantics)) {
+      type = "counter";
+    } else if (first->kind == Kind::kHistogram) {
+      type = "histogram";
+    }
+    if (!first->help.empty()) {
+      out += "# HELP " + name + " " + first->help + "\n";
+    }
+    out += "# TYPE " + name + " " + type + "\n";
+
+    for (const Entry* e : series) {
+      switch (e->kind) {
+        case Kind::kCounter:
+          out += name + render_labels(e->labels) + " " +
+                 std::to_string(e->counter->get()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += name + render_labels(e->labels) + " " +
+                 format_value(e->gauge->get()) + "\n";
+          break;
+        case Kind::kFn:
+          out += name + render_labels(e->labels) + " " +
+                 format_value(e->fn ? e->fn() : 0.0) + "\n";
+          break;
+        case Kind::kHistogram: {
+          // Cumulative buckets over the coarse exposition bounds.
+          std::uint64_t cumulative = 0;
+          std::size_t native = 0;
+          for (std::uint64_t bound : kExpoBoundsUs) {
+            // Native buckets whose low edge is <= bound belong to this or
+            // an earlier exposition bucket; accumulate the new ones.
+            while (native < LatencyHistogram::kBuckets &&
+                   LatencyHistogram::bucket_low(native) <= bound) {
+              cumulative += e->histogram->bucket_count_relaxed(native);
+              ++native;
+            }
+            out += name + "_bucket" +
+                   render_labels_with(e->labels, "le",
+                                      std::to_string(bound)) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          out += name + "_bucket" +
+                 render_labels_with(e->labels, "le", "+Inf") + " " +
+                 std::to_string(e->histogram->count()) + "\n";
+          out += name + "_sum" + render_labels(e->labels) + " " +
+                 std::to_string(e->histogram->sum()) + "\n";
+          out += name + "_count" + render_labels(e->labels) + " " +
+                 std::to_string(e->histogram->count()) + "\n";
+          break;
+        }
+        case Kind::kRing:
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::status_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\n  \"metrics\": {";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (e.kind == Kind::kRing) continue;
+    std::string key = e.name;
+    for (const auto& [k, v] : e.labels) key += "," + k + "=" + v;
+    std::string value;
+    switch (e.kind) {
+      case Kind::kCounter:
+        value = std::to_string(e.counter->get());
+        break;
+      case Kind::kGauge:
+        value = json_number(e.gauge->get());
+        break;
+      case Kind::kFn:
+        value = json_number(e.fn ? e.fn() : 0.0);
+        break;
+      case Kind::kHistogram: {
+        LatencyHistogram snap = e.histogram->snapshot();
+        value = "{\"count\": " + std::to_string(e.histogram->count()) +
+                ", \"sum\": " + std::to_string(e.histogram->sum()) +
+                ", \"p50\": " + json_number(static_cast<double>(snap.p50())) +
+                ", \"p99\": " + json_number(static_cast<double>(snap.p99())) +
+                "}";
+        break;
+      }
+      case Kind::kRing:
+        break;
+    }
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(key) + "\": " + value;
+  }
+  out += "\n  },\n  \"series\": {";
+  first = true;
+  for (const Entry& e : entries_) {
+    if (e.kind != Kind::kRing) continue;
+    std::string key = e.name;
+    for (const auto& [k, v] : e.labels) key += "," + k + "=" + v;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(key) + "\": {\"rate_per_second\": " +
+           json_number(e.ring->rate_per_second()) + ", \"samples\": [";
+    bool fs = true;
+    for (const TimeSeriesRing::Sample& s : e.ring->snapshot()) {
+      if (!fs) out += ", ";
+      fs = false;
+      out += "[" + std::to_string(s.at) + ", " + json_number(s.value) + "]";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace beehive

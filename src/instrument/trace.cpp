@@ -98,6 +98,7 @@ std::string_view to_string(SpanKind kind) {
     case SpanKind::kMigrateStart: return "migrate_start";
     case SpanKind::kMigrateIn: return "migrate_in";
     case SpanKind::kMigrateOut: return "migrate_out";
+    case SpanKind::kDecision: return "decision";
   }
   return "?";
 }

@@ -37,6 +37,8 @@ enum class SpanKind : std::uint8_t {
   kMigrateStart = 10,  ///< Source hive froze a bee (aux = target hive).
   kMigrateIn = 11,     ///< Target hive installed a migrated bee.
   kMigrateOut = 12,    ///< Source hive retired the bee after the ack.
+  kDecision = 13,      ///< Optimizer placement decision (bee = subject,
+                       ///< aux = target hive, aux2 = 1 if accepted).
 };
 
 std::string_view to_string(SpanKind kind);

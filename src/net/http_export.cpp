@@ -1,0 +1,156 @@
+#include "net/http_export.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace beehive {
+
+namespace {
+
+/// Writes the full buffer, retrying on short writes.
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string http_response(int code, const char* status,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + status +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpExportServer::HttpExportServer(const MetricsRegistry& registry,
+                                   std::uint16_t port)
+    : registry_(registry) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("http_export: socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http_export: bind(127.0.0.1:" +
+                             std::to_string(port) + ") failed");
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http_export: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  BH_INFO << "http_export: serving /metrics and /status.json on 127.0.0.1:"
+          << port_;
+}
+
+HttpExportServer::~HttpExportServer() { stop(); }
+
+void HttpExportServer::set_status_source(
+    std::function<std::string()> source) {
+  std::lock_guard lock(source_mutex_);
+  status_source_ = std::move(source);
+}
+
+void HttpExportServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Closing the listening socket unblocks accept() with an error.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpExportServer::serve_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      continue;  // transient accept failure
+    }
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void HttpExportServer::handle_connection(int client_fd) {
+  // One read is enough for the request line of any sane GET; we only need
+  // the path.
+  char buf[2048];
+  ssize_t n = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+
+  const char* line_end = std::strstr(buf, "\r\n");
+  std::string request_line(buf, line_end != nullptr
+                                    ? static_cast<std::size_t>(line_end - buf)
+                                    : static_cast<std::size_t>(n));
+  // "GET /path HTTP/1.x"
+  std::string method, path;
+  if (auto sp1 = request_line.find(' '); sp1 != std::string::npos) {
+    method = request_line.substr(0, sp1);
+    auto sp2 = request_line.find(' ', sp1 + 1);
+    path = request_line.substr(sp1 + 1, sp2 == std::string::npos
+                                            ? std::string::npos
+                                            : sp2 - sp1 - 1);
+  }
+
+  std::string response;
+  if (method != "GET") {
+    response = http_response(405, "Method Not Allowed", "text/plain",
+                             "only GET is supported\n");
+  } else if (path == "/metrics") {
+    response = http_response(200, "OK",
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             registry_.prometheus_text());
+  } else if (path == "/status.json") {
+    std::function<std::string()> source;
+    {
+      std::lock_guard lock(source_mutex_);
+      source = status_source_;
+    }
+    response = http_response(200, "OK", "application/json",
+                             source ? source() : registry_.status_json());
+  } else if (path == "/" || path == "/index.html") {
+    response = http_response(
+        200, "OK", "text/plain",
+        "beehive exposition endpoints:\n  /metrics\n  /status.json\n");
+  } else {
+    response = http_response(404, "Not Found", "text/plain",
+                             "unknown path; try /metrics or /status.json\n");
+  }
+  if (send_all(client_fd, response)) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace beehive

@@ -1,0 +1,64 @@
+// Minimal HTTP/1.0 exposition endpoint for the threaded runtime.
+//
+// Serves GET /metrics (Prometheus text exposition format, straight from a
+// MetricsRegistry) and GET /status.json (a JSON snapshot — by default the
+// registry's, optionally a StatusApp-fed callback), so a running
+// ThreadCluster can be scraped by standard tooling (curl, Prometheus).
+//
+// Deliberately tiny: one accept-loop thread, one short-lived connection
+// per request (HTTP/1.0, Connection: close), no keep-alive, no TLS, bound
+// to 127.0.0.1. This is an operational side door, not a web server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "instrument/registry.h"
+
+namespace beehive {
+
+class HttpExportServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; read the chosen one back with
+  /// port()) and starts the accept loop. Throws std::runtime_error when
+  /// the socket can't be bound.
+  HttpExportServer(const MetricsRegistry& registry, std::uint16_t port = 0);
+  ~HttpExportServer();
+
+  HttpExportServer(const HttpExportServer&) = delete;
+  HttpExportServer& operator=(const HttpExportServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Replaces the /status.json body producer (default: the registry's
+  /// status_json()). The callback runs on the server thread and must be
+  /// thread-safe with respect to the cluster.
+  void set_status_source(std::function<std::string()> source);
+
+  /// Stops the accept loop and joins the thread (also run by ~).
+  void stop();
+
+  /// Requests served so far (tests).
+  std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int client_fd);
+
+  const MetricsRegistry& registry_;
+  std::function<std::string()> status_source_;
+  mutable std::mutex source_mutex_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread thread_;
+};
+
+}  // namespace beehive

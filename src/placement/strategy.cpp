@@ -2,8 +2,41 @@
 
 namespace beehive {
 
+std::vector<MigrationDecision> PlacementStrategy::decide_explained(
+    const ClusterView& view, std::vector<PlacementDecision>* log) {
+  std::vector<MigrationDecision> decisions = decide(view);
+  if (log != nullptr) {
+    for (const MigrationDecision& d : decisions) {
+      PlacementDecision rec;
+      rec.bee = d.bee;
+      rec.to = d.to;
+      rec.accepted = true;
+      rec.reason = std::string(name());
+      for (const BeeView& bee : view.bees) {
+        if (bee.bee != d.bee) continue;
+        rec.from = bee.hive;
+        rec.msgs_total = bee.msgs_in;
+        rec.inbound.assign(bee.inbound_by_hive.begin(),
+                           bee.inbound_by_hive.end());
+        if (auto it = bee.inbound_by_hive.find(d.to);
+            it != bee.inbound_by_hive.end()) {
+          rec.msgs_from_target = it->second;
+        }
+        break;
+      }
+      log->push_back(std::move(rec));
+    }
+  }
+  return decisions;
+}
+
 std::vector<MigrationDecision> GreedyFollowSources::decide(
     const ClusterView& view) {
+  return decide_explained(view, nullptr);
+}
+
+std::vector<MigrationDecision> GreedyFollowSources::decide_explained(
+    const ClusterView& view, std::vector<PlacementDecision>* log) {
   std::vector<MigrationDecision> decisions;
   // Tentative occupancy so one round's decisions respect capacity jointly.
   std::map<HiveId, std::uint64_t> occupancy = view.hive_cells;
@@ -22,17 +55,47 @@ std::vector<MigrationDecision> GreedyFollowSources::decide(
         best_hive = hive;
       }
     }
-    if (total == 0 || best_hive == bee.hive) continue;
+    if (total == 0) continue;
+
+    // The explained record: every bee that cleared the noise floor and
+    // had traffic gets one, accepted or not.
+    PlacementDecision rec;
+    rec.bee = bee.bee;
+    rec.from = bee.hive;
+    rec.to = best_hive;
+    rec.msgs_total = total;
+    rec.msgs_from_target = best_count;
+    rec.score = static_cast<double>(best_count) / static_cast<double>(total);
+    rec.inbound.assign(bee.inbound_by_hive.begin(),
+                       bee.inbound_by_hive.end());
+    auto reject = [&](const char* why) {
+      if (log != nullptr) {
+        rec.reason = why;
+        log->push_back(std::move(rec));
+      }
+    };
+
+    if (best_hive == bee.hive) {
+      reject("local_majority");
+      continue;
+    }
     if (static_cast<double>(best_count) <
         config_.majority_fraction * static_cast<double>(total)) {
+      reject("no_majority");
       continue;
     }
     if (occupancy[best_hive] + bee.cells > config_.hive_cell_capacity) {
-      continue;  // H2 lacks capacity (paper's constraint).
+      reject("capacity");  // H2 lacks capacity (paper's constraint).
+      continue;
     }
     occupancy[best_hive] += bee.cells;
     if (occupancy[bee.hive] >= bee.cells) occupancy[bee.hive] -= bee.cells;
     decisions.push_back({bee.bee, best_hive});
+    if (log != nullptr) {
+      rec.accepted = true;
+      rec.reason = "majority";
+      log->push_back(std::move(rec));
+    }
   }
   return decisions;
 }

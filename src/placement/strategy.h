@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/bytes.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -58,11 +60,101 @@ struct MigrationDecision {
   bool operator==(const MigrationDecision&) const = default;
 };
 
+/// One explained optimizer decision: why a bee was (or was not) migrated.
+/// Wire-encodable so the collector can store rounds in its
+/// "stats.decisions" dictionary and ship them in status snapshots.
+struct PlacementDecision {
+  static constexpr std::string_view kTypeName = "stats.decision";
+
+  BeeId bee = kNoBee;
+  HiveId from = 0;
+  HiveId to = 0;  ///< Candidate target (== from when no candidate existed).
+  bool accepted = false;
+  std::uint64_t msgs_total = 0;        ///< Bee's inbound total this window.
+  std::uint64_t msgs_from_target = 0;  ///< Of which, from the candidate.
+  double score = 0.0;  ///< Strategy-specific, e.g. source fraction.
+  std::string reason;  ///< "majority", "no_majority", "capacity", ...
+  /// The traffic-matrix slice that drove the decision: this bee's inbound
+  /// counts by source hive.
+  std::vector<std::pair<HiveId, std::uint64_t>> inbound;
+
+  void encode(ByteWriter& w) const {
+    w.u64(bee);
+    w.u32(from);
+    w.u32(to);
+    w.boolean(accepted);
+    w.varint(msgs_total);
+    w.varint(msgs_from_target);
+    w.f64(score);
+    w.str(reason);
+    w.varint(inbound.size());
+    for (const auto& [hive, count] : inbound) {
+      w.u32(hive);
+      w.varint(count);
+    }
+  }
+  static PlacementDecision decode(ByteReader& r) {
+    PlacementDecision d;
+    d.bee = r.u64();
+    d.from = r.u32();
+    d.to = r.u32();
+    d.accepted = r.boolean();
+    d.msgs_total = r.varint();
+    d.msgs_from_target = r.varint();
+    d.score = r.f64();
+    d.reason = r.str();
+    std::uint64_t n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      HiveId hive = r.u32();
+      d.inbound.emplace_back(hive, r.varint());
+    }
+    return d;
+  }
+};
+
+/// One optimization round's worth of explained decisions — the value of
+/// one "stats.decisions" cell.
+struct PlacementRound {
+  static constexpr std::string_view kTypeName = "stats.decision_round";
+
+  std::uint64_t round = 0;
+  TimePoint at = 0;
+  std::string strategy;
+  std::vector<PlacementDecision> decisions;
+
+  void encode(ByteWriter& w) const {
+    w.varint(round);
+    w.i64(at);
+    w.str(strategy);
+    w.varint(decisions.size());
+    for (const PlacementDecision& d : decisions) d.encode(w);
+  }
+  static PlacementRound decode(ByteReader& r) {
+    PlacementRound p;
+    p.round = r.varint();
+    p.at = r.i64();
+    p.strategy = r.str();
+    std::uint64_t n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      p.decisions.push_back(PlacementDecision::decode(r));
+    }
+    return p;
+  }
+};
+
 class PlacementStrategy {
  public:
   virtual ~PlacementStrategy() = default;
   virtual std::string_view name() const = 0;
   virtual std::vector<MigrationDecision> decide(const ClusterView& view) = 0;
+
+  /// Like decide(), but also appends one PlacementDecision per considered
+  /// candidate to `log` (when non-null) explaining why it was accepted or
+  /// rejected. The base implementation delegates to decide() and records
+  /// the accepted moves only; strategies that evaluate candidates override
+  /// it to expose their full reasoning.
+  virtual std::vector<MigrationDecision> decide_explained(
+      const ClusterView& view, std::vector<PlacementDecision>* log);
 };
 
 /// The paper's heuristic: follow the message sources.
@@ -81,6 +173,8 @@ class GreedyFollowSources final : public PlacementStrategy {
 
   std::string_view name() const override { return "greedy"; }
   std::vector<MigrationDecision> decide(const ClusterView& view) override;
+  std::vector<MigrationDecision> decide_explained(
+      const ClusterView& view, std::vector<PlacementDecision>* log) override;
 
  private:
   GreedyConfig config_;

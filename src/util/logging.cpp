@@ -60,37 +60,46 @@ TraceLogScope::TraceLogScope(std::uint64_t trace_id, std::uint32_t depth)
 
 TraceLogScope::~TraceLogScope() { g_current_trace = prev_; }
 
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(g_log_mutex);
+  sink_ = std::move(sink);
+}
+
 void Logger::write(LogLevel level, const std::string& message) {
   const CurrentTrace trace = g_current_trace;
-  std::lock_guard lock(g_log_mutex);
-  switch (format_) {
+
+  // Format the line once, then hand it to whichever sink is installed.
+  char buf[64];
+  std::string line;
+  switch (format()) {
     case LogFormat::kPlain:
-      std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+      line = std::string("[") + level_name(level) + "] " + message;
       break;
     case LogFormat::kKeyValue:
+      line = std::string("level=") + level_name(level);
       if (trace.id != 0) {
-        std::fprintf(stderr, "level=%s trace=%llx depth=%u msg=\"%s\"\n",
-                     level_name(level),
-                     static_cast<unsigned long long>(trace.id), trace.depth,
-                     message.c_str());
-      } else {
-        std::fprintf(stderr, "level=%s msg=\"%s\"\n", level_name(level),
-                     message.c_str());
+        std::snprintf(buf, sizeof(buf), " trace=%llx depth=%u",
+                      static_cast<unsigned long long>(trace.id), trace.depth);
+        line += buf;
       }
+      line += " msg=\"" + message + "\"";
       break;
     case LogFormat::kJson:
+      line = std::string("{\"level\":\"") + level_name(level) + "\"";
       if (trace.id != 0) {
-        std::fprintf(stderr,
-                     "{\"level\":\"%s\",\"trace\":\"%llx\",\"depth\":%u,"
-                     "\"msg\":\"%s\"}\n",
-                     level_name(level),
-                     static_cast<unsigned long long>(trace.id), trace.depth,
-                     escape_json(message).c_str());
-      } else {
-        std::fprintf(stderr, "{\"level\":\"%s\",\"msg\":\"%s\"}\n",
-                     level_name(level), escape_json(message).c_str());
+        std::snprintf(buf, sizeof(buf), ",\"trace\":\"%llx\",\"depth\":%u",
+                      static_cast<unsigned long long>(trace.id), trace.depth);
+        line += buf;
       }
+      line += ",\"msg\":\"" + escape_json(message) + "\"}";
       break;
+  }
+
+  std::lock_guard lock(g_log_mutex);
+  if (sink_) {
+    sink_(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 

@@ -4,7 +4,9 @@
 // tooling can join them with trace ids.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -21,19 +23,36 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  // Level and format are mutated by tests and examples after hive threads
+  // have started; atomics make those setter races benign (relaxed is fine:
+  // a stale read only delays a verbosity change by one line).
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
-  void set_format(LogFormat format) { format_ = format; }
-  LogFormat format() const { return format_; }
+  void set_format(LogFormat format) {
+    format_.store(format, std::memory_order_relaxed);
+  }
+  LogFormat format() const { return format_.load(std::memory_order_relaxed); }
 
-  /// Thread-safe write of one formatted line to stderr.
+  /// Receives every formatted line (after level filtering). Replaces the
+  /// default stderr sink; tests capture lines with this and the
+  /// FlightRecorder tees them into its ring.
+  using Sink = std::function<void(LogLevel, const std::string& line)>;
+
+  /// Installs `sink` (empty restores the stderr default). Swapped under
+  /// the write mutex, so it is safe while other threads are logging.
+  void set_sink(Sink sink);
+
+  /// Thread-safe write of one formatted line to the sink (default stderr).
   void write(LogLevel level, const std::string& message);
 
  private:
-  LogLevel level_ = LogLevel::kWarn;
-  LogFormat format_ = LogFormat::kPlain;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::atomic<LogFormat> format_{LogFormat::kPlain};
+  Sink sink_;  // guarded by the write mutex
 };
 
 /// The trace context of the handler currently running on this thread
