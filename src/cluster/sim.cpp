@@ -14,8 +14,9 @@ SimCluster::SimCluster(ClusterConfig config, const AppSet& apps)
   config_.hive.n_hives = config_.n_hives;
   if (config_.metrics) metrics_ = std::make_unique<MetricsRegistry>();
   if (config_.flight_recorder) {
-    recorder_ =
-        std::make_unique<FlightRecorder>(config_.flight_recorder_lines);
+    recorder_ = std::make_unique<FlightRecorder>(
+        config_.flight_recorder_lines,
+        static_cast<std::size_t>(config_.n_hives));
     // Single-threaded runtime: pulling spans from inside a dump is safe.
     if (config_.tracing) {
       recorder_->set_span_source([this] { return trace_events(); });

@@ -14,8 +14,9 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
   config_.hive.n_hives = config_.n_hives;
   if (config_.metrics) metrics_ = std::make_unique<MetricsRegistry>();
   if (config_.flight_recorder) {
-    recorder_ =
-        std::make_unique<FlightRecorder>(config_.flight_recorder_lines);
+    recorder_ = std::make_unique<FlightRecorder>(
+        config_.flight_recorder_lines,
+        static_cast<std::size_t>(config_.n_hives));
     // No span source here: the per-hive trace recorders are single-writer
     // and unlocked, so a dump from an arbitrary thread must not read them.
   }

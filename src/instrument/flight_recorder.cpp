@@ -64,9 +64,17 @@ FlightRecorder::Ring& FlightRecorder::ring_for_locked(HiveId hive) {
   for (Ring& r : rings_) {
     if (r.hive == hive) return r;
   }
+  if (rings_.size() == max_hives_) {
+    // The table is full and must not reallocate (crash_dump_unsafe walks
+    // it without the mutex); overflow hives share the first ring.
+    return rings_.front();
+  }
   Ring& r = rings_.emplace_back();
   r.hive = hive;
   r.lines.resize(lines_per_hive_);
+  // Publish only after the ring is fully built: the crash handler reads
+  // rings_[0..ring_count_) with no lock.
+  ring_count_.store(rings_.size(), std::memory_order_release);
   return r;
 }
 
@@ -126,7 +134,10 @@ void FlightRecorder::install_crash_handler(const std::string& path) {
 
 void FlightRecorder::crash_dump_unsafe(const char* path, int sig) const {
   // Async-signal-safe path: open(2)/write(2) only, no locking, no
-  // allocation. Reads of the rings may race a writer mid-crash; a torn
+  // allocation. The ring table's storage is reserved at construction and
+  // ring_count_ is only advanced after a ring is fully built, so walking
+  // rings_[0..ring_count_) never touches reallocated or half-constructed
+  // memory. Individual lines may still race a writer mid-crash; a torn
   // line is acceptable in a crash artifact.
   int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return;
@@ -153,7 +164,9 @@ void FlightRecorder::crash_dump_unsafe(const char* path, int sig) const {
   put_str("=== flight recorder crash dump (signal ");
   put_num(static_cast<std::uint64_t>(sig));
   put_str(") ===\n");
-  for (const Ring& ring : rings_) {
+  const std::size_t n_rings = ring_count_.load(std::memory_order_acquire);
+  for (std::size_t ri = 0; ri < n_rings; ++ri) {
+    const Ring& ring = rings_[ri];
     put_str("--- hive ");
     put_num(ring.hive);
     put_str(" ---\n");

@@ -15,6 +15,7 @@
 //     before re-raising.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -28,10 +29,20 @@ namespace beehive {
 
 class FlightRecorder {
  public:
-  /// `lines_per_hive` bounds each hive's ring; memory is allocated lazily
-  /// per hive on first note().
-  explicit FlightRecorder(std::size_t lines_per_hive = 256)
-      : lines_per_hive_(lines_per_hive == 0 ? 1 : lines_per_hive) {}
+  static constexpr std::size_t kDefaultMaxHives = 64;
+
+  /// `lines_per_hive` bounds each hive's ring; a ring's line storage is
+  /// allocated lazily on the hive's first note(). `max_hives` bounds the
+  /// number of rings — storage for the ring table is reserved up front so
+  /// it never reallocates, which is what lets the crash handler walk it
+  /// without locking. Notes from hives beyond the bound share the first
+  /// ring rather than growing the table.
+  explicit FlightRecorder(std::size_t lines_per_hive = 256,
+                          std::size_t max_hives = kDefaultMaxHives)
+      : lines_per_hive_(lines_per_hive == 0 ? 1 : lines_per_hive),
+        max_hives_(max_hives == 0 ? 1 : max_hives) {
+    rings_.reserve(max_hives_);
+  }
 
   /// Appends one line to `hive`'s ring. O(1); the only allocation is the
   /// line string itself (already built by the caller) moving into the slot.
@@ -81,8 +92,16 @@ class FlightRecorder {
   std::string render_locked(const std::string& reason) const;
 
   const std::size_t lines_per_hive_;
+  const std::size_t max_hives_;
   mutable std::mutex mutex_;
+  // Reserved to max_hives_ at construction and never grown past that, so
+  // element addresses and the data pointer are stable for the lifetime of
+  // the recorder — the crash handler depends on this.
   std::vector<Ring> rings_;
+  // Count of fully initialized rings, published with release ordering so
+  // crash_dump_unsafe (which cannot take mutex_) only ever reads rings
+  // whose construction completed.
+  std::atomic<std::size_t> ring_count_{0};
   SpanSource span_source_;
 };
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
+#include <stdexcept>
 
 namespace beehive {
 
@@ -231,9 +233,15 @@ std::string prometheus_sanitize(std::string_view name) {
 }
 
 MetricsRegistry::Entry* MetricsRegistry::find_locked(
-    const std::string& name, const MetricLabels& labels) {
+    const std::string& name, const MetricLabels& labels, Kind kind) {
   for (Entry& e : entries_) {
-    if (e.name == name && e.labels == labels) return &e;
+    if (e.name != name || e.labels != labels) continue;
+    if (e.kind != kind) {
+      throw std::logic_error(
+          "metrics registry: series '" + name +
+          "' is already registered with a different metric kind");
+    }
+    return &e;
   }
   return nullptr;
 }
@@ -241,7 +249,9 @@ MetricsRegistry::Entry* MetricsRegistry::find_locked(
 Counter& MetricsRegistry::counter(const std::string& name, MetricLabels labels,
                                   const std::string& help) {
   std::lock_guard lock(mutex_);
-  if (Entry* e = find_locked(name, labels)) return *e->counter;
+  if (Entry* e = find_locked(name, labels, Kind::kCounter)) {
+    return *e->counter;
+  }
   Counter& c = counters_.emplace_back();
   entries_.push_back(
       {name, std::move(labels), help, Kind::kCounter, false, &c});
@@ -251,7 +261,7 @@ Counter& MetricsRegistry::counter(const std::string& name, MetricLabels labels,
 Gauge& MetricsRegistry::gauge(const std::string& name, MetricLabels labels,
                               const std::string& help) {
   std::lock_guard lock(mutex_);
-  if (Entry* e = find_locked(name, labels)) return *e->gauge;
+  if (Entry* e = find_locked(name, labels, Kind::kGauge)) return *e->gauge;
   Gauge& g = gauges_.emplace_back();
   Entry e{name, std::move(labels), help, Kind::kGauge};
   e.gauge = &g;
@@ -263,7 +273,9 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name,
                                             MetricLabels labels,
                                             const std::string& help) {
   std::lock_guard lock(mutex_);
-  if (Entry* e = find_locked(name, labels)) return *e->histogram;
+  if (Entry* e = find_locked(name, labels, Kind::kHistogram)) {
+    return *e->histogram;
+  }
   HistogramMetric& h = histograms_.emplace_back();
   Entry e{name, std::move(labels), help, Kind::kHistogram};
   e.histogram = &h;
@@ -275,7 +287,7 @@ TimeSeriesRing& MetricsRegistry::ring(const std::string& name,
                                       MetricLabels labels,
                                       std::size_t capacity) {
   std::lock_guard lock(mutex_);
-  if (Entry* e = find_locked(name, labels)) return *e->ring;
+  if (Entry* e = find_locked(name, labels, Kind::kRing)) return *e->ring;
   TimeSeriesRing& r = rings_.emplace_back(capacity);
   Entry e{name, std::move(labels), "", Kind::kRing};
   e.ring = &r;
@@ -287,7 +299,7 @@ void MetricsRegistry::expose_counter(const std::string& name,
                                      MetricLabels labels, const Counter* cell,
                                      const std::string& help) {
   std::lock_guard lock(mutex_);
-  if (Entry* e = find_locked(name, labels)) {
+  if (Entry* e = find_locked(name, labels, Kind::kCounter)) {
     e->counter = const_cast<Counter*>(cell);
     return;
   }
@@ -301,7 +313,7 @@ void MetricsRegistry::gauge_fn(const std::string& name, MetricLabels labels,
                                const std::string& help,
                                bool counter_semantics) {
   std::lock_guard lock(mutex_);
-  if (Entry* e = find_locked(name, labels)) {
+  if (Entry* e = find_locked(name, labels, Kind::kFn)) {
     e->fn = std::move(fn);
     return;
   }
@@ -311,11 +323,20 @@ void MetricsRegistry::gauge_fn(const std::string& name, MetricLabels labels,
 }
 
 std::string MetricsRegistry::prometheus_text() const {
-  std::lock_guard lock(mutex_);
+  // Copy the entry list under the lock, then render without it: pull
+  // gauges (kFn) run user callbacks that may themselves touch the
+  // registry, which would self-deadlock on the non-recursive mutex. The
+  // copied entries point at deque cells that are never removed, so they
+  // stay valid after release.
+  std::vector<Entry> entries;
+  {
+    std::lock_guard lock(mutex_);
+    entries = entries_;
+  }
 
   // Group series by (sanitized) family name so HELP/TYPE print once.
   std::map<std::string, std::vector<const Entry*>> families;
-  for (const Entry& e : entries_) {
+  for (const Entry& e : entries) {
     if (e.kind == Kind::kRing) continue;  // rings go to /status.json only
     families[prometheus_sanitize(e.name)].push_back(&e);
   }
@@ -350,14 +371,22 @@ std::string MetricsRegistry::prometheus_text() const {
                  format_value(e->fn ? e->fn() : 0.0) + "\n";
           break;
         case Kind::kHistogram: {
-          // Cumulative buckets over the coarse exposition bounds.
+          // Cumulative buckets over the coarse exposition bounds. A
+          // native bucket [low, high) folds into le=bound only when it is
+          // fully covered — its largest value high-1 is <= bound — else
+          // its counts would overstate the cumulative total at this
+          // bound; partially covered buckets wait for the next one.
+          const auto native_high = [](std::size_t i) {
+            return i + 1 < LatencyHistogram::kBuckets
+                       ? LatencyHistogram::bucket_low(
+                             static_cast<std::uint32_t>(i + 1))
+                       : std::numeric_limits<std::uint64_t>::max();
+          };
           std::uint64_t cumulative = 0;
           std::size_t native = 0;
           for (std::uint64_t bound : kExpoBoundsUs) {
-            // Native buckets whose low edge is <= bound belong to this or
-            // an earlier exposition bucket; accumulate the new ones.
             while (native < LatencyHistogram::kBuckets &&
-                   LatencyHistogram::bucket_low(native) <= bound) {
+                   native_high(native) <= bound + 1) {
               cumulative += e->histogram->bucket_count_relaxed(native);
               ++native;
             }
@@ -384,10 +413,16 @@ std::string MetricsRegistry::prometheus_text() const {
 }
 
 std::string MetricsRegistry::status_json() const {
-  std::lock_guard lock(mutex_);
+  // Same locking discipline as prometheus_text(): snapshot the entries,
+  // then run callbacks and render with the mutex released.
+  std::vector<Entry> entries;
+  {
+    std::lock_guard lock(mutex_);
+    entries = entries_;
+  }
   std::string out = "{\n  \"metrics\": {";
   bool first = true;
-  for (const Entry& e : entries_) {
+  for (const Entry& e : entries) {
     if (e.kind == Kind::kRing) continue;
     std::string key = e.name;
     for (const auto& [k, v] : e.labels) key += "," + k + "=" + v;
@@ -420,7 +455,7 @@ std::string MetricsRegistry::status_json() const {
   }
   out += "\n  },\n  \"series\": {";
   first = true;
-  for (const Entry& e : entries_) {
+  for (const Entry& e : entries) {
     if (e.kind != Kind::kRing) continue;
     std::string key = e.name;
     for (const auto& [k, v] : e.labels) key += "," + k + "=" + v;

@@ -251,7 +251,12 @@ class MetricsRegistry {
     std::function<double()> fn;       // kFn
   };
 
-  Entry* find_locked(const std::string& name, const MetricLabels& labels);
+  /// Finds the entry for (name, labels), or nullptr. Throws
+  /// std::logic_error when the pair exists with a different kind — e.g.
+  /// counter("x") after gauge("x") — instead of handing back a reference
+  /// into the wrong cell (a null dereference waiting to happen).
+  Entry* find_locked(const std::string& name, const MetricLabels& labels,
+                     Kind kind);
 
   mutable std::mutex mutex_;
   // Deques: stable addresses for handed-out references as entries grow.

@@ -10,15 +10,23 @@
 
 #include "util/logging.h"
 
+// A scraper hanging up mid-response (curl timeout, Prometheus deadline)
+// must surface as a failed send, not a process-killing SIGPIPE.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
 namespace beehive {
 
 namespace {
 
-/// Writes the full buffer, retrying on short writes.
+/// Writes the full buffer, retrying on short writes. EPIPE (peer closed)
+/// is a failed send like any other.
 bool send_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
   }

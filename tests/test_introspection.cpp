@@ -16,6 +16,7 @@
 #include <fstream>
 #include <new>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,28 @@ void* operator new(std::size_t n, std::align_val_t al) {
 void* operator new[](std::size_t n, std::align_val_t al) {
   return ::operator new(n, al);
 }
+// The nothrow variants must be replaced too: the library (e.g.
+// std::stable_sort's temporary buffer) allocates with new(nothrow), and
+// releasing that through our malloc-backed delete would mismatch the
+// default allocator under ASan.
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return ::operator new(n, std::nothrow);
+}
+void* operator new(std::size_t n, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (n + a - 1) / a * a;
+  return std::aligned_alloc(a, rounded == 0 ? a : rounded);
+}
+void* operator new[](std::size_t n, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return ::operator new(n, al, std::nothrow);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
@@ -69,6 +92,19 @@ void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
   std::free(p);
 }
 
@@ -178,6 +214,18 @@ TEST(PrometheusText, HistogramRendersCumulativeBuckets) {
   EXPECT_NE(text.find("lat_us_count 3\n"), std::string::npos);
 }
 
+TEST(PrometheusText, HistogramBucketNotCountedAtBoundItStraddles) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("lat_us", {}, "Latency");
+  // 1050us lands in native bucket [1024, 1088), which straddles the
+  // le="1024" bound; it must count toward le="4096", not le="1024".
+  h.record(1050);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("lat_us_bucket{le=\"1024\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"4096\"} 1\n"), std::string::npos);
+}
+
 TEST(PrometheusText, FamilyHeaderPrintsOncePerName) {
   MetricsRegistry reg;
   reg.counter("family_total", {{"hive", "0"}}).inc(1);
@@ -236,6 +284,31 @@ TEST(MetricsRegistry, RegistrationDeduplicatesByNameAndLabels) {
   Gauge& g2 = reg.gauge("g");
   EXPECT_EQ(&g1, &g2);
   EXPECT_EQ(reg.series_count(), 3u);
+}
+
+TEST(MetricsRegistry, KindMismatchOnExistingSeriesThrows) {
+  MetricsRegistry reg;
+  reg.gauge("x", {{"hive", "0"}});
+  // Same (name, labels) with a different kind must fail loudly instead of
+  // dereferencing the wrong (null) cell pointer.
+  EXPECT_THROW(reg.counter("x", {{"hive", "0"}}), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", {{"hive", "0"}}), std::logic_error);
+  EXPECT_THROW(reg.ring("x", {{"hive", "0"}}), std::logic_error);
+  // Different labels are a different series: any kind is fine.
+  reg.counter("x", {{"hive", "1"}}).inc(1);
+}
+
+TEST(MetricsRegistry, ScrapeCallbacksRunWithoutTheRegistryLock) {
+  MetricsRegistry reg;
+  reg.counter("plain_total").inc(2);
+  // A pull gauge that re-enters the registry during the scrape: with the
+  // mutex held across callbacks this self-deadlocks.
+  reg.gauge_fn("reentrant", {}, [&reg] {
+    return static_cast<double>(reg.series_count());
+  });
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("reentrant 2\n"), std::string::npos);
+  EXPECT_NE(reg.status_json().find("\"reentrant\": 2"), std::string::npos);
 }
 
 TEST(MetricsRegistry, ExposedCounterCellIsRenderedInPlace) {
@@ -822,6 +895,27 @@ TEST(FlightRecorderTest, CrashDumpPathIsSignalSafeAndWrites) {
   std::stringstream ss;
   ss << in.rdbuf();
   EXPECT_NE(ss.str().find("last-words"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, RingTableIsBoundedAndOverflowSharesFirstRing) {
+  // The crash handler walks the ring table without locking, so the table
+  // must never reallocate: hives beyond max_hives share the first ring.
+  FlightRecorder fr(/*lines_per_hive=*/4, /*max_hives=*/2);
+  fr.note(10, "hive-ten");
+  fr.note(11, "hive-eleven");
+  fr.note(12, "hive-twelve-overflow");
+  EXPECT_EQ(fr.line_count(10), 2u);  // own line + overflow line
+  EXPECT_EQ(fr.line_count(11), 1u);
+  EXPECT_EQ(fr.line_count(12), 0u);  // no ring of its own
+
+  const std::string path =
+      ::testing::TempDir() + "/beehive_flight_overflow_test.txt";
+  fr.crash_dump_unsafe(path.c_str(), /*sig=*/6);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("hive-twelve-overflow"), std::string::npos);
   std::remove(path.c_str());
 }
 
