@@ -1,0 +1,253 @@
+// Dispatch fast-path microbenchmark.
+//
+// Measures the platform's per-message cost on the two steady-state routes
+// of paper §3's "Life of a Message":
+//   local  — a 1-hive cluster where every injected message maps to a cell
+//            owned by a local bee (resolve + deliver + handler, no wire);
+//   remote — a 2-hive cluster with placement pinned to hive 1 while the
+//            driver injects on hive 0, so every message pays resolve +
+//            envelope serialization + frame + delivery on the far side.
+//
+// Alongside wall-clock throughput it reports allocations per delivered
+// message, counted by replacing global operator new for this binary (same
+// harness as tests/test_introspection.cpp). Results land in
+// BENCH_dispatch.json so CI can archive and diff them across commits.
+//
+// Usage: micro_dispatch [--json PATH] [--messages N]
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "bench/bench_json.h"
+#include "cluster/sim.h"
+#include "tests/test_helpers.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator (see tests/test_introspection.cpp for the rationale,
+// including why the nothrow variants must be replaced too).
+// ---------------------------------------------------------------------------
+
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (n + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded == 0 ? a : rounded)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return ::operator new(n, std::nothrow);
+}
+void* operator new(std::size_t n, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (n + a - 1) / a * a;
+  return std::aligned_alloc(a, rounded == 0 ? a : rounded);
+}
+void* operator new[](std::size_t n, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return ::operator new(n, al, std::nothrow);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace beehive {
+namespace {
+
+using testing::CounterApp;
+using testing::I64;
+using testing::Incr;
+
+constexpr std::size_t kWarmup = 10'000;
+constexpr std::size_t kBatch = 4096;  // bounds the sim event queue (remote)
+
+struct RunResult {
+  double msgs_per_sec = 0;
+  double allocs_per_msg = 0;
+  std::uint64_t delivered = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+ClusterConfig base_config(std::size_t n_hives) {
+  ClusterConfig cfg;
+  cfg.n_hives = n_hives;
+  cfg.hive.metrics_period = 0;  // keep the report timer off the hot path
+  return cfg;
+}
+
+/// One hive, one key: every message resolves to a local bee. The envelope
+/// is built once and re-injected, so the loop measures dispatch + handler
+/// cost, not message construction.
+RunResult run_local(std::size_t n_messages) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  SimCluster sim(base_config(1), apps);
+  sim.start();
+
+  MessageEnvelope msg =
+      MessageEnvelope::make(Incr{"k0", 1}, 0, kNoBee, 0, sim.now());
+  for (std::size_t i = 0; i < kWarmup; ++i) sim.hive(0).inject(msg);
+  sim.run_to_idle();
+
+  const std::uint64_t runs_before = sim.hive(0).counters().handler_runs;
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n_messages; ++i) sim.hive(0).inject(msg);
+  sim.run_to_idle();
+  const double secs = seconds_since(t0);
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+
+  const std::uint64_t delivered =
+      sim.hive(0).counters().handler_runs - runs_before;
+  if (delivered != n_messages) {
+    throw std::runtime_error("local: delivered " + std::to_string(delivered) +
+                             " of " + std::to_string(n_messages));
+  }
+  RunResult r;
+  r.delivered = delivered;
+  r.msgs_per_sec = static_cast<double>(delivered) / secs;
+  r.allocs_per_msg = static_cast<double>(allocs) / delivered;
+  return r;
+}
+
+/// Two hives with placement pinned to hive 1; the driver injects on hive 0,
+/// so every message crosses the control channel after resolve.
+RunResult run_remote(std::size_t n_messages) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  SimCluster sim(base_config(2), apps);
+  sim.registry().set_placement_hook(
+      [](AppId, const CellSet&, HiveId) -> HiveId { return 1; });
+  sim.start();
+
+  MessageEnvelope msg =
+      MessageEnvelope::make(Incr{"k0", 1}, 0, kNoBee, 0, sim.now());
+  for (std::size_t i = 0; i < kWarmup; ++i) sim.hive(0).inject(msg);
+  sim.run_to_idle();
+
+  const std::uint64_t runs_before = sim.hive(1).counters().handler_runs;
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t sent = 0; sent < n_messages;) {
+    const std::size_t burst = std::min(kBatch, n_messages - sent);
+    for (std::size_t i = 0; i < burst; ++i) sim.hive(0).inject(msg);
+    sim.run_to_idle();
+    sent += burst;
+  }
+  const double secs = seconds_since(t0);
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+
+  const std::uint64_t delivered =
+      sim.hive(1).counters().handler_runs - runs_before;
+  if (delivered != n_messages) {
+    throw std::runtime_error("remote: delivered " + std::to_string(delivered) +
+                             " of " + std::to_string(n_messages));
+  }
+  RunResult r;
+  r.delivered = delivered;
+  r.msgs_per_sec = static_cast<double>(delivered) / secs;
+  r.allocs_per_msg = static_cast<double>(allocs) / delivered;
+  return r;
+}
+
+int run(int argc, char** argv) {
+  std::string json_path = "BENCH_dispatch.json";
+  std::size_t n_messages = 400'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
+      n_messages = static_cast<std::size_t>(std::strtoull(
+          argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_dispatch [--json PATH] [--messages N]\n");
+      return 2;
+    }
+  }
+
+  RunResult local = run_local(n_messages);
+  RunResult remote = run_remote(n_messages);
+
+  std::printf("local : %12.0f msgs/s  %6.2f allocs/msg  (%llu delivered)\n",
+              local.msgs_per_sec, local.allocs_per_msg,
+              static_cast<unsigned long long>(local.delivered));
+  std::printf("remote: %12.0f msgs/s  %6.2f allocs/msg  (%llu delivered)\n",
+              remote.msgs_per_sec, remote.allocs_per_msg,
+              static_cast<unsigned long long>(remote.delivered));
+
+  bench::JsonReport report("micro_dispatch");
+  report.integer("local", "messages", local.delivered);
+  report.number("local", "msgs_per_sec", local.msgs_per_sec);
+  report.number("local", "allocs_per_msg", local.allocs_per_msg);
+  report.integer("remote", "messages", remote.delivered);
+  report.number("remote", "msgs_per_sec", remote.msgs_per_sec);
+  report.number("remote", "allocs_per_msg", remote.allocs_per_msg);
+  if (!report.write_file(json_path)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  } else {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace beehive
+
+int main(int argc, char** argv) { return beehive::run(argc, argv); }

@@ -89,7 +89,7 @@ int main() {
   std::printf("NIB sharding: ");
   for (const BeeRecord& rec : cluster.registry().live_bees()) {
     if (rec.app != nib) continue;
-    std::printf("node %s on hive %u; ", rec.cells.cells()[0].key.c_str(),
+    std::printf("node %s on hive %u; ", rec.cells.front().key.c_str(),
                 rec.hive);
   }
   std::printf("\n\nwalking the graph from node 1:\n");

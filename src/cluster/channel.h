@@ -5,9 +5,16 @@
 // produces the two artifacts of the paper's evaluation (Figure 4):
 //   * the inter-hive traffic matrix (panels a–c), and
 //   * the control-channel bandwidth time series in KB/s (panels d–f).
+//
+// Writes are striped per source hive: record(from, ...) touches only the
+// source's stripe (its own mutex, its own matrix row and bandwidth series),
+// so concurrent senders on the threaded runtime never contend with each
+// other. Readers — scrapes, post-run analytics — merge across stripes;
+// they are rare and pay the aggregation instead of the hot path.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -58,14 +65,26 @@ class ChannelMeter {
   std::string ascii_heatmap(std::size_t cells = 20) const;
 
  private:
-  std::size_t idx(HiveId from, HiveId to) const { return from * n_ + to; }
+  /// One source hive's accounting: a matrix row plus its contribution to
+  /// the bandwidth series, guarded by its own lock. unique_ptr keeps the
+  /// mutex address stable (Stripe itself is immovable).
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::vector<std::uint64_t> bytes;   ///< indexed by destination hive
+    std::vector<std::uint64_t> counts;  ///< indexed by destination hive
+    std::vector<std::uint64_t> series;  ///< per bucket
+  };
+
+  /// Merged copy of every stripe's matrix (bytes, counts): the read-side
+  /// aggregation all matrix queries go through.
+  void merge_matrix(std::vector<std::uint64_t>& bytes,
+                    std::vector<std::uint64_t>& counts) const;
+  static double share_of(const std::vector<std::uint64_t>& bytes,
+                         std::size_t n, HiveId h);
 
   std::size_t n_;
   Duration bucket_;
-  std::vector<std::uint64_t> bytes_;   // n*n
-  std::vector<std::uint64_t> counts_;  // n*n
-  std::vector<std::uint64_t> series_;  // per bucket
-  mutable std::mutex mutex_;           // threaded runtime shares the meter
+  std::vector<std::unique_ptr<Stripe>> stripes_;  ///< indexed by source hive
 };
 
 }  // namespace beehive

@@ -327,6 +327,7 @@ RegistryService::Client::~Client() = default;
 void RegistryService::Client::invalidate(BeeId bee) {
   std::lock_guard lock(mutex_);
   bee_hive_.erase(bee);
+  ++cache_version_;  // drops the resolve memo along with the entry
   // Cell entries pointing at `bee` become stale but harmless: a lookup
   // only counts as a hit when the bee's location is also cached, so the
   // next resolve falls through to the master and overwrites them.
@@ -365,6 +366,14 @@ ResolveOutcome RegistryService::Client::resolve_or_create(AppId app,
                                                           TimePoint now) {
   {
     std::lock_guard lock(mutex_);
+    // Fast path: exact repeat of the last resolved (app, cells) against an
+    // unchanged cache — one version compare and a short key compare instead
+    // of per-cell key construction and three hash lookups.
+    if (memo_.valid && memo_.version == cache_version_ && memo_.app == app &&
+        memo_.cells == cells) {
+      ++hits_;
+      return memo_.out;
+    }
     BeeId candidate = kNoBee;
     bool hit = !cells.empty();
     for (const CellKey& cell : cells) {
@@ -391,6 +400,11 @@ ResolveOutcome RegistryService::Client::resolve_or_create(AppId app,
         if (exp_it != bee_expected_.end()) {
           out.transfers_expected = exp_it->second;
         }
+        memo_.valid = true;
+        memo_.version = cache_version_;
+        memo_.app = app;
+        memo_.cells = cells;
+        memo_.out = out;
         return out;
       }
     }
@@ -413,6 +427,7 @@ ResolveOutcome RegistryService::Client::resolve_or_create(AppId app,
   bee_hive_[out.bee] = out.hive;
   std::uint64_t& expected = bee_expected_[out.bee];
   if (out.transfers_expected > expected) expected = out.transfers_expected;
+  ++cache_version_;
   return out;
 }
 
@@ -444,6 +459,7 @@ std::optional<HiveId> RegistryService::Client::hive_of(BeeId bee,
   if (hive.has_value()) {
     std::lock_guard lock(mutex_);
     bee_hive_[live] = *hive;
+    ++cache_version_;
   }
   return hive;
 }

@@ -266,6 +266,21 @@ class RegistryService::Client {
   // hits: a hit must carry the fence of the decision that created the
   // entry, or messages could slip past in-flight merge transfers.
   std::unordered_map<BeeId, std::uint64_t> bee_expected_;
+  /// Memo of the last successful cache-hit resolve. Steady-state dispatch
+  /// resolves the same (app, cells) over and over; repeating the full hit
+  /// path costs a cache-key construction plus three hash lookups per
+  /// message. The memo is valid only while `cache_version_` is unchanged —
+  /// every mutation of the three cache maps above bumps the version, so a
+  /// merge, migration or invalidation can never serve a stale outcome.
+  struct ResolveMemo {
+    bool valid = false;
+    std::uint64_t version = 0;
+    AppId app = 0;
+    CellSet cells;
+    ResolveOutcome out;
+  };
+  ResolveMemo memo_;
+  std::uint64_t cache_version_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t rpc_retries_ = 0;

@@ -88,6 +88,7 @@ void ThreadCluster::stop() {
   for (auto& node : nodes_) {
     std::lock_guard lock(node->mutex);
     node->cv.notify_all();
+    node->idle_cv.notify_all();  // release wait_idle() callers
   }
   for (auto& node : nodes_) {
     if (node->thread.joinable()) node->thread.join();
@@ -102,12 +103,21 @@ void ThreadCluster::schedule_after(HiveId hive, Duration delay,
                                    std::function<void()> fn) {
   assert(hive < nodes_.size());
   Node& node = *nodes_[hive];
+  bool wake;
   {
     std::lock_guard lock(node.mutex);
-    node.tasks.push(
-        Task{now() + delay, next_seq_.fetch_add(1), std::move(fn)});
+    if (delay <= 0) {
+      node.immediate.push_back(std::move(fn));
+    } else {
+      node.timed.push(
+          Task{now() + delay, next_seq_.fetch_add(1), std::move(fn)});
+    }
+    // Notify only when the loop is actually parked: a running loop re-checks
+    // both lanes before sleeping, so waking it is pure overhead — and on the
+    // hot path the notify syscall dominates the enqueue itself.
+    wake = node.sleeping;
   }
-  node.cv.notify_all();
+  if (wake) node.cv.notify_one();
 }
 
 void ThreadCluster::send_frame(HiveId from, HiveId to, Bytes frame) {
@@ -160,41 +170,71 @@ std::vector<TraceEvent> ThreadCluster::trace_events() const {
 }
 
 void ThreadCluster::loop(Node& node) {
+  // Reusable batch buffer: lives on the loop thread only, keeps its
+  // capacity across iterations.
+  std::vector<std::function<void()>> run;
   std::unique_lock lock(node.mutex);
   while (running_.load()) {
-    if (node.tasks.empty()) {
-      node.cv.wait_for(lock, std::chrono::milliseconds(50));
+    // Gather everything runnable under a single lock hold: due timed tasks
+    // first (they were scheduled for an earlier instant), then the whole
+    // immediate lane, swapped out wholesale.
+    const TimePoint current = now();
+    while (!node.timed.empty() && node.timed.top().at <= current) {
+      run.push_back(std::move(const_cast<Task&>(node.timed.top()).fn));
+      node.timed.pop();
+    }
+    if (!node.immediate.empty()) {
+      if (run.empty()) {
+        run.swap(node.immediate);
+      } else {
+        for (auto& fn : node.immediate) run.push_back(std::move(fn));
+        node.immediate.clear();
+      }
+    }
+    if (run.empty()) {
+      node.sleeping = true;
+      if (node.timed.empty()) {
+        node.cv.wait_for(lock, std::chrono::milliseconds(50));
+      } else {
+        node.cv.wait_for(
+            lock, std::chrono::microseconds(node.timed.top().at - current));
+      }
+      node.sleeping = false;
       continue;
     }
-    const Task& top = node.tasks.top();
-    TimePoint current = now();
-    if (top.at > current) {
-      node.cv.wait_for(lock, std::chrono::microseconds(top.at - current));
-      continue;
-    }
-    Task task = node.tasks.top();
-    node.tasks.pop();
     node.busy = true;
     lock.unlock();
-    task.fn();
+    for (auto& fn : run) fn();
+    run.clear();
     lock.lock();
     node.busy = false;
-    node.cv.notify_all();
+    if (node.immediate.empty() && node.timed.empty()) {
+      node.idle_cv.notify_all();
+    }
   }
 }
 
 void ThreadCluster::wait_idle() {
-  for (;;) {
-    bool idle = true;
+  // Two phases: first park on each node's idle condition (no polling), then
+  // take one confirming pass — a node visited early may have been re-fed by
+  // a later one, in which case we go around again.
+  while (running_.load()) {
     for (auto& node : nodes_) {
       std::unique_lock lock(node->mutex);
-      if (!node->tasks.empty() || node->busy) {
+      node->idle_cv.wait(lock, [&] {
+        return !running_.load() || (node->immediate.empty() &&
+                                    node->timed.empty() && !node->busy);
+      });
+    }
+    bool idle = true;
+    for (auto& node : nodes_) {
+      std::lock_guard lock(node->mutex);
+      if (!node->immediate.empty() || !node->timed.empty() || node->busy) {
         idle = false;
         break;
       }
     }
     if (idle) return;
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 }
 

@@ -1,11 +1,13 @@
 // Threaded in-process cluster runtime.
 //
-// Each hive runs its own event-loop thread with a timed task queue, so the
-// hive's bees keep the one-handler-at-a-time discipline while different
-// hives execute genuinely concurrently. Frames between hives are in-memory
-// posts, metered on the same ChannelMeter as the simulator. This runtime
-// backs the runnable examples and the concurrency tests; benches use the
-// deterministic SimCluster.
+// Each hive runs its own event-loop thread with a two-lane run queue — an
+// immediate lane (delay==0 work: frame deliveries, posts, egress flushes)
+// drained wholesale by a vector swap, and a timed lane (a priority queue)
+// for delayed tasks — so the hive's bees keep the one-handler-at-a-time
+// discipline while different hives execute genuinely concurrently. Frames
+// between hives are in-memory posts, metered on the same ChannelMeter as
+// the simulator. This runtime backs the runnable examples and the
+// concurrency tests; benches use the deterministic SimCluster.
 #pragma once
 
 #include <atomic>
@@ -125,9 +127,17 @@ class ThreadCluster final : public RuntimeEnv {
     std::unique_ptr<Hive> hive;
     std::thread thread;
     std::mutex mutex;
-    std::condition_variable cv;
-    std::priority_queue<Task, std::vector<Task>, std::greater<>> tasks;
-    bool busy = false;
+    std::condition_variable cv;       ///< wakes the loop (work arrived, stop)
+    std::condition_variable idle_cv;  ///< signals quiescence to wait_idle()
+    /// Immediate lane: delay==0 tasks — frame deliveries, posts, egress
+    /// flushes; the dispatch hot path. Drained FIFO by swapping the whole
+    /// vector out under one lock hold, so a burst of N deliveries costs one
+    /// lock round-trip instead of N.
+    std::vector<std::function<void()>> immediate;
+    /// Timed lane: delayed tasks ordered by (due time, sequence).
+    std::priority_queue<Task, std::vector<Task>, std::greater<>> timed;
+    bool busy = false;      ///< loop is executing a batch outside the lock
+    bool sleeping = false;  ///< loop is parked in cv.wait; senders notify
   };
 
   void loop(Node& node);

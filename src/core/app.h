@@ -210,6 +210,18 @@ class AppSet {
   std::vector<std::pair<App*, const HandlerBinding*>> subscribers(
       MsgTypeId type) const;
 
+  /// Allocation-free subscriber visit for the dispatch hot path: invokes
+  /// `fn(App&, const HandlerBinding&)` for each subscribed app, in
+  /// deployment order — same sequence as subscribers(), minus the vector.
+  template <typename Fn>
+  void for_each_subscriber(MsgTypeId type, Fn&& fn) const {
+    for (const auto& app : apps_) {
+      if (const HandlerBinding* b = app->binding_for(type)) {
+        fn(*app, *b);
+      }
+    }
+  }
+
   const std::vector<std::unique_ptr<App>>& apps() const { return apps_; }
   std::size_t size() const { return apps_.size(); }
 

@@ -101,14 +101,53 @@ class Bee {
   /// `count_provenance` is false for platform-generated inputs (timer
   /// ticks): they count as load but not as inter-bee traffic, so they never
   /// skew the optimizer's "where do my messages come from" statistics.
+  ///
+  /// Steady-state traffic is overwhelmingly "same source, same type, again",
+  /// so the per-source/per-type counter slots are memoized: a repeat of the
+  /// previous (from, hive, type) combination bumps cached counters directly
+  /// instead of re-running six associative lookups per message. Map and
+  /// unordered_map element addresses are stable under insertion, so the
+  /// cached pointers stay valid until reset_window() replaces the maps
+  /// (which invalidates the memo).
   void note_receive(BeeId from, HiveId from_hive, std::size_t bytes,
                     bool count_provenance = true, MsgTypeId type = 0) {
-    window_.on_receive(from, bytes, type);
-    total_.on_receive(from, bytes, type);
-    if (count_provenance) {
-      window_.inbound_hive[{from, from_hive}] += 1;
-      total_.inbound_hive[{from, from_hive}] += 1;
+    window_.msgs_in += 1;
+    window_.bytes_in += bytes;
+    total_.msgs_in += 1;
+    total_.bytes_in += bytes;
+    if (memo_.valid && memo_.from == from && memo_.from_hive == from_hive &&
+        memo_.type == type && memo_.provenance == count_provenance) {
+      ++*memo_.w_from;
+      ++*memo_.t_from;
+      if (memo_.w_type != nullptr) {
+        ++*memo_.w_type;
+        ++*memo_.t_type;
+      }
+      if (memo_.w_hive != nullptr) {
+        ++*memo_.w_hive;
+        ++*memo_.t_hive;
+      }
+      return;
     }
+    memo_.from = from;
+    memo_.from_hive = from_hive;
+    memo_.type = type;
+    memo_.provenance = count_provenance;
+    memo_.w_from = &++window_.inbound_from[from];
+    memo_.t_from = &++total_.inbound_from[from];
+    memo_.w_type = nullptr;
+    memo_.t_type = nullptr;
+    memo_.w_hive = nullptr;
+    memo_.t_hive = nullptr;
+    if (type != 0) {
+      memo_.w_type = &++window_.inbound_types[type];
+      memo_.t_type = &++total_.inbound_types[type];
+    }
+    if (count_provenance) {
+      memo_.w_hive = &++window_.inbound_hive[{from, from_hive}];
+      memo_.t_hive = &++total_.inbound_hive[{from, from_hive}];
+    }
+    memo_.valid = true;
   }
 
   void note_emit(MsgTypeId in_reply_to, MsgTypeId emitted, std::size_t bytes) {
@@ -125,9 +164,29 @@ class Bee {
     total_.handler_latency.record(ran);
   }
 
-  void reset_window() { window_ = BeeMetrics{}; }
+  void reset_window() {
+    window_ = BeeMetrics{};
+    memo_.valid = false;  // the cached window_ slots were just destroyed
+  }
 
  private:
+  /// Cached counter slots for the last (from, hive, type) combination seen
+  /// by note_receive. See that method for the validity argument.
+  struct ReceiveMemo {
+    BeeId from = kNoBee;
+    HiveId from_hive = 0;
+    MsgTypeId type = 0;
+    bool provenance = false;
+    bool valid = false;
+    std::uint64_t* w_from = nullptr;
+    std::uint64_t* t_from = nullptr;
+    std::uint64_t* w_type = nullptr;
+    std::uint64_t* t_type = nullptr;
+    std::uint64_t* w_hive = nullptr;
+    std::uint64_t* t_hive = nullptr;
+  };
+  ReceiveMemo memo_;
+
   BeeId id_;
   AppId app_;
   StateStore store_;

@@ -21,9 +21,12 @@ class Bee;
 
 class AppContext {
  public:
+  /// `txn_scratch` is optional reusable undo/redo log storage owned by the
+  /// dispatching hive; see Txn::Scratch.
   AppContext(StateStore& store, AccessPolicy policy, AppId app, BeeId bee,
-             HiveId hive, TimePoint now, MsgTypeId in_reply_to)
-      : txn_(store, std::move(policy)),
+             HiveId hive, TimePoint now, MsgTypeId in_reply_to,
+             Txn::Scratch* txn_scratch = nullptr)
+      : txn_(store, std::move(policy), txn_scratch),
         app_(app),
         bee_(bee),
         hive_(hive),

@@ -150,13 +150,14 @@ bool Hive::e2e_eligible(const MessageEnvelope& env) {
 // ---------------------------------------------------------------------------
 
 void Hive::route(const MessageEnvelope& env) {
-  for (auto [app, binding] : apps_.subscribers(env.type())) {
-    if (binding->kind == HandlerBinding::Kind::kForeachLocal) {
-      dispatch_foreach_local(app->id(), binding->foreach_dict, env);
-    } else {
-      dispatch_mapped(*app, *binding, env);
-    }
-  }
+  apps_.for_each_subscriber(
+      env.type(), [&](App& app, const HandlerBinding& binding) {
+        if (binding.kind == HandlerBinding::Kind::kForeachLocal) {
+          dispatch_foreach_local(app.id(), binding.foreach_dict, env);
+        } else {
+          dispatch_mapped(app, binding, env);
+        }
+      });
 }
 
 void Hive::dispatch_mapped(App& app, const HandlerBinding& binding,
@@ -184,7 +185,9 @@ void Hive::dispatch_mapped(App& app, const HandlerBinding& binding,
     ++counters_.merges_started;
     start_merges(app.id(), out);
   }
-  deliver(out.bee, app.id(), out.hive, env, out.transfers_expected);
+  // `cells` is borrowed down the synchronous delivery chain so the local
+  // path binds the handler's access policy without a second Map run.
+  deliver(out.bee, app.id(), out.hive, env, out.transfers_expected, &cells);
 }
 
 void Hive::dispatch_foreach_local(AppId app, const std::string& dict,
@@ -204,7 +207,7 @@ void Hive::dispatch_foreach_local(AppId app, const std::string& dict,
 
 void Hive::deliver(BeeId bee, AppId app, HiveId hive,
                    const MessageEnvelope& env,
-                   std::uint64_t min_transfers) {
+                   std::uint64_t min_transfers, const CellSet* mapped) {
   if (hive == id_) {
     Bee* local = find_bee(bee);
     if (local == nullptr) {
@@ -228,39 +231,41 @@ void Hive::deliver(BeeId bee, AppId app, HiveId hive,
           return;
         }
         deliver(successor, app, *new_hive, env,
-                registry_.expected_transfers(successor));
+                registry_.expected_transfers(successor), mapped);
         return;
       }
       local = &ensure_local_bee(bee, app);
     }
     ++counters_.routed_local;
-    deliver_local(*local, env, min_transfers);
+    deliver_local(*local, env, min_transfers, mapped);
   } else {
     ++counters_.routed_remote;
-    AppMsgFrame frame{bee, app, min_transfers, env.to_wire()};
-    send_frame(hive, encode_frame(FrameKind::kAppMsg, frame));
+    send_app_msg(hive, bee, app, min_transfers, env);
   }
 }
 
 void Hive::deliver_local(Bee& bee, const MessageEnvelope& env,
-                         std::uint64_t min_transfers) {
+                         std::uint64_t min_transfers, const CellSet* mapped) {
   bee.note_required_transfers(min_transfers);
   bee.note_receive(env.from_bee(), env.from_hive(), env.wire_size(),
                    /*count_provenance=*/!env.is<TimerTick>(), env.type());
   // Hold when the transfer fence is up — and also behind an existing
-  // holdback, so per-bee arrival order is preserved.
+  // holdback, so per-bee arrival order is preserved. The borrowed Map
+  // result cannot outlive this call, so held messages recompute it when
+  // the holdback drains.
   if (bee.blocked() || bee.holdback_size() > 0) {
     trace_span(SpanKind::kHold, env, bee.id());
     bee.hold(env);
     return;
   }
-  process(bee, env);
+  process(bee, env, mapped);
 }
 
-void Hive::process(Bee& bee, const MessageEnvelope& env) {
+void Hive::process(Bee& bee, const MessageEnvelope& env,
+                   const CellSet* mapped) {
   App* app = apps_.find(bee.app());
   assert(app != nullptr && "bee refers to unknown app");
-  auto bound = bind(*app, env);
+  auto bound = bind(*app, env, mapped);
   if (!bound) return;
 
   ++counters_.handler_runs;
@@ -272,8 +277,23 @@ void Hive::process(Bee& bee, const MessageEnvelope& env) {
   if (queued < 0) queued = 0;
   trace_span(SpanKind::kHandlerStart, env, bee.id());
 
+  // Hand the handler's transaction the hive's reusable log storage unless a
+  // reentrant handler already holds it. `busy_reset` is declared before ctx
+  // so the flag clears only after the transaction (which may roll back
+  // through the scratch) is destroyed.
+  Txn::Scratch* scratch = nullptr;
+  if (!txn_scratch_busy_) {
+    txn_scratch_busy_ = true;
+    scratch = &txn_scratch_;
+  }
+  struct BusyReset {
+    bool* flag;
+    ~BusyReset() {
+      if (flag != nullptr) *flag = false;
+    }
+  } busy_reset{scratch != nullptr ? &txn_scratch_busy_ : nullptr};
   AppContext ctx(bee.store(), std::move(bound->policy), app->id(), bee.id(),
-                 id_, started, env.type());
+                 id_, started, env.type(), scratch);
   TraceLogScope log_scope(env.trace_id(), env.causal_depth());
   try {
     (*bound->handle)(ctx, env);
@@ -358,8 +378,12 @@ void Hive::route_deferred(const MessageEnvelope& env) {
   route(env);
 }
 
-std::optional<Hive::Bound> Hive::bind(App& app,
-                                      const MessageEnvelope& env) const {
+std::optional<Hive::Bound> Hive::bind(App& app, const MessageEnvelope& env,
+                                      const CellSet* mapped) const {
+  // `mapped` is the dispatch layer's Map result for this message+app; the
+  // policy borrows it (it outlives the handler: process() runs inside the
+  // dispatch frame that owns it). Without it — holdback drains, foreach
+  // deliveries — Map runs here, once.
   if (env.is<TimerTick>()) {
     const TimerTick& tick = env.as<TimerTick>();
     if (tick.app != app.id()) return std::nullopt;
@@ -367,18 +391,26 @@ std::optional<Hive::Bound> Hive::bind(App& app,
     if (t == nullptr) return std::nullopt;
     Bound b;
     b.handle = &t->handle;
-    b.policy = t->kind == HandlerBinding::Kind::kMapped
-                   ? AccessPolicy::cells(t->map(env))
-                   : AccessPolicy::local_dict(t->foreach_dict);
+    if (t->kind != HandlerBinding::Kind::kMapped) {
+      b.policy = AccessPolicy::local_dict(t->foreach_dict);
+    } else if (mapped != nullptr) {
+      b.policy = AccessPolicy::cells_view(*mapped);
+    } else {
+      b.policy = AccessPolicy::cells(t->map(env));
+    }
     return b;
   }
   const HandlerBinding* hb = app.binding_for(env.type());
   if (hb == nullptr) return std::nullopt;
   Bound b;
   b.handle = &hb->handle;
-  b.policy = hb->kind == HandlerBinding::Kind::kMapped
-                 ? AccessPolicy::cells(hb->map(env))
-                 : AccessPolicy::local_dict(hb->foreach_dict);
+  if (hb->kind != HandlerBinding::Kind::kMapped) {
+    b.policy = AccessPolicy::local_dict(hb->foreach_dict);
+  } else if (mapped != nullptr) {
+    b.policy = AccessPolicy::cells_view(*mapped);
+  } else {
+    b.policy = AccessPolicy::cells(hb->map(env));
+  }
   return b;
 }
 
@@ -409,11 +441,65 @@ std::vector<Bee*> Hive::local_bees() {
 
 void Hive::send_frame(HiveId to, Bytes frame) {
   assert(to != id_ && "send_frame to self; use the local path");
-  if (transport_) {
-    transport_->send(to, std::move(frame));
-  } else {
-    env_.send_frame(id_, to, std::move(frame));
+  append_egress(to, frame);
+}
+
+void Hive::append_egress(HiveId to, std::string_view frame) {
+  if (egress_.size() <= to) egress_.resize(to + 1);
+  Egress& e = egress_[to];
+  if (e.count == 0) {
+    e.buf.u8(static_cast<std::uint8_t>(FrameKind::kBatch));
+    e.buf.u32(0);  // frame count; patched at flush
   }
+  e.buf.varint(frame.size());
+  e.buf.raw(frame);
+  ++e.count;
+  if (!egress_scheduled_) {
+    egress_scheduled_ = true;
+    // +0 delay: the flush runs after every event of the current loop turn
+    // has appended its frames, so one turn's fan-out to a destination rides
+    // one wire unit. Captures only `this` — small enough that the closure
+    // itself does not allocate.
+    env_.schedule_after(id_, 0, [this]() { flush_egress(); });
+  }
+}
+
+void Hive::flush_egress() {
+  egress_scheduled_ = false;
+  for (std::size_t i = 0; i < egress_.size(); ++i) {
+    Egress& e = egress_[i];
+    if (e.count == 0) continue;
+    e.buf.patch_u32(1, e.count);
+    e.count = 0;
+    // Move the accumulated batch out (the buffer restarts empty); the whole
+    // batch is one wire unit from here on — one meter update, one fault
+    // decision, one delivery closure, one ack/retransmit under transport.
+    Bytes batch = std::move(e.buf).take();
+    const HiveId to = static_cast<HiveId>(i);
+    if (transport_) {
+      transport_->send(to, std::move(batch));
+    } else {
+      env_.send_frame(id_, to, std::move(batch));
+    }
+  }
+}
+
+void Hive::send_app_msg(HiveId to, BeeId bee, AppId app,
+                        std::uint64_t min_transfers,
+                        const MessageEnvelope& env) {
+  // Serialize the AppMsg frame through the reusable scratch chain (frame →
+  // envelope → payload). append_egress copies the bytes into the batch
+  // before anything can reenter, so one set of scratch buffers suffices and
+  // the steady-state remote send touches the heap only for buffer growth.
+  frame_scratch_.clear();
+  frame_scratch_.u8(static_cast<std::uint8_t>(FrameKind::kAppMsg));
+  frame_scratch_.u64(bee);
+  frame_scratch_.u32(app);
+  frame_scratch_.varint(min_transfers);
+  env_scratch_.clear();
+  env.encode_to(env_scratch_, payload_scratch_);
+  frame_scratch_.str(env_scratch_.bytes());
+  append_egress(to, frame_scratch_.bytes());
 }
 
 void Hive::on_wire(std::string_view frame) {
@@ -441,8 +527,18 @@ void Hive::dispatch_frame(std::string_view frame) {
   auto kind = static_cast<FrameKind>(r.u8());
   switch (kind) {
     case FrameKind::kAppMsg:
-      handle_app_msg(AppMsgFrame::decode(r));
+      handle_app_msg(r);
       break;
+    case FrameKind::kBatch: {
+      // Unpack the batch: each inner frame re-enters dispatch_frame as if
+      // it had arrived alone, in append order. Batches never nest.
+      const std::uint32_t count = r.u32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t len = r.varint();
+        dispatch_frame(r.view(len));
+      }
+      break;
+    }
     case FrameKind::kMergeCmd:
       handle_merge_cmd(MergeCmdFrame::decode(r));
       break;
@@ -466,18 +562,28 @@ void Hive::dispatch_frame(std::string_view frame) {
   }
 }
 
-void Hive::handle_app_msg(const AppMsgFrame& frame) {
-  MessageEnvelope env = MessageEnvelope::from_wire(frame.envelope);
-  if (Bee* bee = find_bee(frame.target)) {
-    deliver_local(*bee, env, frame.min_transfers);
+void Hive::handle_app_msg(ByteReader& r) {
+  // Decoded in place from the frame bytes: header fields are read directly
+  // and the envelope payload is borrowed (from_wire materializes the typed
+  // body from a view into `env_bytes`, which outlives this synchronous
+  // delivery) — the receive path's only unavoidable allocation is the body
+  // object itself.
+  const BeeId frame_target = r.u64();
+  const AppId frame_app = r.u32();
+  const std::uint64_t frame_min = r.varint();
+  const std::uint64_t env_len = r.varint();
+  std::string_view env_bytes = r.view(env_len);
+  MessageEnvelope env = MessageEnvelope::from_wire(env_bytes);
+  if (Bee* bee = find_bee(frame_target)) {
+    deliver_local(*bee, env, frame_min);
     return;
   }
   // Not instantiated here: either it is ours (lazy creation) or it moved
   // and we must forward (sender's cache was stale).
-  BeeId target = registry_.live_successor(frame.target);
+  BeeId target = registry_.live_successor(frame_target);
   if (target == kNoBee) {
     BH_WARN << "hive " << id_ << ": dropping message for unknown bee "
-            << to_string_bee(frame.target);
+            << to_string_bee(frame_target);
     return;
   }
   auto hive = registry_client_.hive_of(target, env_.now());
@@ -489,15 +595,22 @@ void Hive::handle_app_msg(const AppMsgFrame& frame) {
   // retargeting to a merge successor, re-fence at the successor's current
   // expected count — it inherited the dead bee's whole transfer ledger, so
   // this conservatively covers every transfer still chasing it.
-  std::uint64_t min = target == frame.target
-                          ? frame.min_transfers
+  std::uint64_t min = target == frame_target
+                          ? frame_min
                           : registry_.expected_transfers(target);
   if (*hive == id_) {
-    deliver_local(ensure_local_bee(target, frame.app), env, min);
+    deliver_local(ensure_local_bee(target, frame_app), env, min);
   } else {
     ++counters_.forwarded;
-    AppMsgFrame fwd{target, frame.app, min, frame.envelope};
-    send_frame(*hive, encode_frame(FrameKind::kAppMsg, fwd));
+    // Stale-cache forward (rare): re-frame through the scratch writer,
+    // reusing the received envelope bytes verbatim.
+    frame_scratch_.clear();
+    frame_scratch_.u8(static_cast<std::uint8_t>(FrameKind::kAppMsg));
+    frame_scratch_.u64(target);
+    frame_scratch_.u32(frame_app);
+    frame_scratch_.varint(min);
+    frame_scratch_.str(env_bytes);
+    append_egress(*hive, frame_scratch_.bytes());
   }
 }
 
@@ -542,7 +655,7 @@ void Hive::fire_timer(App& app, const TimerBinding& timer) {
       ++counters_.merges_started;
       start_merges(app.id(), out);
     }
-    deliver(out.bee, app.id(), out.hive, env, out.transfers_expected);
+    deliver(out.bee, app.id(), out.hive, env, out.transfers_expected, &cells);
   } else {
     dispatch_foreach_local(app.id(), timer.foreach_dict, env);
   }

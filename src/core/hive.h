@@ -167,31 +167,56 @@ class Hive {
  private:
   friend class MigrationEngine;
 
-  // Routing (paper §3, "Life of a Message").
+  // Routing (paper §3, "Life of a Message"). `mapped`, where present, is
+  // the Map result already computed by the dispatch layer for this
+  // message+app pair; it is borrowed down the synchronous delivery chain so
+  // Map runs exactly once per message per hive. Callers that cannot supply
+  // it (holdback drain, foreach delivery) pass null and bind() recomputes.
   void route(const MessageEnvelope& env);
   void dispatch_mapped(App& app, const HandlerBinding& binding,
                        const MessageEnvelope& env);
   void dispatch_foreach_local(AppId app, const std::string& dict,
                               const MessageEnvelope& env);
   void deliver(BeeId bee, AppId app, HiveId hive, const MessageEnvelope& env,
-               std::uint64_t min_transfers);
+               std::uint64_t min_transfers, const CellSet* mapped = nullptr);
   void deliver_local(Bee& bee, const MessageEnvelope& env,
-                     std::uint64_t min_transfers = 0);
+                     std::uint64_t min_transfers = 0,
+                     const CellSet* mapped = nullptr);
 
   /// Runs the bound handler for one message on a local bee, inside a
   /// transaction; flushes emissions and migration orders on commit.
-  void process(Bee& bee, const MessageEnvelope& env);
+  void process(Bee& bee, const MessageEnvelope& env,
+               const CellSet* mapped = nullptr);
 
   /// Finds the handler binding for a message on this app (resolving timer
-  /// ticks to their timer binding). Returns {handler, policy}.
+  /// ticks to their timer binding). Returns {handler, policy}. When
+  /// `mapped` is non-null the policy borrows it instead of re-running Map.
   struct Bound {
     const HandlerFn* handle = nullptr;
     AccessPolicy policy;
   };
-  std::optional<Bound> bind(App& app, const MessageEnvelope& env) const;
+  std::optional<Bound> bind(App& app, const MessageEnvelope& env,
+                            const CellSet* mapped = nullptr) const;
 
   Bee& ensure_local_bee(BeeId id, AppId app);
+
+  // -- Batched frame egress -------------------------------------------------
+  // Outbound frames are not shipped one by one: they accumulate in a
+  // per-destination buffer and leave as a single FrameKind::kBatch wire
+  // unit when the flush event (scheduled at +0 on first append) runs at the
+  // end of the current loop turn. One batch pays the fault-plan decision,
+  // the channel-meter update, the delivery closure and the target's queue
+  // handoff once for every frame it carries. The reliable transport sits
+  // below the batcher, so retransmission and dedup are also per-batch.
+
+  /// Queues one already-serialized frame for `to` and arms the flush.
   void send_frame(HiveId to, Bytes frame);
+  void append_egress(HiveId to, std::string_view frame);
+  void flush_egress();
+  /// Serializes an AppMsgFrame for `env` straight into the egress buffer
+  /// through the reusable scratch writers — no per-message allocation.
+  void send_app_msg(HiveId to, BeeId bee, AppId app,
+                    std::uint64_t min_transfers, const MessageEnvelope& env);
 
   // Tracing. `ensure_trace` mints a deterministic root id for messages
   // entering the platform untraced (IO ingress, timer ticks).
@@ -212,10 +237,13 @@ class Hive {
   /// end-to-end latency histogram.
   static bool e2e_eligible(const MessageEnvelope& env);
 
-  // Frame handlers. `dispatch_frame` demuxes a platform frame; on_wire
-  // routes through the reliable transport first when one is configured.
+  // Frame handlers. `dispatch_frame` demuxes a platform frame (unpacking
+  // kBatch containers inline); on_wire routes through the reliable
+  // transport first when one is configured. App messages are decoded
+  // in-place from the frame bytes — the envelope payload is borrowed, not
+  // copied (the reader's view outlives the synchronous delivery).
   void dispatch_frame(std::string_view frame);
-  void handle_app_msg(const AppMsgFrame& frame);
+  void handle_app_msg(ByteReader& r);
   void handle_merge_cmd(const MergeCmdFrame& frame);
   void handle_migrate_xfer(const MigrateXferFrame& frame);
   void handle_migrate_ack(const MigrateAckFrame& frame);
@@ -282,6 +310,28 @@ class Hive {
   };
   std::unordered_map<BeeId, MigrationRetry> migrations_;
   std::unique_ptr<ReliableTransport> transport_;
+
+  /// Per-destination egress accumulator: a kBatch header (count patched at
+  /// flush) followed by varint-length-prefixed frames.
+  struct Egress {
+    ByteWriter buf;
+    std::uint32_t count = 0;
+  };
+  std::vector<Egress> egress_;
+  bool egress_scheduled_ = false;
+
+  // Reusable serialization scratch for the remote send path (frame, the
+  // envelope inside it, the payload inside that). Cleared per use, capacity
+  // retained — the steady-state remote path never allocates here.
+  ByteWriter frame_scratch_;
+  ByteWriter env_scratch_;
+  ByteWriter payload_scratch_;
+  /// Reusable undo/redo log storage for handler transactions. Guarded by
+  /// `txn_scratch_busy_`: a reentrant process() (a handler that injects
+  /// synchronously) falls back to transaction-owned logs.
+  Txn::Scratch txn_scratch_;
+  bool txn_scratch_busy_ = false;
+
   Counters counters_;
   std::uint64_t next_trace_ = 0;
   LatencyHistogram queue_total_;

@@ -6,6 +6,7 @@
 // must work even while app routing for the affected bee is suspended.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,6 +20,11 @@ namespace beehive {
 
 enum class FrameKind : std::uint8_t {
   kAppMsg = 1,       ///< App message routed to a specific bee.
+  kBatch = 2,        ///< Egress batch: u32 count, then `count` frames of any
+                     ///< other kind, each varint-length-prefixed. One batch
+                     ///< is one wire unit: it is metered, fault-injected and
+                     ///< (under the reliable transport) acked/retransmitted
+                     ///< as a whole. Batches never nest.
   kMergeCmd = 3,     ///< Tell a loser's hive to ship its state to a winner.
   kMigrateXfer = 4,  ///< Cell/state payload of a merge or migration.
   kMigrateAck = 5,   ///< Target hive accepted a migrated bee.
@@ -191,7 +197,11 @@ struct ReplicaTxnFrame {
     f.bee = r.u64();
     f.app = r.u32();
     std::uint64_t n = r.varint();
-    f.writes.reserve(n);
+    // Untrusted count: clamp the pre-reserve to what the buffer could
+    // possibly hold (>= 4 bytes per write) so a corrupt frame cannot
+    // trigger a huge allocation before the decode loop underruns.
+    f.writes.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, r.remaining() / 4)));
     for (std::uint64_t i = 0; i < n; ++i) {
       Write wr;
       wr.dict = r.str();

@@ -55,6 +55,7 @@ std::uint64_t channel_tid(HiveId from, std::uint64_t to) {
 const char* frame_kind_name(std::uint32_t kind) {
   switch (kind) {
     case 1: return "app_msg";
+    case 2: return "batch";
     case 3: return "merge_cmd";
     case 4: return "migrate_xfer";
     case 5: return "migrate_ack";

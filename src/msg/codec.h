@@ -15,6 +15,7 @@
 // the name) without any handshake.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <string_view>
 #include <vector>
@@ -61,7 +62,13 @@ template <WireEncodable T>
 std::vector<T> decode_vector(ByteReader& r) {
   std::vector<T> items;
   std::uint64_t n = r.varint();
-  items.reserve(n);
+  // The count is untrusted input: every element consumes at least one byte
+  // of the buffer, so a claimed count beyond the bytes actually present is
+  // certainly corrupt. Clamping the pre-reserve keeps a malformed frame
+  // from triggering a multi-GB allocation before decode() hits the
+  // underrun; the loop below still throws DecodeError at the real bound.
+  items.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(n, r.remaining())));
   for (std::uint64_t i = 0; i < n; ++i) items.push_back(T::decode(r));
   return items;
 }

@@ -96,19 +96,31 @@ class MessageEnvelope {
 
   /// Serializes envelope header + payload for a hive-boundary crossing.
   Bytes to_wire() const {
+    ByteWriter w;
+    ByteWriter scratch;
+    encode_to(w, scratch);
+    return std::move(w).take();
+  }
+
+  /// Allocation-free variant of to_wire(): appends the serialized envelope
+  /// to `out`, using `payload_scratch` (cleared here) as intermediate
+  /// storage for the payload's length-prefixed encoding. With reusable
+  /// writers both buffers retain their capacity across messages, so the
+  /// steady-state dispatch path serializes without touching the heap.
+  void encode_to(ByteWriter& out, ByteWriter& payload_scratch) const {
     const auto* entry = MsgTypeRegistry::instance().find(type_);
     assert(entry != nullptr && "message type not registered");
-    ByteWriter w;
-    w.u32(type_);
-    w.u32(from_app_);
-    w.u64(from_bee_);
-    w.u32(from_hive_);
-    w.i64(emitted_at_);
-    w.u64(trace_id_);
-    w.u32(causal_depth_);
-    w.i64(trace_root_at_);
-    w.str(entry->encode(body_.get()));
-    return std::move(w).take();
+    out.u32(type_);
+    out.u32(from_app_);
+    out.u64(from_bee_);
+    out.u32(from_hive_);
+    out.i64(emitted_at_);
+    out.u64(trace_id_);
+    out.u32(causal_depth_);
+    out.i64(trace_root_at_);
+    payload_scratch.clear();
+    entry->encode_into(body_.get(), payload_scratch);
+    out.str(payload_scratch.bytes());
   }
 
   /// Reconstructs a typed envelope from wire bytes. Throws DecodeError on
@@ -124,7 +136,11 @@ class MessageEnvelope {
     m.trace_id_ = r.u64();
     m.causal_depth_ = r.u32();
     m.trace_root_at_ = r.i64();
-    Bytes payload = r.str();
+    // Borrow the payload straight out of the frame: decode() takes a view,
+    // so the receive path materializes only the typed body object — the
+    // intermediate copy the old code made bought nothing.
+    const std::uint64_t payload_len = r.varint();
+    std::string_view payload = r.view(payload_len);
     m.payload_size_ = static_cast<std::uint32_t>(payload.size());
     const auto* entry = MsgTypeRegistry::instance().find(m.type_);
     if (entry == nullptr) {

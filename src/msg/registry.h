@@ -26,6 +26,10 @@ class MsgTypeRegistry {
     MsgTypeId id = 0;
     std::string name;
     std::function<Bytes(const void*)> encode;
+    /// Appends the encoding to a caller-owned writer instead of returning a
+    /// fresh buffer — the dispatch path serializes into reusable per-hive
+    /// scratch so a remote send performs no payload allocation.
+    std::function<void(const void*, ByteWriter&)> encode_into;
     std::function<std::shared_ptr<const void>(std::string_view)> decode;
   };
 
@@ -43,6 +47,9 @@ class MsgTypeRegistry {
     e.encode = [](const void* p) {
       return encode_to_bytes(*static_cast<const T*>(p));
     };
+    e.encode_into = [](const void* p, ByteWriter& w) {
+      static_cast<const T*>(p)->encode(w);
+    };
     e.decode = [](std::string_view data) -> std::shared_ptr<const void> {
       return std::make_shared<const T>(decode_from_bytes<T>(data));
     };
@@ -51,8 +58,15 @@ class MsgTypeRegistry {
   }
 
   const Entry* find(MsgTypeId id) const {
+    // Dispatch resolves the same type over and over (send-side encode and
+    // receive-side decode both land here per message), so memoize the last
+    // hit per thread. Entries are never erased, so the cached pointer stays
+    // valid; the memo is thread-local because hive threads race on find().
+    thread_local const Entry* last = nullptr;
+    if (last != nullptr && last->id == id) return last;
     auto it = entries_.find(id);
-    return it == entries_.end() ? nullptr : &it->second;
+    last = it == entries_.end() ? nullptr : &it->second;
+    return last;
   }
 
   std::string_view name_of(MsgTypeId id) const {

@@ -57,13 +57,39 @@ struct CellKeyHash {
 };
 
 /// An ordered, deduplicated set of cells — the result of a Map call.
-/// Kept as a sorted vector: map sets are tiny (typically 1–3 cells) and are
-/// compared/intersected on every message dispatch.
+///
+/// One CellSet is built per dispatched message, so its representation is on
+/// the platform's hot path. The overwhelmingly common Map result is a
+/// single cell; that case lives in inline storage and costs no heap
+/// allocation. Multi-cell sets (collocation requests, whole-dict markers
+/// combined with keys) spill into a sorted vector.
 class CellSet {
  public:
   CellSet() = default;
   CellSet(std::initializer_list<CellKey> cells) {
     for (const auto& c : cells) insert(c);
+  }
+
+  CellSet(const CellSet&) = default;
+  CellSet& operator=(const CellSet&) = default;
+
+  // Moves must reset the source's size: the inline slot holds moved-from
+  // strings afterwards, and a defaulted move would leave the source
+  // claiming it still owns one valid cell.
+  CellSet(CellSet&& other) noexcept
+      : size_(other.size_),
+        inline_(std::move(other.inline_)),
+        overflow_(std::move(other.overflow_)) {
+    other.size_ = 0;
+  }
+  CellSet& operator=(CellSet&& other) noexcept {
+    if (this != &other) {
+      size_ = other.size_;
+      inline_ = std::move(other.inline_);
+      overflow_ = std::move(other.overflow_);
+      other.size_ = 0;
+    }
+    return *this;
   }
 
   static CellSet single(std::string dict, std::string key) {
@@ -78,23 +104,39 @@ class CellSet {
   }
 
   void insert(CellKey cell) {
-    auto it = std::lower_bound(cells_.begin(), cells_.end(), cell);
-    if (it == cells_.end() || *it != cell) cells_.insert(it, std::move(cell));
+    if (size_ == 0) {
+      inline_ = std::move(cell);
+      size_ = 1;
+      return;
+    }
+    if (size_ == 1) {
+      if (inline_ == cell) return;
+      overflow_.reserve(2);
+      overflow_.push_back(std::move(inline_));
+      overflow_.push_back(std::move(cell));
+      if (overflow_[1] < overflow_[0]) std::swap(overflow_[0], overflow_[1]);
+      size_ = 2;
+      return;
+    }
+    auto it = std::lower_bound(overflow_.begin(), overflow_.end(), cell);
+    if (it != overflow_.end() && *it == cell) return;
+    overflow_.insert(it, std::move(cell));
+    size_ = overflow_.size();
   }
 
   void merge(const CellSet& other) {
-    for (const auto& c : other.cells_) insert(c);
+    for (const auto& c : other) insert(c);
   }
 
   bool contains(const CellKey& cell) const {
-    return std::binary_search(cells_.begin(), cells_.end(), cell);
+    return std::binary_search(begin(), end(), cell);
   }
 
   /// True when some cell is shared. Whole-dict markers intersect every cell
   /// of the same dictionary (and vice versa).
   bool intersects(const CellSet& other) const {
-    for (const auto& c : cells_) {
-      for (const auto& o : other.cells_) {
+    for (const auto& c : *this) {
+      for (const auto& o : other) {
         if (c == o) return true;
         if (c.dict == o.dict && (c.is_whole_dict() || o.is_whole_dict())) {
           return true;
@@ -104,17 +146,20 @@ class CellSet {
     return false;
   }
 
-  bool empty() const { return cells_.empty(); }
-  std::size_t size() const { return cells_.size(); }
-  auto begin() const { return cells_.begin(); }
-  auto end() const { return cells_.end(); }
-  const std::vector<CellKey>& cells() const { return cells_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  const CellKey* begin() const { return data(); }
+  const CellKey* end() const { return data() + size_; }
+  const CellKey& operator[](std::size_t i) const { return data()[i]; }
+  const CellKey& front() const { return data()[0]; }
 
-  bool operator==(const CellSet&) const = default;
+  bool operator==(const CellSet& other) const {
+    return size_ == other.size_ && std::equal(begin(), end(), other.begin());
+  }
 
   void encode(ByteWriter& w) const {
-    w.varint(cells_.size());
-    for (const auto& c : cells_) c.encode(w);
+    w.varint(size_);
+    for (const auto& c : *this) c.encode(w);
   }
   static CellSet decode(ByteReader& r) {
     CellSet s;
@@ -125,15 +170,21 @@ class CellSet {
 
   std::string to_string() const {
     std::string out = "{";
-    for (std::size_t i = 0; i < cells_.size(); ++i) {
+    for (std::size_t i = 0; i < size_; ++i) {
       if (i) out += ", ";
-      out += cells_[i].to_string();
+      out += data()[i].to_string();
     }
     return out + "}";
   }
 
  private:
-  std::vector<CellKey> cells_;
+  const CellKey* data() const {
+    return size_ <= 1 ? &inline_ : overflow_.data();
+  }
+
+  std::size_t size_ = 0;
+  CellKey inline_;                  ///< valid iff size_ == 1
+  std::vector<CellKey> overflow_;   ///< holds all cells when size_ >= 2
 };
 
 }  // namespace beehive

@@ -5,7 +5,7 @@ namespace beehive {
 bool AccessPolicy::can_access(std::string_view dict,
                               std::string_view key) const {
   if (unrestricted) return true;
-  for (const CellKey& c : allowed) {
+  for (const CellKey& c : effective()) {
     if (c.dict != dict) continue;
     if (c.is_whole_dict() || c.key == key) return true;
   }
@@ -17,7 +17,7 @@ bool AccessPolicy::can_access(std::string_view dict,
 
 bool AccessPolicy::can_scan(std::string_view dict) const {
   if (unrestricted) return true;
-  for (const CellKey& c : allowed) {
+  for (const CellKey& c : effective()) {
     if (c.dict == dict && c.is_whole_dict()) return true;
   }
   for (const std::string& d : scan_dicts) {
@@ -35,7 +35,7 @@ void Txn::check_access(std::string_view dict, std::string_view key) const {
     throw StateAccessError("handler accessed cell " + std::string(dict) +
                            "/" + std::string(key) +
                            " outside its mapped cells " +
-                           policy_.allowed.to_string());
+                           policy_.effective().to_string());
   }
 }
 
@@ -57,14 +57,14 @@ void Txn::record_undo(std::string_view dict, std::string_view key) {
   const Dict* d = store_.find_dict(dict);
   std::optional<Bytes> prior;
   if (d != nullptr) prior = d->get(key);
-  undo_.push_back(
+  scratch_->undo.push_back(
       {std::string(dict), std::string(key), std::move(prior)});
 }
 
 void Txn::put(std::string_view dict, std::string_view key, Bytes value) {
   check_access(dict, key);
   record_undo(dict, key);
-  redo_.push_back(
+  scratch_->redo.push_back(
       {std::string(dict), std::string(key), /*erased=*/false, value});
   store_.dict(dict).put(key, std::move(value));
 }
@@ -74,7 +74,8 @@ bool Txn::erase(std::string_view dict, std::string_view key) {
   Dict* d = store_.find_dict(dict) ? &store_.dict(dict) : nullptr;
   if (d == nullptr || !d->contains(key)) return false;
   record_undo(dict, key);
-  redo_.push_back({std::string(dict), std::string(key), /*erased=*/true, {}});
+  scratch_->redo.push_back(
+      {std::string(dict), std::string(key), /*erased=*/true, {}});
   return d->erase(key);
 }
 
@@ -84,7 +85,7 @@ void Txn::for_each(
   if (!policy_.can_scan(dict)) {
     throw StateAccessError("handler scanned dictionary " + std::string(dict) +
                            " without whole-dict access " +
-                           policy_.allowed.to_string());
+                           policy_.effective().to_string());
   }
   const Dict* d = store_.find_dict(dict);
   if (d != nullptr) d->for_each(fn);
@@ -101,13 +102,14 @@ std::size_t Txn::dict_size(std::string_view dict) const {
 
 void Txn::commit() {
   committed_ = true;
-  undo_.clear();
-  // redo_ is kept: the platform reads it for replication.
+  scratch_->undo.clear();
+  // The redo log is kept: the platform reads it for replication.
 }
 
 void Txn::rollback() {
   // Reverse order so overlapping writes to the same key restore correctly.
-  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+  auto& undo = scratch_->undo;
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
     Dict& d = store_.dict(it->dict);
     if (it->prior.has_value()) {
       d.put(it->key, std::move(*it->prior));
@@ -115,8 +117,8 @@ void Txn::rollback() {
       d.erase(it->key);
     }
   }
-  undo_.clear();
-  redo_.clear();
+  undo.clear();
+  scratch_->redo.clear();
   rolled_back_ = true;
 }
 

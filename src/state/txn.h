@@ -34,6 +34,12 @@ class StateAccessError : public std::logic_error {
 /// What a transaction is allowed to touch.
 struct AccessPolicy {
   CellSet allowed;
+  /// Borrowed alternative to `allowed`: when set, the policy reads cells
+  /// from a CellSet owned by the caller (the dispatch path's single Map
+  /// result) instead of copying it. The borrowed set must outlive the
+  /// transaction — the hive guarantees this because the handler runs
+  /// synchronously inside the dispatch frame that computed the set.
+  const CellSet* borrowed = nullptr;
   /// Dictionaries the handler may scan and access key-wise in full. Used
   /// by foreach handlers: the bee's local slice of the dictionary is
   /// exclusively owned, so granting the whole local dict is sound.
@@ -50,10 +56,21 @@ struct AccessPolicy {
     p.allowed = std::move(c);
     return p;
   }
+  /// Zero-copy policy over a caller-owned Map result (see `borrowed`).
+  static AccessPolicy cells_view(const CellSet& c) {
+    AccessPolicy p;
+    p.borrowed = &c;
+    return p;
+  }
   static AccessPolicy local_dict(std::string dict) {
     AccessPolicy p;
     p.scan_dicts.push_back(std::move(dict));
     return p;
+  }
+
+  /// The cell set this policy grants, owned or borrowed.
+  const CellSet& effective() const {
+    return borrowed != nullptr ? *borrowed : allowed;
   }
 
   bool can_access(std::string_view dict, std::string_view key) const;
@@ -62,8 +79,41 @@ struct AccessPolicy {
 
 class Txn {
  public:
-  Txn(StateStore& store, AccessPolicy policy)
-      : store_(store), policy_(std::move(policy)) {}
+  /// One committed mutation, in execution order. The platform ships these
+  /// to the bee's replica hive when state replication is enabled.
+  struct WriteRecord {
+    std::string dict;
+    std::string key;
+    bool erased = false;
+    Bytes value;  ///< empty when erased
+  };
+
+  struct UndoEntry {
+    std::string dict;
+    std::string key;
+    std::optional<Bytes> prior;  ///< nullopt = key did not exist.
+  };
+
+  /// Reusable undo/redo log storage. A dispatch loop that owns one Scratch
+  /// and threads it through every transaction pays the log's vector
+  /// allocations once, at warmup — afterwards each transaction reuses the
+  /// retained capacity (the hive hot path's zero-allocation contract).
+  struct Scratch {
+    std::vector<UndoEntry> undo;
+    std::vector<WriteRecord> redo;
+  };
+
+  /// `scratch` is optional external log storage; when null the transaction
+  /// owns its logs (one-off transactions in tests and tools). An external
+  /// scratch is cleared on construction and must outlive the Txn; its redo
+  /// log stays readable through writes() until the next Txn reuses it.
+  Txn(StateStore& store, AccessPolicy policy, Scratch* scratch = nullptr)
+      : store_(store),
+        policy_(std::move(policy)),
+        scratch_(scratch != nullptr ? scratch : &owned_) {
+    scratch_->undo.clear();
+    scratch_->redo.clear();
+  }
   ~Txn();
 
   Txn(const Txn&) = delete;
@@ -108,34 +158,19 @@ class Txn {
   void rollback();
 
   bool committed() const { return committed_; }
-  std::size_t write_count() const { return redo_.size(); }
-
-  /// One committed mutation, in execution order. The platform ships these
-  /// to the bee's replica hive when state replication is enabled.
-  struct WriteRecord {
-    std::string dict;
-    std::string key;
-    bool erased = false;
-    Bytes value;  ///< empty when erased
-  };
+  std::size_t write_count() const { return scratch_->redo.size(); }
 
   /// The redo log; meaningful after commit() (empty after rollback).
-  const std::vector<WriteRecord>& writes() const { return redo_; }
+  const std::vector<WriteRecord>& writes() const { return scratch_->redo; }
 
  private:
   void check_access(std::string_view dict, std::string_view key) const;
   void record_undo(std::string_view dict, std::string_view key);
 
-  struct UndoEntry {
-    std::string dict;
-    std::string key;
-    std::optional<Bytes> prior;  ///< nullopt = key did not exist.
-  };
-
   StateStore& store_;
   AccessPolicy policy_;
-  std::vector<UndoEntry> undo_;
-  std::vector<WriteRecord> redo_;
+  Scratch owned_;     ///< used only when no external scratch was given
+  Scratch* scratch_;  ///< &owned_ or the caller's reusable storage
   bool committed_ = false;
   bool rolled_back_ = false;
 };

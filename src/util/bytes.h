@@ -39,11 +39,14 @@ class ByteWriter {
 
   /// LEB128 unsigned varint: 1 byte for values < 128.
   void varint(std::uint64_t v) {
+    char tmp[10];
+    std::size_t n = 0;
     while (v >= 0x80) {
-      buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      tmp[n++] = static_cast<char>((v & 0x7f) | 0x80);
       v >>= 7;
     }
-    buf_.push_back(static_cast<char>(v));
+    tmp[n++] = static_cast<char>(v);
+    buf_.append(tmp, n);
   }
 
   void f64(double v) {
@@ -67,13 +70,31 @@ class ByteWriter {
   const Bytes& bytes() const& { return buf_; }
   Bytes take() && { return std::move(buf_); }
 
+  /// Empties the buffer but keeps its capacity — the basis of the hive's
+  /// reusable serialization scratch buffers (zero allocations once warm).
+  void clear() { buf_.clear(); }
+
+  /// Overwrites 4 already-written bytes at `pos` with a little-endian u32.
+  /// Used to back-patch a count field whose value is only known after the
+  /// payload behind it has been appended (e.g. batch frame headers).
+  void patch_u32(std::size_t pos, std::uint32_t v) {
+    for (std::size_t i = 0; i < sizeof(v); ++i) {
+      buf_[pos + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+  }
+
  private:
   template <typename T>
   void fixed(T v) {
-    // Serialize little-endian regardless of host order.
+    // Serialize little-endian regardless of host order. Staging through a
+    // stack buffer turns sizeof(T) capacity-checked push_backs into one
+    // append (a single check + memcpy) — this is on the per-message
+    // serialization hot path.
+    char tmp[sizeof(T)];
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+      tmp[i] = static_cast<char>((v >> (8 * i)) & 0xff);
     }
+    buf_.append(tmp, sizeof(T));
   }
 
   Bytes buf_;

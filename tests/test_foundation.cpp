@@ -206,8 +206,8 @@ TEST(CellSet, InsertDeduplicatesAndSorts) {
   s.insert({"d", "a"});
   s.insert({"d", "b"});
   EXPECT_EQ(s.size(), 2u);
-  EXPECT_EQ(s.cells()[0].key, "a");
-  EXPECT_EQ(s.cells()[1].key, "b");
+  EXPECT_EQ(s[0].key, "a");
+  EXPECT_EQ(s[1].key, "b");
 }
 
 TEST(CellSet, IntersectionExactKeys) {

@@ -54,7 +54,7 @@ TEST_F(KandooTest, DetectorBeesAreLocalToSwitchMasters) {
     if (rec.app != detect) continue;
     ++detector_bees;
     ASSERT_EQ(rec.cells.size(), 1u);
-    auto sw = static_cast<SwitchId>(std::stoul(rec.cells.cells()[0].key));
+    auto sw = static_cast<SwitchId>(std::stoul(rec.cells.front().key));
     EXPECT_EQ(rec.hive, topology_.master_hive(sw));
   }
   EXPECT_EQ(detector_bees, kSwitches);

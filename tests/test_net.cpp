@@ -184,7 +184,7 @@ TEST_F(DriverTest, ConnectCreatesPinnedDriverBeesOnMasters) {
     EXPECT_TRUE(rec.pinned);
     ASSERT_EQ(rec.cells.size(), 1u);
     SwitchId sw = static_cast<SwitchId>(
-        std::stoul(rec.cells.cells()[0].key));
+        std::stoul(rec.cells.front().key));
     EXPECT_EQ(rec.hive, fabric_.topology().master_hive(sw));
   }
 }

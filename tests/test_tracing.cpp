@@ -446,8 +446,9 @@ TEST(ChromeTraceExport, GoldenShape) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("handle test.incr"), std::string::npos);
   EXPECT_NE(json.find("handle test.counter_query"), std::string::npos);
-  // Channel transit spans carry the frame kind.
-  EXPECT_NE(json.find("app_msg"), std::string::npos);
+  // Channel transit spans carry the frame kind — since the egress overhaul
+  // every wire unit is a batch container.
+  EXPECT_NE(json.find("batch"), std::string::npos);
 }
 
 TEST(ChromeTraceExport, EmptyEventsStillValid) {
