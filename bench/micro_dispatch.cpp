@@ -13,7 +13,14 @@
 // harness as tests/test_introspection.cpp). Results land in
 // BENCH_dispatch.json so CI can archive and diff them across commits.
 //
-// Usage: micro_dispatch [--json PATH] [--messages N]
+// Each route runs as a profiler-off / profiler-on A/B: `--reps` repetitions
+// of each variant, interleaved (off, on, off, on, ...) so drift in machine
+// load hits both sides equally, with the *median* rep reported per variant
+// and the profiler's overhead as a percentage. The cost profiler's design
+// budget is <3% on the local route (DESIGN.md §9); CI warns past that.
+//
+// Usage: micro_dispatch [--json PATH] [--messages N] [--reps N]
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -23,6 +30,7 @@
 #include <new>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "bench/bench_json.h"
 #include "cluster/sim.h"
@@ -120,20 +128,22 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-ClusterConfig base_config(std::size_t n_hives) {
+ClusterConfig base_config(std::size_t n_hives, bool profiler) {
   ClusterConfig cfg;
   cfg.n_hives = n_hives;
   cfg.hive.metrics_period = 0;  // keep the report timer off the hot path
+  cfg.hive.profiler.enabled = profiler;
+  cfg.hive.profiler.sample_every = 64;  // the production default
   return cfg;
 }
 
 /// One hive, one key: every message resolves to a local bee. The envelope
 /// is built once and re-injected, so the loop measures dispatch + handler
 /// cost, not message construction.
-RunResult run_local(std::size_t n_messages) {
+RunResult run_local(std::size_t n_messages, bool profiler) {
   AppSet apps;
   apps.emplace<CounterApp>();
-  SimCluster sim(base_config(1), apps);
+  SimCluster sim(base_config(1, profiler), apps);
   sim.start();
 
   MessageEnvelope msg =
@@ -166,10 +176,10 @@ RunResult run_local(std::size_t n_messages) {
 
 /// Two hives with placement pinned to hive 1; the driver injects on hive 0,
 /// so every message crosses the control channel after resolve.
-RunResult run_remote(std::size_t n_messages) {
+RunResult run_remote(std::size_t n_messages, bool profiler) {
   AppSet apps;
   apps.emplace<CounterApp>();
-  SimCluster sim(base_config(2), apps);
+  SimCluster sim(base_config(2, profiler), apps);
   sim.registry().set_placement_hook(
       [](AppId, const CellSet&, HiveId) -> HiveId { return 1; });
   sim.start();
@@ -206,39 +216,88 @@ RunResult run_remote(std::size_t n_messages) {
   return r;
 }
 
+/// The rep with the median msgs_per_sec (odd rep counts pick the true
+/// middle; even ones the lower middle — stable, no averaging of reps).
+RunResult median_by_throughput(std::vector<RunResult> reps) {
+  std::sort(reps.begin(), reps.end(),
+            [](const RunResult& a, const RunResult& b) {
+              return a.msgs_per_sec < b.msgs_per_sec;
+            });
+  return reps[(reps.size() - 1) / 2];
+}
+
+void print_result(const char* label, const RunResult& r) {
+  std::printf("%-15s %12.0f msgs/s  %6.2f allocs/msg  (%llu delivered)\n",
+              label, r.msgs_per_sec, r.allocs_per_msg,
+              static_cast<unsigned long long>(r.delivered));
+}
+
+void report_group(bench::JsonReport& report, const std::string& group,
+                  const RunResult& r) {
+  report.integer(group, "messages", r.delivered);
+  report.number(group, "msgs_per_sec", r.msgs_per_sec);
+  report.number(group, "allocs_per_msg", r.allocs_per_msg);
+}
+
+/// Percentage throughput lost with the profiler on (negative = faster).
+double overhead_pct(const RunResult& off, const RunResult& on) {
+  if (off.msgs_per_sec <= 0) return 0.0;
+  return (off.msgs_per_sec - on.msgs_per_sec) / off.msgs_per_sec * 100.0;
+}
+
 int run(int argc, char** argv) {
   std::string json_path = "BENCH_dispatch.json";
-  std::size_t n_messages = 400'000;
+  std::size_t n_messages = 200'000;
+  std::size_t reps = 5;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
       n_messages = static_cast<std::size_t>(std::strtoull(
           argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (reps == 0) reps = 1;
     } else {
-      std::fprintf(stderr,
-                   "usage: micro_dispatch [--json PATH] [--messages N]\n");
+      std::fprintf(
+          stderr,
+          "usage: micro_dispatch [--json PATH] [--messages N] [--reps N]\n");
       return 2;
     }
   }
 
-  RunResult local = run_local(n_messages);
-  RunResult remote = run_remote(n_messages);
+  // Interleave the A/B variants within every rep so slow machine phases
+  // (thermal, noisy neighbors) bias both sides the same way.
+  std::vector<RunResult> local_off, local_on, remote_off, remote_on;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    local_off.push_back(run_local(n_messages, /*profiler=*/false));
+    local_on.push_back(run_local(n_messages, /*profiler=*/true));
+    remote_off.push_back(run_remote(n_messages, /*profiler=*/false));
+    remote_on.push_back(run_remote(n_messages, /*profiler=*/true));
+  }
+  const RunResult local = median_by_throughput(std::move(local_off));
+  const RunResult localp = median_by_throughput(std::move(local_on));
+  const RunResult remote = median_by_throughput(std::move(remote_off));
+  const RunResult remotep = median_by_throughput(std::move(remote_on));
 
-  std::printf("local : %12.0f msgs/s  %6.2f allocs/msg  (%llu delivered)\n",
-              local.msgs_per_sec, local.allocs_per_msg,
-              static_cast<unsigned long long>(local.delivered));
-  std::printf("remote: %12.0f msgs/s  %6.2f allocs/msg  (%llu delivered)\n",
-              remote.msgs_per_sec, remote.allocs_per_msg,
-              static_cast<unsigned long long>(remote.delivered));
+  print_result("local", local);
+  print_result("local+profiler", localp);
+  print_result("remote", remote);
+  print_result("remote+profiler", remotep);
+  const double local_oh = overhead_pct(local, localp);
+  const double remote_oh = overhead_pct(remote, remotep);
+  std::printf("profiler overhead (median of %zu reps): local %+.2f%%  "
+              "remote %+.2f%%\n",
+              reps, local_oh, remote_oh);
 
   bench::JsonReport report("micro_dispatch");
-  report.integer("local", "messages", local.delivered);
-  report.number("local", "msgs_per_sec", local.msgs_per_sec);
-  report.number("local", "allocs_per_msg", local.allocs_per_msg);
-  report.integer("remote", "messages", remote.delivered);
-  report.number("remote", "msgs_per_sec", remote.msgs_per_sec);
-  report.number("remote", "allocs_per_msg", remote.allocs_per_msg);
+  report_group(report, "local", local);
+  report_group(report, "remote", remote);
+  report_group(report, "local_profiler", localp);
+  report_group(report, "remote_profiler", remotep);
+  report.integer("profiler_overhead", "reps", reps);
+  report.number("profiler_overhead", "local_pct", local_oh);
+  report.number("profiler_overhead", "remote_pct", remote_oh);
   if (!report.write_file(json_path)) {
     std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
   } else {

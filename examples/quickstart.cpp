@@ -27,8 +27,10 @@
 #include "cluster/sim.h"
 #include "cluster/thread_cluster.h"
 #include "core/context.h"
+#include "instrument/collector.h"
 #include "instrument/status_app.h"
 #include "net/http_export.h"
+#include "placement/strategy.h"
 
 using namespace beehive;
 
@@ -127,27 +129,46 @@ int serve(Duration run_for, std::uint16_t port) {
   AppSet apps;
   apps.emplace<WordCountApp>();
   apps.emplace<StatusApp>();
+  // The optimizer rides along as a plain control app: it folds the
+  // per-hive reports (now carrying sampled handler cost and queue
+  // pressure) and ranks migrations by cost x pressure.
+  CollectorConfig collector_config;
+  collector_config.optimize_period = 2 * kSecond;
+  apps.emplace<CollectorApp>(std::make_shared<CostPressureStrategy>(), 4,
+                             collector_config);
   const AppId status_app = apps.find_by_name("platform.status")->id();
 
   ThreadClusterConfig config;
   config.n_hives = 4;
   config.hive.metrics_period = kSecond / 2;
+  // Sample handler thread-CPU cost so /status.json, /health.json and the
+  // optimizer all see measured cost instead of raw message counts.
+  config.hive.profiler.enabled = true;
+  config.hive.profiler.sample_every = 16;
+  config.flight_recorder = true;
   ThreadCluster cluster(config, apps);
   cluster.start();
 
   HttpExportServer server(*cluster.metrics(), port);
   server.set_status_source(
       [&cluster, status_app] { return status_json_from(cluster, status_app); });
-  std::printf("serving http://127.0.0.1:%u/metrics and /status.json for "
-              "%.0f s\n",
+  server.set_health_source([&cluster] { return cluster.health_json(); });
+  if (FlightRecorder* recorder = cluster.flight_recorder()) {
+    recorder->set_health_source([&cluster] { return cluster.health_json(); });
+  }
+  std::printf("serving http://127.0.0.1:%u/metrics, /status.json and "
+              "/health.json for %.0f s  (try: beectl top --port %u)\n",
               server.port(),
-              static_cast<double>(run_for) / static_cast<double>(kSecond));
+              static_cast<double>(run_for) / static_cast<double>(kSecond),
+              server.port());
   std::fflush(stdout);
 
   // A steady trickle of words keeps the counters, rate rings and the
-  // StatusApp's windows moving while scrapers watch.
-  const char* stream[] = {"to", "bee", "or", "not", "to", "bee",
-                          "that", "is", "the", "question", "bee"};
+  // StatusApp's windows moving while scrapers watch. The stream is
+  // deliberately skewed ("bee" dominates) so one word cell runs hot and
+  // the cost x pressure optimizer has a real signal to act on.
+  const char* stream[] = {"bee", "bee", "or", "not", "bee", "bee",
+                          "that", "is", "bee", "question", "bee"};
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(run_for);
   std::size_t i = 0;
@@ -173,6 +194,9 @@ int serve(Duration run_for, std::uint16_t port) {
 
   std::printf("served %llu request(s); shutting down\n",
               static_cast<unsigned long long>(server.requests_served()));
+  // Detach before tearing the cluster down: late scrapers get a clean 503
+  // instead of racing the registry's destruction.
+  server.detach();
   server.stop();
   cluster.stop();
   return 0;

@@ -14,11 +14,23 @@
 
 namespace beehive {
 
+/// One hive's run-queue accounting (pressure inputs; see DESIGN.md §9).
+/// Runtimes that don't track queues return all-zeros.
+struct QueueStats {
+  std::uint64_t depth = 0;    ///< tasks queued for the hive right now
+  std::uint64_t hwm = 0;      ///< lifetime high-watermark of depth
+  std::uint64_t drained = 0;  ///< lifetime tasks executed
+};
+
 class RuntimeEnv {
  public:
   virtual ~RuntimeEnv() = default;
 
   virtual TimePoint now() const = 0;
+
+  /// Run-queue depth/watermark/drain accounting for `hive`. Safe to call
+  /// from the hive's own loop (hives read it at metrics-report time).
+  virtual QueueStats queue_stats(HiveId) const { return {}; }
 
   /// Schedules `fn` to run (on the calling hive's execution context) after
   /// `delay`. Used for timers and platform periodic work.

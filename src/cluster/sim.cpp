@@ -12,6 +12,7 @@ SimCluster::SimCluster(ClusterConfig config, const AppSet& apps)
       rng_(config.seed) {
   assert(config_.n_hives > 0);
   config_.hive.n_hives = config_.n_hives;
+  queues_.resize(config_.n_hives);
   if (config_.metrics) metrics_ = std::make_unique<MetricsRegistry>();
   if (config_.flight_recorder) {
     recorder_ = std::make_unique<FlightRecorder>(
@@ -71,10 +72,22 @@ void SimCluster::start() {
 void SimCluster::schedule_after(HiveId hive, Duration delay,
                                 std::function<void()> fn) {
   assert(delay >= 0);
+  // Pressure accounting: this event sits in `hive`'s slice of the queue
+  // until it fires (the wrapper below settles the books either way).
+  if (hive < queues_.size()) {
+    QueueStats& q = queues_[hive];
+    q.depth += 1;
+    if (q.depth > q.hwm) q.hwm = q.depth;
+  }
   // A crashed hive's pending callbacks (timers, deferred emissions) must
   // not run: check liveness at fire time, not at scheduling time.
   events_.push(Event{now_ + delay, next_seq_++,
                      [this, hive, f = std::move(fn)]() {
+                       if (hive < queues_.size()) {
+                         QueueStats& q = queues_[hive];
+                         if (q.depth > 0) q.depth -= 1;
+                         q.drained += 1;
+                       }
                        if (hive_alive(hive)) f();
                      }});
 }
@@ -153,6 +166,18 @@ void SimCluster::fail_hive(HiveId hive) {
         "fail_hive: the registry master cannot be failed");
   }
   failed_.insert(hive);
+}
+
+HealthReport SimCluster::health() const {
+  HealthReport report;
+  report.at = now_;
+  report.hives.reserve(hives_.size());
+  for (const auto& hive : hives_) {
+    HiveHealth h = hive->health();
+    h.suspected = !hive_alive(h.hive);
+    report.hives.push_back(h);
+  }
+  return report;
 }
 
 std::vector<TraceEvent> SimCluster::trace_events() const {

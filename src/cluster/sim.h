@@ -21,6 +21,7 @@
 #include "cluster/runtime_env.h"
 #include "core/hive.h"
 #include "instrument/flight_recorder.h"
+#include "instrument/health.h"
 #include "instrument/registry.h"
 
 namespace beehive {
@@ -68,6 +69,9 @@ class SimCluster final : public RuntimeEnv {
                       std::function<void()> fn) override;
   void send_frame(HiveId from, HiveId to, Bytes frame) override;
   Xoshiro256& rng() override { return rng_; }
+  QueueStats queue_stats(HiveId hive) const override {
+    return hive < queues_.size() ? queues_[hive] : QueueStats{};
+  }
 
   // -- Driving --------------------------------------------------------------
 
@@ -130,6 +134,12 @@ class SimCluster final : public RuntimeEnv {
   /// The cluster-owned flight recorder (nullptr unless enabled).
   FlightRecorder* flight_recorder() { return recorder_.get(); }
 
+  /// Every hive's health snapshot, as of each hive's last metrics report.
+  /// Failed hives are marked suspected (the sim's crash model *is* the
+  /// failure detector's ground truth).
+  HealthReport health() const;
+  std::string health_json() const { return health().to_json(); }
+
  private:
   struct Event {
     TimePoint at;
@@ -151,6 +161,9 @@ class SimCluster final : public RuntimeEnv {
   std::vector<std::unique_ptr<TraceRecorder>> tracers_;
   std::vector<std::unique_ptr<Hive>> hives_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  /// Per-hive slice of the single event queue (pressure accounting). The
+  /// sim is single-threaded, so plain counters suffice.
+  std::vector<QueueStats> queues_;
   std::unordered_set<HiveId> failed_;
   std::unordered_set<HiveId> recovered_;
   TimePoint now_ = 0;

@@ -1,5 +1,6 @@
 #include "cluster/thread_cluster.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace beehive {
@@ -112,6 +113,11 @@ void ThreadCluster::schedule_after(HiveId hive, Duration delay,
       node.timed.push(
           Task{now() + delay, next_seq_.fetch_add(1), std::move(fn)});
     }
+    const std::uint64_t depth = node.immediate.size() + node.timed.size();
+    node.q_depth.store(depth, std::memory_order_relaxed);
+    if (depth > node.q_hwm.load(std::memory_order_relaxed)) {
+      node.q_hwm.store(depth, std::memory_order_relaxed);
+    }
     // Notify only when the loop is actually parked: a running loop re-checks
     // both lanes before sleeping, so waking it is pure overhead — and on the
     // hot path the notify syscall dominates the enqueue itself.
@@ -162,6 +168,35 @@ void ThreadCluster::send_frame(HiveId from, HiveId to, Bytes frame) {
   }
 }
 
+QueueStats ThreadCluster::queue_stats(HiveId hive) const {
+  if (hive >= nodes_.size()) return {};
+  const Node& node = *nodes_[hive];
+  QueueStats qs;
+  qs.depth = node.q_depth.load(std::memory_order_relaxed);
+  qs.hwm = node.q_hwm.load(std::memory_order_relaxed);
+  qs.drained = node.q_drained.load(std::memory_order_relaxed);
+  return qs;
+}
+
+HealthReport ThreadCluster::health(
+    const std::vector<HiveId>& suspected) const {
+  HealthReport report;
+  report.at = now();
+  report.hives.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    HiveHealth h = node->hive->health();
+    h.suspected = std::find(suspected.begin(), suspected.end(), h.hive) !=
+                  suspected.end();
+    report.hives.push_back(h);
+  }
+  return report;
+}
+
+std::string ThreadCluster::health_json(
+    const std::vector<HiveId>& suspected) const {
+  return health(suspected).to_json();
+}
+
 std::vector<TraceEvent> ThreadCluster::trace_events() const {
   std::vector<const TraceRecorder*> recorders;
   recorders.reserve(tracers_.size());
@@ -190,6 +225,11 @@ void ThreadCluster::loop(Node& node) {
         for (auto& fn : node.immediate) run.push_back(std::move(fn));
         node.immediate.clear();
       }
+    }
+    if (!run.empty()) {
+      node.q_drained.fetch_add(run.size(), std::memory_order_relaxed);
+      node.q_depth.store(node.immediate.size() + node.timed.size(),
+                         std::memory_order_relaxed);
     }
     if (run.empty()) {
       node.sleeping = true;

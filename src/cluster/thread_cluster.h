@@ -26,6 +26,7 @@
 #include "cluster/runtime_env.h"
 #include "core/hive.h"
 #include "instrument/flight_recorder.h"
+#include "instrument/health.h"
 #include "instrument/registry.h"
 
 namespace beehive {
@@ -72,6 +73,7 @@ class ThreadCluster final : public RuntimeEnv {
                       std::function<void()> fn) override;
   void send_frame(HiveId from, HiveId to, Bytes frame) override;
   Xoshiro256& rng() override { return rng_; }
+  QueueStats queue_stats(HiveId hive) const override;
 
   // -- Access ---------------------------------------------------------------
 
@@ -102,6 +104,13 @@ class ThreadCluster final : public RuntimeEnv {
 
   /// The cluster-owned flight recorder (nullptr unless enabled).
   FlightRecorder* flight_recorder() { return recorder_.get(); }
+
+  /// Every hive's health snapshot (instrument/health.h), as of each hive's
+  /// last metrics report. `suspected` marks hives the caller's failure
+  /// detector currently suspects. Safe from any thread while hives run —
+  /// reads only scrape-safe atomics.
+  HealthReport health(const std::vector<HiveId>& suspected = {}) const;
+  std::string health_json(const std::vector<HiveId>& suspected = {}) const;
 
   /// Posts `fn` onto a hive's loop thread (e.g. to inject messages with
   /// correct threading) and returns immediately.
@@ -138,6 +147,12 @@ class ThreadCluster final : public RuntimeEnv {
     std::priority_queue<Task, std::vector<Task>, std::greater<>> timed;
     bool busy = false;      ///< loop is executing a batch outside the lock
     bool sleeping = false;  ///< loop is parked in cv.wait; senders notify
+    /// Run-queue pressure accounting (QueueStats). Written under `mutex`
+    /// (enqueue/drain sites already hold it); atomics so the hive can read
+    /// its own stats at report time without taking the loop lock.
+    std::atomic<std::uint64_t> q_depth{0};
+    std::atomic<std::uint64_t> q_hwm{0};
+    std::atomic<std::uint64_t> q_drained{0};
   };
 
   void loop(Node& node);

@@ -164,6 +164,21 @@ class Bee {
     total_.handler_latency.record(ran);
   }
 
+  /// Charges one sampled handler run's thread-CPU nanoseconds (profiler;
+  /// see instrument/profiler.h for the sampling discipline).
+  void note_cost(std::uint64_t sampled_ns) {
+    window_.cost_ns_sampled += sampled_ns;
+    window_.cost_samples += 1;
+    total_.cost_ns_sampled += sampled_ns;
+    total_.cost_samples += 1;
+  }
+
+  /// Counts one transaction's committed write records.
+  void note_txn_ops(std::uint64_t n) {
+    window_.txn_ops += n;
+    total_.txn_ops += n;
+  }
+
   void reset_window() {
     window_ = BeeMetrics{};
     memo_.valid = false;  // the cached window_ slots were just destroyed

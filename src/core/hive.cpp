@@ -16,7 +16,8 @@ Hive::Hive(HiveId id, const AppSet& apps, RegistryService& registry,
       registry_(registry),
       registry_client_(registry, id),
       env_(env),
-      config_(config) {
+      config_(config),
+      profiler_(config.profiler) {
   if (config_.transport.enabled) {
     transport_ =
         std::make_unique<ReliableTransport>(id_, env_, config_.transport);
@@ -110,6 +111,23 @@ void Hive::register_metrics() {
   published_.partitions =
       &reg->gauge("beehive_partitions_active", labels,
                   "Partitions currently injected by the fault plan");
+
+  // Queue-pressure and cost-profiler cells (DESIGN.md §9).
+  published_.pressure = &reg->gauge(
+      "beehive_pressure", labels,
+      "Queue-pressure score in [0,1): backlog / (backlog + drained + 1)");
+  published_.runq_depth =
+      &reg->gauge("beehive_runq_depth", labels,
+                  "Run-queue tasks pending for this hive at report time");
+  published_.runq_hwm =
+      &reg->gauge("beehive_runq_hwm", labels,
+                  "Lifetime high-watermark of run-queue depth");
+  published_.drained_window =
+      &reg->ring("beehive_runq_drained_window", labels);
+  published_.egress_hwm = &reg->gauge(
+      "beehive_egress_pending_hwm", labels,
+      "High-watermark of frames pending in egress buffers this window");
+  published_.cost_window = &reg->ring("beehive_cost_us_window", labels);
 }
 
 Hive::~Hive() = default;
@@ -295,6 +313,11 @@ void Hive::process(Bee& bee, const MessageEnvelope& env,
   AppContext ctx(bee.store(), std::move(bound->policy), app->id(), bee.id(),
                  id_, started, env.type(), scratch);
   TraceLogScope log_scope(env.trace_id(), env.causal_depth());
+  // Cost sampling: every activation pays the tick (one increment + mask
+  // test); the sampled Nth additionally reads the thread CPU clock around
+  // the handler and charges the measured time to the bee and its cells.
+  const bool sampled = profiler_.tick();
+  const std::uint64_t cpu0 = sampled ? thread_cpu_now_ns() : 0;
   try {
     (*bound->handle)(ctx, env);
     ctx.state().commit();
@@ -304,6 +327,11 @@ void Hive::process(Bee& bee, const MessageEnvelope& env,
     ++counters_.handler_failures;
     bee.window().handler_failures += 1;
     bee.total().handler_failures += 1;
+    if (sampled) {
+      const std::uint64_t dns = thread_cpu_now_ns() - cpu0;
+      bee.note_cost(dns);
+      profiler_.attribute(ctx.state().policy(), app->id(), dns);
+    }
     const Duration ran_failed = env_.now() - started;
     bee.note_latency(queued, ran_failed);
     queue_total_.record(queued);
@@ -318,6 +346,13 @@ void Hive::process(Bee& bee, const MessageEnvelope& env,
             << ": " << e.what();
     return;
   }
+
+  if (sampled) {
+    const std::uint64_t dns = thread_cpu_now_ns() - cpu0;
+    bee.note_cost(dns);
+    profiler_.attribute(ctx.state().policy(), app->id(), dns);
+  }
+  bee.note_txn_ops(ctx.state().writes().size());
 
   const TimePoint ended = env_.now();
   const Duration ran = ended - started;
@@ -365,6 +400,15 @@ void Hive::record_decisions(const MessageEnvelope& env,
           " msgs=" + std::to_string(d.msgs_from_target) + "/" +
           std::to_string(d.msgs_total) +
           " score=" + std::to_string(d.score);
+      if (!d.signal.empty()) {
+        // Cost/pressure-driven strategies say which signal ranked the bee
+        // and what it measured, so the log explains the *why*, not just
+        // the what.
+        line += " signal=" + d.signal +
+                " cost_us=" + std::to_string(d.cost_us) +
+                " pressure=" + std::to_string(d.pressure_from) + "->" +
+                std::to_string(d.pressure_to);
+      }
       if (config_.recorder != nullptr) {
         config_.recorder->note(id_, line);
       }
@@ -454,6 +498,10 @@ void Hive::append_egress(HiveId to, std::string_view frame) {
   e.buf.varint(frame.size());
   e.buf.raw(frame);
   ++e.count;
+  ++egress_pending_;
+  if (egress_pending_ > egress_hwm_window_) {
+    egress_hwm_window_ = egress_pending_;
+  }
   if (!egress_scheduled_) {
     egress_scheduled_ = true;
     // +0 delay: the flush runs after every event of the current loop turn
@@ -466,6 +514,7 @@ void Hive::append_egress(HiveId to, std::string_view frame) {
 
 void Hive::flush_egress() {
   egress_scheduled_ = false;
+  egress_pending_ = 0;
   for (std::size_t i = 0; i < egress_.size(); ++i) {
     Egress& e = egress_[i];
     if (e.count == 0) continue;
@@ -674,10 +723,12 @@ void Hive::report_metrics() {
   LocalMetricsReport report;
   report.hive = id_;
   report.at = env_.now();
+  LatencyHistogram handler_window;
   for (auto& [id, bee] : bees_) {
     BeeMetricsSample sample;
     sample.bee = id;
     sample.app = bee->app();
+    if (const App* a = apps_.find(bee->app())) sample.app_name = a->name();
     sample.hive = id_;
     const BeeMetrics& w = bee->window();
     sample.msgs_in = w.msgs_in;
@@ -688,6 +739,10 @@ void Hive::report_metrics() {
     sample.handler_failures = w.handler_failures;
     sample.queue_latency = w.queue_latency;
     sample.handler_latency = w.handler_latency;
+    handler_window.merge(w.handler_latency);
+    sample.cost_us = w.cost_ns_sampled * profiler_.scale() / 1000;
+    sample.cost_samples = w.cost_samples;
+    sample.txn_ops = w.txn_ops;
     sample.cells = bee->store().all_cells().size();
     sample.state_bytes = bee->store().byte_size();
     sample.holdback = bee->holdback_size();
@@ -703,6 +758,7 @@ void Hive::report_metrics() {
     for (const auto& [pair, count] : w.causation) {
       sample.causations.push_back({pair.first, pair.second, count});
     }
+    report.cost_us += sample.cost_us;
     report.hive_cells += sample.cells;
     report.bees.push_back(std::move(sample));
     bee->reset_window();
@@ -715,15 +771,63 @@ void Hive::report_metrics() {
       config_.faults != nullptr
           ? static_cast<std::uint32_t>(config_.faults->partitions_active())
           : 0;
+
+  // Queue pressure: how much work is waiting relative to how much the hive
+  // got through this window. backlog counts the run queue, messages held
+  // behind transfer fences, and frames parked in egress buffers; the +1
+  // keeps an idle hive at exactly 0.
+  std::uint64_t queue_depth = 0;
+  for (const BeeMetricsSample& s : report.bees) queue_depth += s.holdback;
+  const QueueStats qs = env_.queue_stats(id_);
+  const std::uint64_t drained_window =
+      qs.drained >= prev_drained_ ? qs.drained - prev_drained_ : 0;
+  prev_drained_ = qs.drained;
+  const std::uint64_t backlog = qs.depth + queue_depth + egress_pending_;
+  report.pressure = static_cast<double>(backlog) /
+                    static_cast<double>(backlog + drained_window + 1);
+  report.runq_depth = qs.depth;
+  report.runq_hwm = qs.hwm;
+  report.drained_window = drained_window;
+  report.egress_hwm = egress_hwm_window_;
+  egress_hwm_window_ = egress_pending_;
+
+  // Refresh the cross-thread health snapshot (independent of whether a
+  // metrics registry is attached: /health.json works without /metrics).
+  health_.pressure.store(report.pressure, std::memory_order_relaxed);
+  health_.retransmit_rate.store(
+      report.transport.data_frames > 0
+          ? static_cast<double>(report.transport.retransmits) /
+                static_cast<double>(report.transport.data_frames)
+          : 0.0,
+      std::memory_order_relaxed);
+  health_.handler_p99_us.store(handler_window.p99(),
+                               std::memory_order_relaxed);
+  health_.queue_depth.store(queue_depth, std::memory_order_relaxed);
+  health_.runq_depth.store(qs.depth, std::memory_order_relaxed);
+  health_.cost_us.store(report.cost_us, std::memory_order_relaxed);
+
   if (config_.metrics != nullptr) {
-    std::uint64_t queue_depth = 0;
-    for (const BeeMetricsSample& s : report.bees) queue_depth += s.holdback;
     const std::uint64_t runs = counters_.handler_runs;
     publish_window(report, runs - prev_handler_runs_, queue_depth);
     prev_handler_runs_ = runs;
   }
   inject(MessageEnvelope::make(std::move(report), 0, kNoBee, id_,
                                env_.now()));
+}
+
+HiveHealth Hive::health() const {
+  HiveHealth h;
+  h.hive = id_;
+  h.pressure = health_.pressure.load(std::memory_order_relaxed);
+  h.retransmit_rate =
+      health_.retransmit_rate.load(std::memory_order_relaxed);
+  h.suspected = false;
+  h.handler_p99_us = health_.handler_p99_us.load(std::memory_order_relaxed);
+  h.queue_depth = health_.queue_depth.load(std::memory_order_relaxed);
+  h.runq_depth = health_.runq_depth.load(std::memory_order_relaxed);
+  h.handler_failures = counters_.handler_failures;
+  h.cost_us_window = health_.cost_us.load(std::memory_order_relaxed);
+  return h;
 }
 
 void Hive::publish_window(const LocalMetricsReport& report,
@@ -749,6 +853,14 @@ void Hive::publish_window(const LocalMetricsReport& report,
   published_.tx_reorder->set(static_cast<double>(t.reorder_buffered));
   published_.tx_abandoned->set(static_cast<double>(t.frames_abandoned));
   published_.partitions->set(static_cast<double>(report.partitions_active));
+  published_.pressure->set(report.pressure);
+  published_.runq_depth->set(static_cast<double>(report.runq_depth));
+  published_.runq_hwm->set(static_cast<double>(report.runq_hwm));
+  published_.drained_window->push(
+      report.at, static_cast<double>(report.drained_window));
+  published_.egress_hwm->set(static_cast<double>(report.egress_hwm));
+  published_.cost_window->push(report.at,
+                               static_cast<double>(report.cost_us));
 }
 
 }  // namespace beehive

@@ -13,6 +13,7 @@
 // simulator and the threaded cluster.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -25,7 +26,9 @@
 #include "core/bee.h"
 #include "core/transport.h"
 #include "core/wire.h"
+#include "instrument/health.h"
 #include "instrument/histogram.h"
+#include "instrument/profiler.h"
 #include "instrument/registry.h"
 #include "instrument/trace.h"
 #include "msg/message.h"
@@ -77,6 +80,9 @@ struct HiveConfig {
   /// Cluster flight recorder (owned by the runtime; may be null). The
   /// hive notes optimizer decisions and migration aborts into it.
   FlightRecorder* recorder = nullptr;
+  /// Sampling cost profiler (instrument/profiler.h). Off by default: the
+  /// dispatch path then pays one load and one branch per handler.
+  ProfilerConfig profiler;
 };
 
 class Hive {
@@ -163,6 +169,18 @@ class Hive {
   const LatencyHistogram& handler_latency() const { return handler_total_; }
   /// Trace ingress -> terminal handler, for traces that ended here.
   const LatencyHistogram& e2e_latency() const { return e2e_total_; }
+
+  // -- Cost / pressure / health (DESIGN.md §9) ----------------------------
+
+  /// The hive's sampling cost profiler (heat table, activation counts).
+  const CostProfiler& profiler() const { return profiler_; }
+
+  /// Snapshot of this hive's health signals, as of the last metrics
+  /// report. Safe to call from any thread (the HTTP export path): reads
+  /// only atomics refreshed by report_metrics(). `suspected` is always
+  /// false here — failure-detector suspicion is a cluster-level judgment
+  /// folded in by the runtime's health() aggregation.
+  HiveHealth health() const;
 
  private:
   friend class MigrationEngine;
@@ -319,6 +337,10 @@ class Hive {
   };
   std::vector<Egress> egress_;
   bool egress_scheduled_ = false;
+  /// Frames sitting in egress buffers right now, and the window's
+  /// high-watermark of that count (pressure inputs; reset at report time).
+  std::uint64_t egress_pending_ = 0;
+  std::uint64_t egress_hwm_window_ = 0;
 
   // Reusable serialization scratch for the remote send path (frame, the
   // envelope inside it, the payload inside that). Cleared per use, capacity
@@ -333,6 +355,21 @@ class Hive {
   bool txn_scratch_busy_ = false;
 
   Counters counters_;
+  CostProfiler profiler_;
+  /// env_.queue_stats(id_).drained at the previous report (window deltas).
+  std::uint64_t prev_drained_ = 0;
+  /// Cross-thread-readable snapshot of the latest report window's health
+  /// signals. health() reads these from arbitrary threads (HTTP export),
+  /// so they are atomics, refreshed once per metrics period.
+  struct HealthSnapshot {
+    std::atomic<double> pressure{0.0};
+    std::atomic<double> retransmit_rate{0.0};
+    std::atomic<std::uint64_t> handler_p99_us{0};
+    std::atomic<std::uint64_t> queue_depth{0};
+    std::atomic<std::uint64_t> runq_depth{0};
+    std::atomic<std::uint64_t> cost_us{0};
+  };
+  HealthSnapshot health_;
   std::uint64_t next_trace_ = 0;
   LatencyHistogram queue_total_;
   LatencyHistogram handler_total_;
@@ -357,6 +394,12 @@ class Hive {
     Gauge* tx_reorder = nullptr;
     Gauge* tx_abandoned = nullptr;
     Gauge* partitions = nullptr;
+    Gauge* pressure = nullptr;
+    Gauge* runq_depth = nullptr;
+    Gauge* runq_hwm = nullptr;
+    TimeSeriesRing* drained_window = nullptr;
+    Gauge* egress_hwm = nullptr;
+    TimeSeriesRing* cost_window = nullptr;
   };
   Published published_;
   std::uint64_t prev_handler_runs_ = 0;  ///< for per-window deltas

@@ -20,6 +20,16 @@ struct HiveCells {
 
 std::string bee_key(BeeId bee) { return std::to_string(bee); }
 
+/// Codec for one "stats.pressure" cell (latest score per hive; overwrite,
+/// don't accumulate — pressure is an instantaneous reading).
+struct HivePressure {
+  static constexpr std::string_view kTypeName = "stats.hive_pressure";
+  double pressure = 0.0;
+
+  void encode(ByteWriter& w) const { w.f64(pressure); }
+  static HivePressure decode(ByteReader& r) { return {r.f64()}; }
+};
+
 /// Codec for one "stats.transport" cell (latest snapshot per hive; the
 /// counters are lifetime totals so overwrite, don't accumulate).
 struct TransportAgg {
@@ -50,7 +60,8 @@ CellSet collector_cells() {
       {std::string(CollectorApp::kCausationDict), std::string(kAllKeys)},
       {std::string(CollectorApp::kLatencyDict), std::string(kAllKeys)},
       {std::string(CollectorApp::kTransportDict), std::string(kAllKeys)},
-      {std::string(CollectorApp::kDecisionsDict), std::string(kAllKeys)}};
+      {std::string(CollectorApp::kDecisionsDict), std::string(kAllKeys)},
+      {std::string(CollectorApp::kPressureDict), std::string(kAllKeys)}};
 }
 
 void bump_counter(Txn& txn, std::string_view dict, const std::string& key,
@@ -106,6 +117,7 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
   MsgTypeRegistry::instance().ensure<HiveCells>();
   MsgTypeRegistry::instance().ensure<TransportAgg>();
   MsgTypeRegistry::instance().ensure<PlacementRound>();
+  MsgTypeRegistry::instance().ensure<HivePressure>();
   const std::string bees(kBeesDict);
   const std::string hives(kHivesDict);
 
@@ -120,6 +132,9 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
             CollectorApp::kTransportDict, std::to_string(report.hive),
             TransportAgg{report.transport, report.migration_aborts,
                          report.partitions_active});
+        ctx.state().put_as(CollectorApp::kPressureDict,
+                           std::to_string(report.hive),
+                           HivePressure{report.pressure});
         merge_hist(ctx.state(), "e2e", report.e2e_latency);
         for (const BeeMetricsSample& sample : report.bees) {
           BeeAgg agg = ctx.state()
@@ -133,6 +148,7 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
           agg.msgs_in_window += sample.msgs_in;
           agg.handler_invocations += sample.handler_invocations;
           agg.handler_failures += sample.handler_failures;
+          agg.cost_us_window += sample.cost_us;
           for (const BeeMetricsSample::SourceCount& src : sample.sources) {
             agg.add_inbound(src.from_hive, src.count);
           }
@@ -173,6 +189,12 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
               view.hive_cells[static_cast<HiveId>(std::stoul(key))] =
                   decode_from_bytes<HiveCells>(value).cells;
             });
+        ctx.state().for_each(
+            std::string(CollectorApp::kPressureDict),
+            [&view](const std::string& key, const Bytes& value) {
+              view.hive_pressure[static_cast<HiveId>(std::stoul(key))] =
+                  decode_from_bytes<HivePressure>(value).pressure;
+            });
         std::vector<std::string> keys;
         ctx.state().for_each(
             bees, [&view, &keys](const std::string& key, const Bytes& value) {
@@ -186,6 +208,7 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
               bee.msgs_in = agg.msgs_in_window;
               bee.handler_invocations = agg.handler_invocations;
               bee.handler_failures = agg.handler_failures;
+              bee.cost_us = agg.cost_us_window;
               for (const auto& [hive, count] : agg.inbound_by_hive) {
                 bee.inbound_by_hive[hive] += count;
               }
@@ -322,10 +345,17 @@ ClusterView CollectorApp::view_from_store(const StateStore& store,
       bee.msgs_in = agg.msgs_in_window;
       bee.handler_invocations = agg.handler_invocations;
       bee.handler_failures = agg.handler_failures;
+      bee.cost_us = agg.cost_us_window;
       for (const auto& [hive, count] : agg.inbound_by_hive) {
         bee.inbound_by_hive[hive] += count;
       }
       view.bees.push_back(std::move(bee));
+    });
+  }
+  if (const Dict* pressure = store.find_dict(kPressureDict)) {
+    pressure->for_each([&view](const std::string& key, const Bytes& value) {
+      view.hive_pressure[static_cast<HiveId>(std::stoul(key))] =
+          decode_from_bytes<HivePressure>(value).pressure;
     });
   }
   if (const Dict* latency = store.find_dict(kLatencyDict)) {

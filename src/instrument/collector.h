@@ -33,6 +33,9 @@ struct BeeAgg {
   std::uint64_t msgs_in_window = 0;
   std::uint64_t handler_invocations = 0;
   std::uint64_t handler_failures = 0;
+  /// Profiler-estimated handler CPU microseconds accumulated since the
+  /// last optimization round (0 when the profiler is off).
+  std::uint64_t cost_us_window = 0;
   std::vector<std::pair<HiveId, std::uint64_t>> inbound_by_hive;
 
   void add_inbound(HiveId from, std::uint64_t count) {
@@ -54,6 +57,7 @@ struct BeeAgg {
     w.varint(msgs_in_window);
     w.varint(handler_invocations);
     w.varint(handler_failures);
+    w.varint(cost_us_window);
     w.varint(inbound_by_hive.size());
     for (const auto& [hive, count] : inbound_by_hive) {
       w.u32(hive);
@@ -70,6 +74,7 @@ struct BeeAgg {
     a.msgs_in_window = r.varint();
     a.handler_invocations = r.varint();
     a.handler_failures = r.varint();
+    a.cost_us_window = r.varint();
     std::uint64_t n = r.varint();
     for (std::uint64_t i = 0; i < n; ++i) {
       HiveId hive = r.u32();
@@ -108,6 +113,9 @@ class CollectorApp : public App {
   /// kDecisionRoundsKept rounds are retained.
   static constexpr std::string_view kDecisionsDict = "stats.decisions";
   static constexpr std::uint64_t kDecisionRoundsKept = 8;
+  /// Latest queue-pressure score per hive (one cell per hive, overwritten
+  /// each report) — the signal CostPressureStrategy folds into its ranking.
+  static constexpr std::string_view kPressureDict = "stats.pressure";
 
   /// Rebuilds the optimizer's input from a collector bee's state store
   /// (used by tests and by benches for analytics output).

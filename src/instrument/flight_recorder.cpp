@@ -60,6 +60,11 @@ void FlightRecorder::set_span_source(SpanSource source) {
   span_source_ = std::move(source);
 }
 
+void FlightRecorder::set_health_source(HealthSource source) {
+  std::lock_guard lock(mutex_);
+  health_source_ = std::move(source);
+}
+
 FlightRecorder::Ring& FlightRecorder::ring_for_locked(HiveId hive) {
   for (Ring& r : rings_) {
     if (r.hive == hive) return r;
@@ -102,8 +107,21 @@ std::string FlightRecorder::render_locked(const std::string& reason) const {
 }
 
 std::string FlightRecorder::render(const std::string& reason) const {
-  std::lock_guard lock(mutex_);
-  return render_locked(reason);
+  std::string out;
+  HealthSource health;
+  {
+    std::lock_guard lock(mutex_);
+    out = render_locked(reason);
+    health = health_source_;
+  }
+  // The health source runs outside the mutex: it may itself note() into
+  // the recorder or take cluster locks. Never invoked on the crash path
+  // (crash_dump_unsafe), which must stay lock- and allocation-free.
+  if (health) {
+    out += "--- health ---\n";
+    out += health();
+  }
+  return out;
 }
 
 bool FlightRecorder::dump(const std::string& path,

@@ -59,6 +59,14 @@ class FlightRecorder {
   using SpanSource = std::function<std::vector<TraceEvent>()>;
   void set_span_source(SpanSource source);
 
+  /// Optional health source: when set, dump()/render() append its text
+  /// (e.g. HealthReport::to_text()) after the log rings, so a post-mortem
+  /// shows the cluster's last health picture next to what each hive was
+  /// doing. Runs OUTSIDE the recorder mutex (a source that notes into the
+  /// recorder must not deadlock) and never on the crash-signal path.
+  using HealthSource = std::function<std::string()>;
+  void set_health_source(HealthSource source);
+
   /// Writes every hive's ring (oldest line first) to `path`, prefixed with
   /// `reason`. Returns false on IO error. Thread-safe.
   bool dump(const std::string& path, const std::string& reason) const;
@@ -103,6 +111,7 @@ class FlightRecorder {
   // whose construction completed.
   std::atomic<std::size_t> ring_count_{0};
   SpanSource span_source_;
+  HealthSource health_source_;
 };
 
 }  // namespace beehive

@@ -27,6 +27,15 @@ struct BeeMetrics {
   std::uint64_t handler_invocations = 0;
   std::uint64_t handler_failures = 0;
 
+  /// Cost profiler (instrument/profiler.h): thread-CPU nanoseconds of the
+  /// *sampled* handler runs (unscaled — multiply by the sampling period for
+  /// the window estimate), how many runs were sampled, and the committed
+  /// write records the bee's transactions produced. All zero with the
+  /// profiler off.
+  std::uint64_t cost_ns_sampled = 0;
+  std::uint64_t cost_samples = 0;
+  std::uint64_t txn_ops = 0;
+
   /// Messages received, keyed by the emitting bee (kNoBee = IO channel).
   std::unordered_map<BeeId, std::uint64_t> inbound_from;
 
@@ -102,6 +111,9 @@ struct BeeMetricsSample {
 
   BeeId bee = kNoBee;
   AppId app = 0;
+  /// Human-readable app name, resolved by the reporting hive so viewers
+  /// (StatusApp, beectl) need no AppSet of their own.
+  std::string app_name;
   HiveId hive = 0;
   std::uint64_t msgs_in = 0;
   std::uint64_t msgs_out = 0;
@@ -115,6 +127,12 @@ struct BeeMetricsSample {
   /// instantaneous queue depth the StatusApp surfaces.
   std::uint64_t holdback = 0;
   bool pinned = false;
+  /// Profiler estimate of this bee's handler CPU microseconds over the
+  /// window (sampled ns x sampling period / 1000; 0 with the profiler off).
+  std::uint64_t cost_us = 0;
+  std::uint64_t cost_samples = 0;
+  /// Committed transaction write records this window.
+  std::uint64_t txn_ops = 0;
 
   /// Windowed latency distributions (see BeeMetrics for semantics).
   LatencyHistogram queue_latency;
@@ -184,6 +202,7 @@ struct BeeMetricsSample {
   void encode(ByteWriter& w) const {
     w.u64(bee);
     w.u32(app);
+    w.str(app_name);
     w.u32(hive);
     w.varint(msgs_in);
     w.varint(msgs_out);
@@ -195,6 +214,9 @@ struct BeeMetricsSample {
     w.varint(state_bytes);
     w.varint(holdback);
     w.boolean(pinned);
+    w.varint(cost_us);
+    w.varint(cost_samples);
+    w.varint(txn_ops);
     queue_latency.encode(w);
     handler_latency.encode(w);
     encode_vector(w, sources);
@@ -205,6 +227,7 @@ struct BeeMetricsSample {
     BeeMetricsSample s;
     s.bee = r.u64();
     s.app = r.u32();
+    s.app_name = r.str();
     s.hive = r.u32();
     s.msgs_in = r.varint();
     s.msgs_out = r.varint();
@@ -216,6 +239,9 @@ struct BeeMetricsSample {
     s.state_bytes = r.varint();
     s.holdback = r.varint();
     s.pinned = r.boolean();
+    s.cost_us = r.varint();
+    s.cost_samples = r.varint();
+    s.txn_ops = r.varint();
     s.queue_latency = LatencyHistogram::decode(r);
     s.handler_latency = LatencyHistogram::decode(r);
     s.sources = decode_vector<BeeMetricsSample::SourceCount>(r);
@@ -242,6 +268,18 @@ struct LocalMetricsReport {
   std::uint64_t migration_aborts = 0;
   /// Partitions currently injected by the cluster's FaultPlan.
   std::uint32_t partitions_active = 0;
+
+  // -- Queue pressure (see DESIGN.md §9) ----------------------------------
+  /// backlog / (backlog + drained_window + 1) in [0, 1), where backlog is
+  /// run-queue depth + holdback + pending egress frames at report time.
+  double pressure = 0.0;
+  std::uint64_t runq_depth = 0;       ///< run-queue tasks at report time
+  std::uint64_t runq_hwm = 0;         ///< lifetime run-queue high-watermark
+  std::uint64_t drained_window = 0;   ///< run-queue tasks executed, window
+  std::uint64_t egress_hwm = 0;       ///< pending egress frames hwm, window
+  /// Profiler: summed estimated handler CPU microseconds this window.
+  std::uint64_t cost_us = 0;
+
   std::vector<BeeMetricsSample> bees;
 
   void encode(ByteWriter& w) const {
@@ -252,6 +290,12 @@ struct LocalMetricsReport {
     transport.encode(w);
     w.varint(migration_aborts);
     w.u32(partitions_active);
+    w.f64(pressure);
+    w.varint(runq_depth);
+    w.varint(runq_hwm);
+    w.varint(drained_window);
+    w.varint(egress_hwm);
+    w.varint(cost_us);
     encode_vector(w, bees);
   }
   static LocalMetricsReport decode(ByteReader& r) {
@@ -263,6 +307,12 @@ struct LocalMetricsReport {
     rep.transport = TransportCounters::decode(r);
     rep.migration_aborts = r.varint();
     rep.partitions_active = r.u32();
+    rep.pressure = r.f64();
+    rep.runq_depth = r.varint();
+    rep.runq_hwm = r.varint();
+    rep.drained_window = r.varint();
+    rep.egress_hwm = r.varint();
+    rep.cost_us = r.varint();
     rep.bees = decode_vector<BeeMetricsSample>(r);
     return rep;
   }

@@ -25,6 +25,27 @@ std::string format_value(double v) {
   return buf;
 }
 
+/// Escapes HELP text: the exposition format spec escapes backslash and
+/// newline there (quotes are legal verbatim in help lines, unlike label
+/// values).
+std::string escape_help(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 /// Escapes a label value: backslash, double-quote and newline per the
 /// exposition format spec.
 std::string escape_label_value(std::string_view v) {
@@ -351,9 +372,18 @@ std::string MetricsRegistry::prometheus_text() const {
     } else if (first->kind == Kind::kHistogram) {
       type = "histogram";
     }
-    if (!first->help.empty()) {
-      out += "# HELP " + name + " " + first->help + "\n";
+    // Every family gets a HELP line (scrapers and linters expect the
+    // pair): the first series with a non-empty help string wins; families
+    // registered without one get an explicit placeholder.
+    std::string help;
+    for (const Entry* e : series) {
+      if (!e->help.empty()) {
+        help = e->help;
+        break;
+      }
     }
+    if (help.empty()) help = "(no description registered)";
+    out += "# HELP " + name + " " + escape_help(help) + "\n";
     out += "# TYPE " + name + " " + type + "\n";
 
     for (const Entry* e : series) {

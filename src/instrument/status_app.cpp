@@ -69,6 +69,8 @@ StatusApp::StatusApp(StatusAppConfig config) : App("platform.status") {
         hs.transport = report.transport;
         hs.migration_aborts = report.migration_aborts;
         hs.partitions_active = report.partitions_active;
+        hs.pressure = report.pressure;
+        hs.cost_us = report.cost_us;
         hs.suspected = ctx.state()
                            .get_as<HiveSuspected>(std::string(kMetaDict),
                                                   suspected_key(report.hive))
@@ -86,6 +88,7 @@ StatusApp::StatusApp(StatusAppConfig config) : App("platform.status") {
           }
           bs.bee = sample.bee;
           bs.app = sample.app;
+          bs.app_name = sample.app_name;
           bs.hive = sample.hive;
           bs.at = report.at;
           bs.pinned = sample.pinned;
@@ -93,6 +96,8 @@ StatusApp::StatusApp(StatusAppConfig config) : App("platform.status") {
           bs.state_bytes = sample.state_bytes;
           bs.queue_depth = sample.holdback;
           bs.msgs_in_window = sample.msgs_in;
+          bs.cost_us = sample.cost_us;
+          bs.handler_p99_us = sample.handler_latency.p99();
           bs.msgs_window.push(report.at, static_cast<double>(sample.msgs_in));
           ctx.state().put_as(bees, bee_key, bs);
         }
@@ -226,6 +231,8 @@ std::string StatusReport::to_json() const {
            ", \"partitions_active\": " +
            std::to_string(h.partitions_active) +
            ", \"suspected\": " + (h.suspected ? "true" : "false") +
+           ", \"pressure\": " + std::to_string(h.pressure) +
+           ", \"cost_us\": " + std::to_string(h.cost_us) +
            ", \"msgs_window\": ";
     append_json_ring(out, h.msgs_window);
     out += "}";
@@ -237,11 +244,14 @@ std::string StatusReport::to_json() const {
     first = false;
     out += "    {\"bee\": " + std::to_string(b.bee) +
            ", \"app\": " + std::to_string(b.app) +
+           ", \"app_name\": \"" + b.app_name + "\"" +
            ", \"hive\": " + std::to_string(b.hive) +
            ", \"pinned\": " + (b.pinned ? "true" : "false") +
            ", \"cells\": " + std::to_string(b.cells) +
            ", \"queue_depth\": " + std::to_string(b.queue_depth) +
            ", \"msgs_in_window\": " + std::to_string(b.msgs_in_window) +
+           ", \"cost_us\": " + std::to_string(b.cost_us) +
+           ", \"handler_p99_us\": " + std::to_string(b.handler_p99_us) +
            ", \"msgs_window\": ";
     append_json_ring(out, b.msgs_window);
     out += "}";

@@ -48,6 +48,10 @@ struct HiveStatus {
   std::uint64_t migration_aborts = 0;
   std::uint32_t partitions_active = 0;
   bool suspected = false;
+  /// Queue-pressure score from the hive's latest report (DESIGN.md §9).
+  double pressure = 0.0;
+  /// Profiler estimate of handler CPU microseconds over the last window.
+  std::uint64_t cost_us = 0;
   /// Messages received per reporting window, last N windows.
   TimeSeriesRing msgs_window;
 
@@ -63,6 +67,8 @@ struct HiveStatus {
     w.varint(migration_aborts);
     w.u32(partitions_active);
     w.boolean(suspected);
+    w.f64(pressure);
+    w.varint(cost_us);
     msgs_window.encode(w);
   }
   static HiveStatus decode(ByteReader& r) {
@@ -78,6 +84,8 @@ struct HiveStatus {
     s.migration_aborts = r.varint();
     s.partitions_active = r.u32();
     s.suspected = r.boolean();
+    s.pressure = r.f64();
+    s.cost_us = r.varint();
     s.msgs_window = TimeSeriesRing::decode(r);
     return s;
   }
@@ -89,6 +97,7 @@ struct BeeStatus {
 
   BeeId bee = kNoBee;
   AppId app = 0;
+  std::string app_name;
   HiveId hive = 0;
   TimePoint at = 0;
   bool pinned = false;
@@ -96,12 +105,17 @@ struct BeeStatus {
   std::uint64_t state_bytes = 0;
   std::uint64_t queue_depth = 0;  ///< holdback length at report time
   std::uint64_t msgs_in_window = 0;
+  /// Profiler estimate of this bee's handler CPU microseconds, last window.
+  std::uint64_t cost_us = 0;
+  /// Handler-latency p99 (microseconds) over the last window.
+  std::uint64_t handler_p99_us = 0;
   /// Messages received per reporting window, last N windows.
   TimeSeriesRing msgs_window;
 
   void encode(ByteWriter& w) const {
     w.u64(bee);
     w.u32(app);
+    w.str(app_name);
     w.u32(hive);
     w.i64(at);
     w.boolean(pinned);
@@ -109,12 +123,15 @@ struct BeeStatus {
     w.varint(state_bytes);
     w.varint(queue_depth);
     w.varint(msgs_in_window);
+    w.varint(cost_us);
+    w.varint(handler_p99_us);
     msgs_window.encode(w);
   }
   static BeeStatus decode(ByteReader& r) {
     BeeStatus s;
     s.bee = r.u64();
     s.app = r.u32();
+    s.app_name = r.str();
     s.hive = r.u32();
     s.at = r.i64();
     s.pinned = r.boolean();
@@ -122,6 +139,8 @@ struct BeeStatus {
     s.state_bytes = r.varint();
     s.queue_depth = r.varint();
     s.msgs_in_window = r.varint();
+    s.cost_us = r.varint();
+    s.handler_p99_us = r.varint();
     s.msgs_window = TimeSeriesRing::decode(r);
     return s;
   }

@@ -6,6 +6,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "util/logging.h"
@@ -43,11 +44,17 @@ std::string http_response(int code, const char* status,
   return out;
 }
 
+std::string unavailable() {
+  return http_response(503, "Service Unavailable", "text/plain",
+                       "detached: the cluster behind this endpoint is "
+                       "shutting down\n");
+}
+
 }  // namespace
 
 HttpExportServer::HttpExportServer(const MetricsRegistry& registry,
                                    std::uint16_t port)
-    : registry_(registry) {
+    : registry_(&registry) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("http_export: socket() failed");
@@ -77,8 +84,8 @@ HttpExportServer::HttpExportServer(const MetricsRegistry& registry,
 
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { serve_loop(); });
-  BH_INFO << "http_export: serving /metrics and /status.json on 127.0.0.1:"
-          << port_;
+  BH_INFO << "http_export: serving /metrics, /status.json and /health.json "
+          << "on 127.0.0.1:" << port_;
 }
 
 HttpExportServer::~HttpExportServer() { stop(); }
@@ -89,12 +96,34 @@ void HttpExportServer::set_status_source(
   status_source_ = std::move(source);
 }
 
+void HttpExportServer::set_health_source(
+    std::function<std::string()> source) {
+  std::lock_guard lock(source_mutex_);
+  health_source_ = std::move(source);
+}
+
+void HttpExportServer::detach() {
+  // Order matters: clear the registry pointer first (requests in flight
+  // re-check it per route), then drop the callbacks under the source lock
+  // so no handler can still be copying one.
+  registry_.store(nullptr, std::memory_order_release);
+  std::lock_guard lock(source_mutex_);
+  status_source_ = nullptr;
+  health_source_ = nullptr;
+}
+
 void HttpExportServer::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  // Closing the listening socket unblocks accept() with an error.
+  // Closing the listening socket unblocks accept() with an error; shutting
+  // down the in-flight client (if any) unblocks a handler stuck in
+  // recv()/send() on a stalled scraper.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   listen_fd_ = -1;
+  {
+    std::lock_guard lock(client_mutex_);
+    if (client_fd_ >= 0) ::shutdown(client_fd_, SHUT_RDWR);
+  }
   if (thread_.joinable()) thread_.join();
 }
 
@@ -105,7 +134,21 @@ void HttpExportServer::serve_loop() {
       if (!running_.load(std::memory_order_acquire)) break;
       continue;  // transient accept failure
     }
+    // A client that connects and then never sends must not wedge the
+    // single-threaded accept loop: bound the read (and any stalled send).
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    {
+      std::lock_guard lock(client_mutex_);
+      client_fd_ = client;
+    }
     handle_connection(client);
+    {
+      std::lock_guard lock(client_mutex_);
+      client_fd_ = -1;
+    }
     ::close(client);
   }
 }
@@ -137,24 +180,44 @@ void HttpExportServer::handle_connection(int client_fd) {
     response = http_response(405, "Method Not Allowed", "text/plain",
                              "only GET is supported\n");
   } else if (path == "/metrics") {
-    response = http_response(200, "OK",
-                             "text/plain; version=0.0.4; charset=utf-8",
-                             registry_.prometheus_text());
+    const MetricsRegistry* reg = registry_.load(std::memory_order_acquire);
+    response = reg == nullptr
+                   ? unavailable()
+                   : http_response(200, "OK",
+                                   "text/plain; version=0.0.4; charset=utf-8",
+                                   reg->prometheus_text());
   } else if (path == "/status.json") {
+    const MetricsRegistry* reg = registry_.load(std::memory_order_acquire);
     std::function<std::string()> source;
     {
       std::lock_guard lock(source_mutex_);
       source = status_source_;
     }
-    response = http_response(200, "OK", "application/json",
-                             source ? source() : registry_.status_json());
+    if (source) {
+      response = http_response(200, "OK", "application/json", source());
+    } else if (reg != nullptr) {
+      response =
+          http_response(200, "OK", "application/json", reg->status_json());
+    } else {
+      response = unavailable();
+    }
+  } else if (path == "/health.json") {
+    std::function<std::string()> source;
+    {
+      std::lock_guard lock(source_mutex_);
+      source = health_source_;
+    }
+    response = source
+                   ? http_response(200, "OK", "application/json", source())
+                   : unavailable();
   } else if (path == "/" || path == "/index.html") {
-    response = http_response(
-        200, "OK", "text/plain",
-        "beehive exposition endpoints:\n  /metrics\n  /status.json\n");
+    response = http_response(200, "OK", "text/plain",
+                             "beehive exposition endpoints:\n  /metrics\n"
+                             "  /status.json\n  /health.json\n");
   } else {
     response = http_response(404, "Not Found", "text/plain",
-                             "unknown path; try /metrics or /status.json\n");
+                             "unknown path; try /metrics, /status.json or "
+                             "/health.json\n");
   }
   if (send_all(client_fd, response)) {
     served_.fetch_add(1, std::memory_order_relaxed);

@@ -1,13 +1,20 @@
 // Minimal HTTP/1.0 exposition endpoint for the threaded runtime.
 //
 // Serves GET /metrics (Prometheus text exposition format, straight from a
-// MetricsRegistry) and GET /status.json (a JSON snapshot — by default the
-// registry's, optionally a StatusApp-fed callback), so a running
-// ThreadCluster can be scraped by standard tooling (curl, Prometheus).
+// MetricsRegistry), GET /status.json (a JSON snapshot — by default the
+// registry's, optionally a StatusApp-fed callback) and GET /health.json
+// (a cluster HealthReport callback), so a running ThreadCluster can be
+// scraped by standard tooling (curl, Prometheus, beectl).
 //
 // Deliberately tiny: one accept-loop thread, one short-lived connection
 // per request (HTTP/1.0, Connection: close), no keep-alive, no TLS, bound
 // to 127.0.0.1. This is an operational side door, not a web server.
+//
+// Shutdown discipline: the registry reference is held through an atomic
+// pointer. detach() clears it (and the source callbacks) so a server that
+// outlives its cluster answers 503 instead of dereferencing a destroyed
+// registry; stop() additionally shuts down any in-flight client socket so
+// a stalled scraper cannot block the join.
 #pragma once
 
 #include <atomic>
@@ -39,6 +46,17 @@ class HttpExportServer {
   /// thread-safe with respect to the cluster.
   void set_status_source(std::function<std::string()> source);
 
+  /// Sets the /health.json body producer (e.g. ThreadCluster::health_json
+  /// wrapped in a lambda). Unset = 503 on that path.
+  void set_health_source(std::function<std::string()> source);
+
+  /// Disconnects the server from the registry and the source callbacks:
+  /// every subsequent request answers 503 Service Unavailable. Call before
+  /// destroying the cluster that owns the registry when the server object
+  /// outlives it — scrapes that race the teardown then get a clean error
+  /// instead of a use-after-free.
+  void detach();
+
   /// Stops the accept loop and joins the thread (also run by ~).
   void stop();
 
@@ -51,13 +69,18 @@ class HttpExportServer {
   void serve_loop();
   void handle_connection(int client_fd);
 
-  const MetricsRegistry& registry_;
+  std::atomic<const MetricsRegistry*> registry_;
   std::function<std::string()> status_source_;
+  std::function<std::string()> health_source_;
   mutable std::mutex source_mutex_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> served_{0};
+  /// The connection currently being handled (-1 when idle), so stop() can
+  /// shut it down and unblock a handler stuck in recv/send.
+  std::mutex client_mutex_;
+  int client_fd_ = -1;
   std::thread thread_;
 };
 

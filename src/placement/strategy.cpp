@@ -1,5 +1,7 @@
 #include "placement/strategy.h"
 
+#include <algorithm>
+
 namespace beehive {
 
 std::vector<MigrationDecision> PlacementStrategy::decide_explained(
@@ -86,6 +88,114 @@ std::vector<MigrationDecision> GreedyFollowSources::decide_explained(
     }
     if (occupancy[best_hive] + bee.cells > config_.hive_cell_capacity) {
       reject("capacity");  // H2 lacks capacity (paper's constraint).
+      continue;
+    }
+    occupancy[best_hive] += bee.cells;
+    if (occupancy[bee.hive] >= bee.cells) occupancy[bee.hive] -= bee.cells;
+    decisions.push_back({bee.bee, best_hive});
+    if (log != nullptr) {
+      rec.accepted = true;
+      rec.reason = "majority";
+      log->push_back(std::move(rec));
+    }
+  }
+  return decisions;
+}
+
+std::vector<MigrationDecision> CostPressureStrategy::decide(
+    const ClusterView& view) {
+  return decide_explained(view, nullptr);
+}
+
+std::vector<MigrationDecision> CostPressureStrategy::decide_explained(
+    const ClusterView& view, std::vector<PlacementDecision>* log) {
+  std::vector<MigrationDecision> decisions;
+  std::map<HiveId, std::uint64_t> occupancy = view.hive_cells;
+  const auto pressure_of = [&](HiveId h) {
+    auto it = view.hive_pressure.find(h);
+    return it == view.hive_pressure.end() ? 0.0 : it->second;
+  };
+
+  // Rank every movable bee by measured weight x (1 + source pressure):
+  // the costliest bees on the most pressured hives are considered first,
+  // so the per-round move cap spends itself where it relieves most.
+  struct Candidate {
+    const BeeView* bee;
+    const char* signal;
+    double rank;
+  };
+  std::vector<Candidate> candidates;
+  for (const BeeView& bee : view.bees) {
+    if (bee.pinned) continue;
+    if (bee.msgs_in < config_.min_messages) continue;
+    const bool measured = bee.cost_us > 0;
+    const std::uint64_t weight = measured ? bee.cost_us : bee.msgs_in;
+    candidates.push_back(
+        {&bee, measured ? "cost" : "msgs",
+         static_cast<double>(weight) * (1.0 + pressure_of(bee.hive))});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.rank != b.rank) return a.rank > b.rank;
+              return a.bee->bee < b.bee->bee;
+            });
+
+  for (const Candidate& c : candidates) {
+    if (decisions.size() >= config_.max_moves) break;
+    const BeeView& bee = *c.bee;
+
+    // Target selection is still the paper's majority-source rule — cost
+    // and pressure decide *which* bees move and *whether* the move is
+    // worth it, locality decides *where to*.
+    std::uint64_t total = 0;
+    HiveId best_hive = bee.hive;
+    std::uint64_t best_count = 0;
+    for (const auto& [hive, count] : bee.inbound_by_hive) {
+      total += count;
+      if (count > best_count) {
+        best_count = count;
+        best_hive = hive;
+      }
+    }
+    if (total == 0) continue;
+
+    PlacementDecision rec;
+    rec.bee = bee.bee;
+    rec.from = bee.hive;
+    rec.to = best_hive;
+    rec.msgs_total = total;
+    rec.msgs_from_target = best_count;
+    rec.score = c.rank;
+    rec.signal = c.signal;
+    rec.cost_us = bee.cost_us;
+    rec.pressure_from = pressure_of(bee.hive);
+    rec.pressure_to = pressure_of(best_hive);
+    rec.inbound.assign(bee.inbound_by_hive.begin(),
+                       bee.inbound_by_hive.end());
+    auto reject = [&](const char* why) {
+      if (log != nullptr) {
+        rec.reason = why;
+        log->push_back(std::move(rec));
+      }
+    };
+
+    if (best_hive == bee.hive) {
+      reject("local_majority");
+      continue;
+    }
+    if (static_cast<double>(best_count) <
+        config_.majority_fraction * static_cast<double>(total)) {
+      reject("no_majority");
+      continue;
+    }
+    if (occupancy[best_hive] + bee.cells > config_.hive_cell_capacity) {
+      reject("capacity");
+      continue;
+    }
+    if (rec.pressure_to > rec.pressure_from + config_.pressure_slack) {
+      // Moving onto a hive already drowning would trade locality for a
+      // longer queue — the one trade this strategy exists to refuse.
+      reject("pressure_inverted");
       continue;
     }
     occupancy[best_hive] += bee.cells;

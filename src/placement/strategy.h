@@ -31,6 +31,10 @@ struct BeeView {
   std::uint64_t msgs_in = 0;
   std::uint64_t handler_invocations = 0;
   std::uint64_t handler_failures = 0;
+  /// Profiler-estimated handler CPU microseconds since the last round
+  /// (instrument/profiler.h); 0 when the profiler is off, in which case
+  /// cost-aware strategies fall back to message counts.
+  std::uint64_t cost_us = 0;
   /// Messages received since the last optimization round, by source hive.
   std::map<HiveId, std::uint64_t> inbound_by_hive;
 };
@@ -49,6 +53,9 @@ struct LatencyView {
 struct ClusterView {
   std::size_t n_hives = 0;
   std::map<HiveId, std::uint64_t> hive_cells;
+  /// Latest queue-pressure score per hive in [0,1) (LocalMetricsReport);
+  /// absent hives read as 0 (unpressured).
+  std::map<HiveId, double> hive_pressure;
   std::vector<BeeView> bees;
   LatencyView latency;
 };
@@ -74,6 +81,17 @@ struct PlacementDecision {
   std::uint64_t msgs_from_target = 0;  ///< Of which, from the candidate.
   double score = 0.0;  ///< Strategy-specific, e.g. source fraction.
   std::string reason;  ///< "majority", "no_majority", "capacity", ...
+  /// Which measurement ranked this bee: "cost" (profiler CPU estimate) or
+  /// "msgs" (message-count fallback). Empty for strategies that predate
+  /// the cost profiler.
+  std::string signal;
+  /// The bee's measured handler CPU microseconds this window (0 when the
+  /// profiler is off or the strategy ranked by messages).
+  std::uint64_t cost_us = 0;
+  /// Queue-pressure scores of the source and candidate target hives at
+  /// decision time.
+  double pressure_from = 0.0;
+  double pressure_to = 0.0;
   /// The traffic-matrix slice that drove the decision: this bee's inbound
   /// counts by source hive.
   std::vector<std::pair<HiveId, std::uint64_t>> inbound;
@@ -87,6 +105,10 @@ struct PlacementDecision {
     w.varint(msgs_from_target);
     w.f64(score);
     w.str(reason);
+    w.str(signal);
+    w.varint(cost_us);
+    w.f64(pressure_from);
+    w.f64(pressure_to);
     w.varint(inbound.size());
     for (const auto& [hive, count] : inbound) {
       w.u32(hive);
@@ -103,6 +125,10 @@ struct PlacementDecision {
     d.msgs_from_target = r.varint();
     d.score = r.f64();
     d.reason = r.str();
+    d.signal = r.str();
+    d.cost_us = r.varint();
+    d.pressure_from = r.f64();
+    d.pressure_to = r.f64();
     std::uint64_t n = r.varint();
     for (std::uint64_t i = 0; i < n; ++i) {
       HiveId hive = r.u32();
@@ -178,6 +204,42 @@ class GreedyFollowSources final : public PlacementStrategy {
 
  private:
   GreedyConfig config_;
+};
+
+/// Closes the instrumentation loop (DESIGN.md §9): ranks candidate moves
+/// by *measured* handler cost x source-hive queue pressure instead of raw
+/// message counts. Each bee's weight is its profiler CPU estimate when one
+/// exists (signal "cost"), falling back to its message count when the
+/// profiler is off (signal "msgs"); weights are scaled by (1 + pressure of
+/// the bee's hive) so pressured hives shed work first. Targets follow the
+/// paper's majority-source rule, with one extra veto: never move onto a
+/// hive meaningfully more pressured than the source.
+struct CostPressureConfig {
+  /// Required share of a bee's inbound messages from the candidate hive.
+  double majority_fraction = 0.5;
+  /// Ignore bees with fewer inbound messages than this (noise floor).
+  std::uint64_t min_messages = 8;
+  /// Per-hive cell capacity; moves that would exceed it are skipped.
+  std::uint64_t hive_cell_capacity = UINT64_MAX;
+  /// Reject a move whose target's pressure exceeds the source's by more
+  /// than this slack ("pressure_inverted").
+  double pressure_slack = 0.25;
+  /// Safety valve: at most this many moves per round.
+  std::size_t max_moves = 64;
+};
+
+class CostPressureStrategy final : public PlacementStrategy {
+ public:
+  explicit CostPressureStrategy(CostPressureConfig config = {})
+      : config_(config) {}
+
+  std::string_view name() const override { return "costpressure"; }
+  std::vector<MigrationDecision> decide(const ClusterView& view) override;
+  std::vector<MigrationDecision> decide_explained(
+      const ClusterView& view, std::vector<PlacementDecision>* log) override;
+
+ private:
+  CostPressureConfig config_;
 };
 
 /// Never migrates (the "no optimization" baseline).

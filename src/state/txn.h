@@ -160,6 +160,10 @@ class Txn {
   bool committed() const { return committed_; }
   std::size_t write_count() const { return scratch_->redo.size(); }
 
+  /// The access policy this transaction runs under (the cost profiler
+  /// attributes sampled handler runs to its cells).
+  const AccessPolicy& policy() const { return policy_; }
+
   /// The redo log; meaningful after commit() (empty after rollback).
   const std::vector<WriteRecord>& writes() const { return scratch_->redo; }
 

@@ -10,14 +10,18 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <new>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/sim.h"
@@ -1007,6 +1011,144 @@ TEST(HttpExport, ServesMetricsStatusJsonAndNotFound) {
 
   EXPECT_EQ(server.requests_served(), 4u);
   server.stop();
+}
+
+TEST(HttpExport, HealthEndpointServesSourceOr503) {
+  MetricsRegistry reg;
+  HttpExportServer server(reg, /*port=*/0);
+
+  // No health source wired: the route exists but answers 503, not 404.
+  const std::string before = http_get(server.port(), "/health.json");
+  EXPECT_EQ(before.rfind("HTTP/1.0 503", 0), 0u) << before;
+
+  server.set_health_source(
+      [] { return std::string("{\"min_score\": 97.5}\n"); });
+  const std::string after = http_get(server.port(), "/health.json");
+  EXPECT_EQ(after.rfind("HTTP/1.0 200", 0), 0u);
+  EXPECT_NE(after.find("\"min_score\": 97.5"), std::string::npos);
+
+  // The index advertises all three endpoints.
+  const std::string index = http_get(server.port(), "/");
+  EXPECT_NE(index.find("/metrics"), std::string::npos);
+  EXPECT_NE(index.find("/status.json"), std::string::npos);
+  EXPECT_NE(index.find("/health.json"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpExport, LateScrapeAfterDetachGets503NotDestroyedRegistry) {
+  // Regression: a scraper arriving while (or after) the cluster behind the
+  // endpoint is torn down must get a clean 503 — never a read of the
+  // destroyed registry. The registry dies *before* the server here, which
+  // is exactly the ordering detach() exists for.
+  auto registry = std::make_unique<MetricsRegistry>();
+  registry->counter("beehive_up", {}, "Always 1").inc();
+  HttpExportServer server(*registry, /*port=*/0);
+  const std::uint16_t port = server.port();
+
+  // Scrapers hammering every endpoint while the teardown races them.
+  std::atomic<bool> scraping{true};
+  std::atomic<std::uint64_t> bad_responses{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&, t] {
+      const char* paths[] = {"/metrics", "/status.json", "/health.json"};
+      while (scraping.load(std::memory_order_relaxed)) {
+        const std::string resp = http_get(port, paths[t % 3]);
+        // Empty = connection refused/reset (fine once stopped); otherwise
+        // only 200 (pre-detach) or 503 (post-detach) are acceptable.
+        if (!resp.empty() && resp.rfind("HTTP/1.0 200", 0) != 0 &&
+            resp.rfind("HTTP/1.0 503", 0) != 0) {
+          bad_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Let the scrapers land a few pre-detach hits, then tear down the
+  // "cluster": detach first, destroy the registry after.
+  while (server.requests_served() < 8) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.detach();
+  registry.reset();  // the server must never touch it again
+
+  // The late scraper: a fresh request strictly after destruction.
+  const std::string late = http_get(port, "/metrics");
+  EXPECT_EQ(late.rfind("HTTP/1.0 503", 0), 0u) << late;
+  const std::string late_health = http_get(port, "/health.json");
+  EXPECT_EQ(late_health.rfind("HTTP/1.0 503", 0), 0u);
+  const std::string late_status = http_get(port, "/status.json");
+  EXPECT_EQ(late_status.rfind("HTTP/1.0 503", 0), 0u);
+
+  scraping.store(false, std::memory_order_relaxed);
+  for (std::thread& t : scrapers) t.join();
+  EXPECT_EQ(bad_responses.load(), 0u);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus HELP/TYPE contract
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusText, EveryFamilyGetsHelpAndTypeHeaders) {
+  MetricsRegistry reg;
+  reg.counter("with_help", {}, "Documented counter.").inc();
+  reg.gauge("without_help").set(1);  // no description registered
+  reg.counter("second_series_help", {{"hive", "0"}});  // first: helpless
+  reg.counter("second_series_help", {{"hive", "1"}},
+              "Help on a later series.");
+  reg.histogram("hist_no_help").record(5);
+
+  const std::string text = reg.prometheus_text();
+
+  // Round-trip check: walk the exposition line by line — every family's
+  // first appearance must be its # HELP line, immediately followed by
+  // # TYPE, then only samples of that family until the next family.
+  std::istringstream in(text);
+  std::string line;
+  std::string pending_help_family;
+  std::set<std::string> helped, typed;
+  while (std::getline(in, line)) {
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string family =
+          line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(pending_help_family.empty())
+          << "HELP for " << family << " not followed by TYPE";
+      pending_help_family = family;
+      helped.insert(family);
+    } else if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string family = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_EQ(family, pending_help_family)
+          << "TYPE without a preceding HELP for the same family";
+      pending_help_family.clear();
+      typed.insert(family);
+    }
+  }
+  EXPECT_EQ(helped, typed) << "every family must carry both headers";
+  for (const char* family :
+       {"with_help", "without_help", "second_series_help", "hist_no_help"}) {
+    EXPECT_TRUE(helped.contains(family)) << family << " missing HELP";
+  }
+
+  EXPECT_NE(text.find("# HELP with_help Documented counter."),
+            std::string::npos);
+  // A family whose only help lives on a later series still gets it.
+  EXPECT_NE(text.find("# HELP second_series_help Help on a later series."),
+            std::string::npos);
+  // Helpless families get the explicit placeholder, never a bare TYPE.
+  EXPECT_NE(text.find("# HELP without_help (no description registered)"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, HelpTextEscapesBackslashAndNewline) {
+  MetricsRegistry reg;
+  reg.counter("tricky", {}, "line one\nline two \\ backslash");
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP tricky line one\\nline two \\\\ backslash"),
+            std::string::npos)
+      << text;
+  // The raw newline must not have split the HELP line.
+  EXPECT_EQ(text.find("# HELP tricky line one\nline"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,475 @@
+// beectl — an operator console for a running beehive cluster.
+//
+//   beectl top [--host H] [--port P] [--sort cost|pressure|latency|msgs]
+//              [--interval SECONDS] [--once]
+//
+// Scrapes the cluster's HTTP exposition endpoint (/status.json for the
+// per-hive / per-bee view, /health.json for scores and pressure) and
+// renders a refreshing `top`-style table: hives ranked by health, bees
+// ranked by the chosen signal. `--once` prints a single frame and exits —
+// non-zero when the cluster answered but had nothing to show, so CI smoke
+// steps can assert on it.
+//
+// Standalone on purpose: plain POSIX sockets and a ~150-line JSON reader,
+// no link against the beehive library, so the binary works against any
+// reachable exposition port.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON: parses the subset the beehive endpoints emit (objects,
+// arrays, numbers, strings, booleans, null). No unicode escapes beyond
+// pass-through; numbers are kept as doubles.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> items;
+  std::map<std::string, Json> fields;
+
+  const Json* find(const std::string& key) const {
+    auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+  double number(const std::string& key, double fallback = 0.0) const {
+    const Json* v = find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->num : fallback;
+  }
+  bool boolean(const std::string& key) const {
+    const Json* v = find(key);
+    return v != nullptr && v->kind == Kind::kBool && v->b;
+  }
+  std::string text(const std::string& key,
+                   const std::string& fallback = "") const {
+    const Json* v = find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->str : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(Json& out) { return value(out) && (skip_ws(), pos_ == s_.size()); }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* lit) {
+    std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u':  // keep the escape verbatim; labels here are ASCII
+            out += "\\u";
+            break;
+          default: out += e; break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool value(Json& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = Json::Kind::kObject;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') return ++pos_, true;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string(key)) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+        Json v;
+        if (!value(v)) return false;
+        out.fields.emplace(std::move(key), std::move(v));
+        skip_ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') { ++pos_; continue; }
+        if (s_[pos_] == '}') return ++pos_, true;
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = Json::Kind::kArray;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') return ++pos_, true;
+      while (true) {
+        Json v;
+        if (!value(v)) return false;
+        out.items.push_back(std::move(v));
+        skip_ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') { ++pos_; continue; }
+        if (s_[pos_] == ']') return ++pos_, true;
+        return false;
+      }
+    }
+    if (c == '"') {
+      out.kind = Json::Kind::kString;
+      return string(out.str);
+    }
+    if (c == 't') { out.kind = Json::Kind::kBool; out.b = true; return literal("true"); }
+    if (c == 'f') { out.kind = Json::Kind::kBool; out.b = false; return literal("false"); }
+    if (c == 'n') { out.kind = Json::Kind::kNull; return literal("null"); }
+    // number
+    char* end = nullptr;
+    out.num = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return false;
+    out.kind = Json::Kind::kNumber;
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// HTTP GET (blocking, HTTP/1.0, Connection: close — matches the server).
+// ---------------------------------------------------------------------------
+
+/// Returns the response body, or nullopt-style failure via `ok`. `status`
+/// receives the HTTP status code (0 when the request never completed).
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, int& status) {
+  status = 0;
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &res) != 0) {
+    return {};
+  }
+  std::unique_ptr<addrinfo, decltype(&::freeaddrinfo)> guard(res,
+                                                             &::freeaddrinfo);
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  if (fd < 0) return {};
+
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    ssize_t n = ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) { ::close(fd); return {}; }
+    off += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\nbody"
+  if (raw.compare(0, 5, "HTTP/") != 0) return {};
+  if (auto sp = raw.find(' '); sp != std::string::npos) {
+    status = std::atoi(raw.c_str() + sp + 1);
+  }
+  auto body_at = raw.find("\r\n\r\n");
+  return body_at == std::string::npos ? std::string{}
+                                      : raw.substr(body_at + 4);
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 9780;
+  std::string sort = "cost";  // cost | pressure | latency | msgs
+  int interval_s = 2;
+  bool once = false;
+};
+
+struct HiveRow {
+  std::uint64_t hive = 0;
+  double score = 100.0;
+  double pressure = 0.0;
+  double retx = 0.0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t runq = 0;
+  std::uint64_t queue = 0;
+  std::uint64_t cost_us = 0;
+  bool suspected = false;
+};
+
+struct BeeRow {
+  std::uint64_t bee = 0;
+  std::string app;
+  std::uint64_t hive = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t queue = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t cost_us = 0;
+  std::uint64_t p99_us = 0;
+  bool pinned = false;
+};
+
+double bee_sort_key(const BeeRow& b, const std::string& sort,
+                    const std::map<std::uint64_t, double>& hive_pressure) {
+  if (sort == "pressure") {
+    auto it = hive_pressure.find(b.hive);
+    return it == hive_pressure.end() ? 0.0 : it->second;
+  }
+  if (sort == "latency") return static_cast<double>(b.p99_us);
+  if (sort == "msgs") return static_cast<double>(b.msgs);
+  return static_cast<double>(b.cost_us);  // "cost"
+}
+
+/// Renders one frame. Returns the number of rows shown (hives + bees) so
+/// --once can exit non-zero on an empty view.
+std::size_t render_frame(const Options& opt, bool clear_screen) {
+  int health_status = 0;
+  int status_status = 0;
+  const std::string health_body =
+      http_get(opt.host, opt.port, "/health.json", health_status);
+  const std::string status_body =
+      http_get(opt.host, opt.port, "/status.json", status_status);
+
+  std::vector<HiveRow> hives;
+  std::map<std::uint64_t, double> hive_pressure;
+  double min_score = 100.0;
+  if (health_status == 200) {
+    Json root;
+    if (JsonParser(health_body).parse(root)) {
+      min_score = root.number("min_score", 100.0);
+      if (const Json* arr = root.find("hives");
+          arr != nullptr && arr->kind == Json::Kind::kArray) {
+        for (const Json& h : arr->items) {
+          HiveRow row;
+          row.hive = static_cast<std::uint64_t>(h.number("hive"));
+          row.score = h.number("score", 100.0);
+          row.pressure = h.number("pressure");
+          row.retx = h.number("retransmit_rate");
+          row.p99_us = static_cast<std::uint64_t>(h.number("handler_p99_us"));
+          row.runq = static_cast<std::uint64_t>(h.number("runq_depth"));
+          row.queue = static_cast<std::uint64_t>(h.number("queue_depth"));
+          row.cost_us =
+              static_cast<std::uint64_t>(h.number("cost_us_window"));
+          row.suspected = h.boolean("suspected");
+          hive_pressure[row.hive] = row.pressure;
+          hives.push_back(row);
+        }
+      }
+    }
+  }
+
+  std::vector<BeeRow> bees;
+  if (status_status == 200) {
+    Json root;
+    if (JsonParser(status_body).parse(root)) {
+      if (const Json* arr = root.find("bees");
+          arr != nullptr && arr->kind == Json::Kind::kArray) {
+        for (const Json& b : arr->items) {
+          BeeRow row;
+          row.bee = static_cast<std::uint64_t>(b.number("bee"));
+          row.app = b.text("app_name");
+          if (row.app.empty()) {
+            // Older server: only the numeric app id is available.
+            row.app = std::to_string(
+                static_cast<std::uint64_t>(b.number("app")));
+          }
+          row.hive = static_cast<std::uint64_t>(b.number("hive"));
+          row.cells = static_cast<std::uint64_t>(b.number("cells"));
+          row.queue = static_cast<std::uint64_t>(b.number("queue_depth"));
+          row.msgs = static_cast<std::uint64_t>(b.number("msgs_in_window"));
+          row.cost_us = static_cast<std::uint64_t>(b.number("cost_us"));
+          row.p99_us =
+              static_cast<std::uint64_t>(b.number("handler_p99_us"));
+          row.pinned = b.boolean("pinned");
+          bees.push_back(row);
+        }
+      }
+      // Health endpoint down (older server / detached): fall back to the
+      // status report's hive rows so the view still shows something.
+      if (hives.empty()) {
+        if (const Json* arr = root.find("hives");
+            arr != nullptr && arr->kind == Json::Kind::kArray) {
+          for (const Json& h : arr->items) {
+            HiveRow row;
+            row.hive = static_cast<std::uint64_t>(h.number("hive"));
+            row.pressure = h.number("pressure");
+            row.p99_us =
+                static_cast<std::uint64_t>(h.number("e2e_p99_us"));
+            row.queue = static_cast<std::uint64_t>(h.number("queue_depth"));
+            row.cost_us = static_cast<std::uint64_t>(h.number("cost_us"));
+            row.suspected = h.boolean("suspected");
+            hive_pressure[row.hive] = row.pressure;
+            hives.push_back(row);
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(hives.begin(), hives.end(),
+            [](const HiveRow& a, const HiveRow& b) {
+              return a.score != b.score ? a.score < b.score
+                                        : a.hive < b.hive;
+            });
+  std::sort(bees.begin(), bees.end(),
+            [&](const BeeRow& a, const BeeRow& b) {
+              const double ka = bee_sort_key(a, opt.sort, hive_pressure);
+              const double kb = bee_sort_key(b, opt.sort, hive_pressure);
+              return ka != kb ? ka > kb : a.bee < b.bee;
+            });
+
+  if (clear_screen) std::fputs("\x1b[2J\x1b[H", stdout);
+  std::printf("beectl top — %s:%u   sort=%s   min_score=%.1f", opt.host.c_str(),
+              opt.port, opt.sort.c_str(), min_score);
+  if (health_status != 200) {
+    std::printf("   [/health.json: %s]",
+                health_status == 0 ? "unreachable"
+                                   : std::to_string(health_status).c_str());
+  }
+  if (status_status != 200) {
+    std::printf("   [/status.json: %s]",
+                status_status == 0 ? "unreachable"
+                                   : std::to_string(status_status).c_str());
+  }
+  std::printf("\n\n");
+
+  std::printf("%-5s %7s %9s %8s %9s %6s %6s %10s %s\n", "HIVE", "SCORE",
+              "PRESSURE", "RETX", "P99_US", "RUNQ", "QUEUE", "COST_US", "");
+  for (const HiveRow& h : hives) {
+    std::printf("%-5llu %7.1f %9.3f %8.3f %9llu %6llu %6llu %10llu %s\n",
+                static_cast<unsigned long long>(h.hive), h.score, h.pressure,
+                h.retx, static_cast<unsigned long long>(h.p99_us),
+                static_cast<unsigned long long>(h.runq),
+                static_cast<unsigned long long>(h.queue),
+                static_cast<unsigned long long>(h.cost_us),
+                h.suspected ? "SUSPECTED" : "");
+  }
+  if (hives.empty()) std::printf("  (no hive rows yet)\n");
+
+  std::printf("\n%-20s %-18s %5s %6s %6s %8s %10s %9s %s\n", "BEE", "APP",
+              "HIVE", "CELLS", "QUEUE", "MSGS/W", "COST_US", "P99_US", "");
+  for (const BeeRow& b : bees) {
+    std::printf("%-20llu %-18.18s %5llu %6llu %6llu %8llu %10llu %9llu %s\n",
+                static_cast<unsigned long long>(b.bee), b.app.c_str(),
+                static_cast<unsigned long long>(b.hive),
+                static_cast<unsigned long long>(b.cells),
+                static_cast<unsigned long long>(b.queue),
+                static_cast<unsigned long long>(b.msgs),
+                static_cast<unsigned long long>(b.cost_us),
+                static_cast<unsigned long long>(b.p99_us),
+                b.pinned ? "pinned" : "");
+  }
+  if (bees.empty()) std::printf("  (no bee rows yet)\n");
+  std::fflush(stdout);
+  return hives.size() + bees.size();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s top [--host H] [--port P] "
+               "[--sort cost|pressure|latency|msgs] [--interval SECONDS] "
+               "[--once]\n",
+               argv0);
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  int i = 1;
+  if (i < argc && std::strcmp(argv[i], "top") == 0) ++i;  // only subcommand
+  for (; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.host = v;
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--sort") == 0) {
+      const char* v = next();
+      if (v == nullptr ||
+          (std::strcmp(v, "cost") != 0 && std::strcmp(v, "pressure") != 0 &&
+           std::strcmp(v, "latency") != 0 && std::strcmp(v, "msgs") != 0)) {
+        return usage(argv[0]);
+      }
+      opt.sort = v;
+    } else if (std::strcmp(argv[i], "--interval") == 0) {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return usage(argv[0]);
+      opt.interval_s = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      opt.once = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (opt.once) {
+    return render_frame(opt, /*clear_screen=*/false) == 0 ? 2 : 0;
+  }
+  while (true) {
+    render_frame(opt, /*clear_screen=*/true);
+    std::this_thread::sleep_for(std::chrono::seconds(opt.interval_s));
+  }
+}
