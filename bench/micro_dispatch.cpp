@@ -19,7 +19,12 @@
 // and the profiler's overhead as a percentage. The cost profiler's design
 // budget is <3% on the local route (DESIGN.md §9); CI warns past that.
 //
-// Usage: micro_dispatch [--json PATH] [--messages N] [--reps N]
+// A third local variant, `local_bounded`, runs the same route with overload
+// control armed (bounded mailbox + transport credit window, DESIGN.md §10);
+// its A/B against plain `local` is the cost of the credit/bound bookkeeping
+// and must stay ≤3%. `--bounded` restricts the run to just that pair.
+//
+// Usage: micro_dispatch [--json PATH] [--messages N] [--reps N] [--bounded]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -174,6 +179,50 @@ RunResult run_local(std::size_t n_messages, bool profiler) {
   return r;
 }
 
+/// run_local with overload control armed (DESIGN.md §10): the app carries a
+/// bounded mailbox and the transport a credit window, so every message pays
+/// whatever the bound/credit bookkeeping costs on the local fast path — the
+/// A/B against run_local is the price of turning `--bounded` on.
+RunResult run_local_bounded(std::size_t n_messages, bool profiler) {
+  AppSet apps;
+  CounterApp& app = apps.emplace<CounterApp>();
+  app.set_overload({.bounded = true,
+                    .mailbox_limit = 1024,
+                    .policy = OverloadPolicy::kShedNewest});
+  ClusterConfig cfg = base_config(1, profiler);
+  cfg.hive.transport.credit_window = 8;
+  SimCluster sim(cfg, apps);
+  sim.start();
+
+  MessageEnvelope msg =
+      MessageEnvelope::make(Incr{"k0", 1}, 0, kNoBee, 0, sim.now());
+  for (std::size_t i = 0; i < kWarmup; ++i) sim.hive(0).inject(msg);
+  sim.run_to_idle();
+
+  const std::uint64_t runs_before = sim.hive(0).counters().handler_runs;
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n_messages; ++i) sim.hive(0).inject(msg);
+  sim.run_to_idle();
+  const double secs = seconds_since(t0);
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+
+  const std::uint64_t delivered =
+      sim.hive(0).counters().handler_runs - runs_before;
+  if (delivered != n_messages) {
+    throw std::runtime_error("local_bounded: delivered " +
+                             std::to_string(delivered) + " of " +
+                             std::to_string(n_messages));
+  }
+  RunResult r;
+  r.delivered = delivered;
+  r.msgs_per_sec = static_cast<double>(delivered) / secs;
+  r.allocs_per_msg = static_cast<double>(allocs) / delivered;
+  return r;
+}
+
 /// Two hives with placement pinned to hive 1; the driver injects on hive 0,
 /// so every message crosses the control channel after resolve.
 RunResult run_remote(std::size_t n_messages, bool profiler) {
@@ -249,6 +298,7 @@ int run(int argc, char** argv) {
   std::string json_path = "BENCH_dispatch.json";
   std::size_t n_messages = 200'000;
   std::size_t reps = 5;
+  bool bounded_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -258,46 +308,68 @@ int run(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
       if (reps == 0) reps = 1;
+    } else if (std::strcmp(argv[i], "--bounded") == 0) {
+      bounded_only = true;
     } else {
-      std::fprintf(
-          stderr,
-          "usage: micro_dispatch [--json PATH] [--messages N] [--reps N]\n");
+      std::fprintf(stderr,
+                   "usage: micro_dispatch [--json PATH] [--messages N] "
+                   "[--reps N] [--bounded]\n"
+                   "  --bounded  run only the unbounded-vs-bounded local A/B\n"
+                   "             (overload control armed, DESIGN.md §10)\n");
       return 2;
     }
   }
 
   // Interleave the A/B variants within every rep so slow machine phases
-  // (thermal, noisy neighbors) bias both sides the same way.
+  // (thermal, noisy neighbors) bias both sides the same way. The bounded
+  // variant rides in the same interleave so its A/B against plain local is
+  // fair; --bounded restricts the run to just that pair.
   std::vector<RunResult> local_off, local_on, remote_off, remote_on;
+  std::vector<RunResult> local_bnd;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     local_off.push_back(run_local(n_messages, /*profiler=*/false));
+    local_bnd.push_back(run_local_bounded(n_messages, /*profiler=*/false));
+    if (bounded_only) continue;
     local_on.push_back(run_local(n_messages, /*profiler=*/true));
     remote_off.push_back(run_remote(n_messages, /*profiler=*/false));
     remote_on.push_back(run_remote(n_messages, /*profiler=*/true));
   }
   const RunResult local = median_by_throughput(std::move(local_off));
-  const RunResult localp = median_by_throughput(std::move(local_on));
-  const RunResult remote = median_by_throughput(std::move(remote_off));
-  const RunResult remotep = median_by_throughput(std::move(remote_on));
+  const RunResult localb = median_by_throughput(std::move(local_bnd));
 
   print_result("local", local);
-  print_result("local+profiler", localp);
-  print_result("remote", remote);
-  print_result("remote+profiler", remotep);
-  const double local_oh = overhead_pct(local, localp);
-  const double remote_oh = overhead_pct(remote, remotep);
-  std::printf("profiler overhead (median of %zu reps): local %+.2f%%  "
-              "remote %+.2f%%\n",
-              reps, local_oh, remote_oh);
+  print_result("local+bounded", localb);
+  const double bounded_oh = overhead_pct(local, localb);
+  std::printf("bounded overhead (median of %zu reps): local %+.2f%%\n", reps,
+              bounded_oh);
 
   bench::JsonReport report("micro_dispatch");
   report_group(report, "local", local);
-  report_group(report, "remote", remote);
-  report_group(report, "local_profiler", localp);
-  report_group(report, "remote_profiler", remotep);
-  report.integer("profiler_overhead", "reps", reps);
-  report.number("profiler_overhead", "local_pct", local_oh);
-  report.number("profiler_overhead", "remote_pct", remote_oh);
+  report_group(report, "local_bounded", localb);
+  report.integer("bounded_overhead", "reps", reps);
+  report.number("bounded_overhead", "local_pct", bounded_oh);
+
+  if (!bounded_only) {
+    const RunResult localp = median_by_throughput(std::move(local_on));
+    const RunResult remote = median_by_throughput(std::move(remote_off));
+    const RunResult remotep = median_by_throughput(std::move(remote_on));
+
+    print_result("local+profiler", localp);
+    print_result("remote", remote);
+    print_result("remote+profiler", remotep);
+    const double local_oh = overhead_pct(local, localp);
+    const double remote_oh = overhead_pct(remote, remotep);
+    std::printf("profiler overhead (median of %zu reps): local %+.2f%%  "
+                "remote %+.2f%%\n",
+                reps, local_oh, remote_oh);
+
+    report_group(report, "remote", remote);
+    report_group(report, "local_profiler", localp);
+    report_group(report, "remote_profiler", remotep);
+    report.integer("profiler_overhead", "reps", reps);
+    report.number("profiler_overhead", "local_pct", local_oh);
+    report.number("profiler_overhead", "remote_pct", remote_oh);
+  }
   if (!report.write_file(json_path)) {
     std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
   } else {

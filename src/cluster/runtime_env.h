@@ -18,7 +18,10 @@ namespace beehive {
 /// Runtimes that don't track queues return all-zeros.
 struct QueueStats {
   std::uint64_t depth = 0;    ///< tasks queued for the hive right now
-  std::uint64_t hwm = 0;      ///< lifetime high-watermark of depth
+  /// High-watermark of depth since the previous queue_stats() read (the
+  /// watermark resets to the current depth on read, so each scrape window
+  /// reports its own peak instead of a startup burst pinned forever).
+  std::uint64_t hwm = 0;
   std::uint64_t drained = 0;  ///< lifetime tasks executed
 };
 
@@ -30,7 +33,9 @@ class RuntimeEnv {
 
   /// Run-queue depth/watermark/drain accounting for `hive`. Safe to call
   /// from the hive's own loop (hives read it at metrics-report time).
-  virtual QueueStats queue_stats(HiveId) const { return {}; }
+  /// Non-const: reading resets the depth high-watermark to the current
+  /// depth, giving per-scrape-window watermark semantics.
+  virtual QueueStats queue_stats(HiveId) { return {}; }
 
   /// Schedules `fn` to run (on the calling hive's execution context) after
   /// `delay`. Used for timers and platform periodic work.

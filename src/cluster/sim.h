@@ -69,8 +69,12 @@ class SimCluster final : public RuntimeEnv {
                       std::function<void()> fn) override;
   void send_frame(HiveId from, HiveId to, Bytes frame) override;
   Xoshiro256& rng() override { return rng_; }
-  QueueStats queue_stats(HiveId hive) const override {
-    return hive < queues_.size() ? queues_[hive] : QueueStats{};
+  QueueStats queue_stats(HiveId hive) override {
+    if (hive >= queues_.size()) return {};
+    QueueStats out = queues_[hive];
+    // Window-watermark semantics: each read starts a fresh hwm window.
+    queues_[hive].hwm = queues_[hive].depth;
+    return out;
   }
 
   // -- Driving --------------------------------------------------------------

@@ -168,12 +168,16 @@ void ThreadCluster::send_frame(HiveId from, HiveId to, Bytes frame) {
   }
 }
 
-QueueStats ThreadCluster::queue_stats(HiveId hive) const {
+QueueStats ThreadCluster::queue_stats(HiveId hive) {
   if (hive >= nodes_.size()) return {};
-  const Node& node = *nodes_[hive];
+  Node& node = *nodes_[hive];
   QueueStats qs;
   qs.depth = node.q_depth.load(std::memory_order_relaxed);
-  qs.hwm = node.q_hwm.load(std::memory_order_relaxed);
+  // Window-watermark semantics: swap the current depth in as the new
+  // baseline. A concurrent enqueue's bump can race the reset and be lost
+  // across the window boundary — acceptable for a watermark gauge.
+  qs.hwm = std::max(node.q_hwm.exchange(qs.depth, std::memory_order_relaxed),
+                    qs.depth);
   qs.drained = node.q_drained.load(std::memory_order_relaxed);
   return qs;
 }

@@ -73,7 +73,7 @@ class ThreadCluster final : public RuntimeEnv {
                       std::function<void()> fn) override;
   void send_frame(HiveId from, HiveId to, Bytes frame) override;
   Xoshiro256& rng() override { return rng_; }
-  QueueStats queue_stats(HiveId hive) const override;
+  QueueStats queue_stats(HiveId hive) override;
 
   // -- Access ---------------------------------------------------------------
 

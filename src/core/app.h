@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/overload.h"
 #include "msg/message.h"
 #include "state/cell.h"
 #include "util/hash.h"
@@ -102,6 +103,12 @@ class App {
   const std::string& name() const { return name_; }
   AppId id() const { return id_; }
   bool pinned() const { return pinned_; }
+
+  /// Mailbox bound for this app's bees (DESIGN.md §10). Like `pinned`,
+  /// this is deployment configuration: set it at construction time, before
+  /// the AppSet is shared across hives — apps keep no mutable state.
+  const OverloadConfig& overload() const { return overload_; }
+  void set_overload(OverloadConfig config) { overload_ = config; }
 
   const std::vector<HandlerBinding>& bindings() const { return bindings_; }
   const std::vector<TimerBinding>& timers() const { return timers_; }
@@ -183,6 +190,7 @@ class App {
   std::string name_;
   AppId id_;
   bool pinned_;
+  OverloadConfig overload_;
   std::vector<HandlerBinding> bindings_;
   std::vector<TimerBinding> timers_;
 };

@@ -12,6 +12,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/overload.h"
 #include "instrument/metrics.h"
 #include "msg/message.h"
 #include "state/cell.h"
@@ -75,6 +76,57 @@ class Bee {
     return std::exchange(holdback_, {});
   }
   std::size_t holdback_size() const { return holdback_.size(); }
+
+  // -- Bounded mailbox (DESIGN.md §10) --------------------------------------
+  // The holdback is the bee's mailbox; the owning app's OverloadConfig
+  // bounds it. The bound is only consulted on the hold path (a fenced or
+  // backlogged bee), never on the dispatch fast path.
+
+  /// The owning app's mailbox bound; null = unbounded (set by the hive at
+  /// bee creation — the config lives on the shared, immutable App).
+  const OverloadConfig* overload() const { return overload_; }
+  void set_overload(const OverloadConfig* config) { overload_ = config; }
+
+  enum class HoldOutcome : std::uint8_t {
+    kHeld,     ///< message queued (possibly over-limit under kBlockSender)
+    kShedNew,  ///< the incoming message was dropped
+    kShedOld,  ///< an older held message was dropped to admit this one
+  };
+
+  /// Holds `env` subject to the mailbox bound `oc` (which the caller has
+  /// already found exceeded). `is_priority(MsgTypeId)` classifies messages
+  /// that must never be shed; the caller accounts for sheds.
+  template <typename PriorityFn>
+  HoldOutcome hold_bounded(MessageEnvelope env, const OverloadConfig& oc,
+                           PriorityFn&& is_priority) {
+    // Priority traffic always lands, whatever the policy: the priority
+    // lane is retained unconditionally, mirroring the run queues' split.
+    if (is_priority(env.type())) {
+      hold(std::move(env));
+      return HoldOutcome::kHeld;
+    }
+    switch (oc.policy) {
+      case OverloadPolicy::kBlockSender:
+        // Never shed; the hive raises its saturation flag instead and
+        // upstream admission control stops the producer.
+        hold(std::move(env));
+        return HoldOutcome::kHeld;
+      case OverloadPolicy::kShedNewest:
+      case OverloadPolicy::kPriorityLanes:
+        return HoldOutcome::kShedNew;
+      case OverloadPolicy::kShedOldest:
+        for (auto it = holdback_.begin(); it != holdback_.end(); ++it) {
+          if (!is_priority(it->type())) {
+            holdback_.erase(it);
+            hold(std::move(env));
+            return HoldOutcome::kShedOld;
+          }
+        }
+        // Everything held is priority: shed the (non-priority) newcomer.
+        return HoldOutcome::kShedNew;
+    }
+    return HoldOutcome::kShedNew;
+  }
 
   bool migrating() const { return migrating_; }
   HiveId migration_target() const { return migration_target_; }
@@ -204,6 +256,7 @@ class Bee {
 
   BeeId id_;
   AppId app_;
+  const OverloadConfig* overload_ = nullptr;
   StateStore store_;
   std::uint64_t transfers_applied_ = 0;
   std::uint64_t transfers_required_ = 0;

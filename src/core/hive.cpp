@@ -21,8 +21,15 @@ Hive::Hive(HiveId id, const AppSet& apps, RegistryService& registry,
   if (config_.transport.enabled) {
     transport_ =
         std::make_unique<ReliableTransport>(id_, env_, config_.transport);
+    // Link-level sheds and mailbox sheds share one metric cell.
+    transport_->set_shed_counter(&counters_.shed_total);
   }
   register_metrics();
+}
+
+bool Hive::is_priority_type(MsgTypeId type) {
+  const std::string_view name = MsgTypeRegistry::instance().name_of(type);
+  return name.substr(0, 9) == "platform." || name.substr(0, 6) == "stats.";
 }
 
 void Hive::register_metrics() {
@@ -68,6 +75,9 @@ void Hive::register_metrics() {
   reg->expose_counter("beehive_registry_failures_total", labels,
                       &counters_.registry_failures,
                       "Messages dropped because the registry was unreachable");
+  reg->expose_counter("beehive_shed_total", labels, &counters_.shed_total,
+                      "Messages and frames dropped by overload policies "
+                      "(bounded mailboxes + link credit gate)");
 
   // Window-published cells (see publish_window).
   published_.msgs_window =
@@ -121,13 +131,25 @@ void Hive::register_metrics() {
                   "Run-queue tasks pending for this hive at report time");
   published_.runq_hwm =
       &reg->gauge("beehive_runq_hwm", labels,
-                  "Lifetime high-watermark of run-queue depth");
+                  "High-watermark of run-queue depth over the last metrics "
+                  "window (resets each report)");
   published_.drained_window =
       &reg->ring("beehive_runq_drained_window", labels);
   published_.egress_hwm = &reg->gauge(
       "beehive_egress_pending_hwm", labels,
       "High-watermark of frames pending in egress buffers this window");
   published_.cost_window = &reg->ring("beehive_cost_us_window", labels);
+
+  // Overload control (DESIGN.md §10).
+  published_.link_credits = &reg->gauge(
+      "beehive_link_credits", labels,
+      "Smallest remaining credit across outbound links (-1 = unlimited)");
+  published_.link_stalled = &reg->gauge(
+      "beehive_link_stalled_frames", labels,
+      "Outbound frames waiting for link credit at report time");
+  published_.degraded = &reg->gauge(
+      "beehive_degraded", labels,
+      "1 while the hive advertises its degraded credit window");
 }
 
 Hive::~Hive() = default;
@@ -273,6 +295,25 @@ void Hive::deliver_local(Bee& bee, const MessageEnvelope& env,
   // the holdback drains.
   if (bee.blocked() || bee.holdback_size() > 0) {
     trace_span(SpanKind::kHold, env, bee.id());
+    // Bounded mailbox (DESIGN.md §10): consult the app's overload policy
+    // once the holdback is at its limit. Cold path — steady-state traffic
+    // never holds, so the fast path above stays allocation-free.
+    const OverloadConfig* oc = bee.overload();
+    if (oc != nullptr && oc->bounded &&
+        bee.holdback_size() >= oc->mailbox_limit) {
+      const Bee::HoldOutcome out =
+          bee.hold_bounded(env, *oc, &Hive::is_priority_type);
+      if (out != Bee::HoldOutcome::kHeld) {
+        ++counters_.shed_total;
+        return;
+      }
+      if (oc->policy == OverloadPolicy::kBlockSender) {
+        // Saturation signal for admission control; cleared once the
+        // holdback drains (drain() / report_metrics()).
+        mailbox_overrun_.store(true, std::memory_order_relaxed);
+      }
+      return;
+    }
     bee.hold(env);
     return;
   }
@@ -462,6 +503,11 @@ Bee& Hive::ensure_local_bee(BeeId id, AppId app) {
   auto it = bees_.find(id);
   if (it == bees_.end()) {
     it = bees_.emplace(id, std::make_unique<Bee>(id, app)).first;
+    // Point the bee at its app's mailbox bound (immutable deployment
+    // config on the shared AppSet) so the hold path needs no app lookup.
+    if (const App* a = apps_.find(app)) {
+      it->second->set_overload(&a->overload());
+    }
   }
   return *it->second;
 }
@@ -791,6 +837,30 @@ void Hive::report_metrics() {
   report.egress_hwm = egress_hwm_window_;
   egress_hwm_window_ = egress_pending_;
 
+  // Overload accounting (DESIGN.md §10): total sheds (mailbox + link),
+  // frames currently stalled awaiting credit, and the tightest remaining
+  // credit across outbound links.
+  report.shed_total = counters_.shed_total.get();
+  report.stalled_frames = transport_ != nullptr ? transport_->stalled_now() : 0;
+  report.credits = transport_ != nullptr ? transport_->credits_available() : -1;
+
+  // Re-evaluate the kBlockSender saturation flag: once every bounded
+  // holdback has drained to below half its limit, admit producers again.
+  if (mailbox_overrun_.load(std::memory_order_relaxed)) {
+    bool still_full = false;
+    for (const auto& [bid, bee] : bees_) {
+      const OverloadConfig* oc = bee->overload();
+      if (oc != nullptr && oc->bounded &&
+          bee->holdback_size() >= oc->mailbox_limit / 2) {
+        still_full = true;
+        break;
+      }
+    }
+    if (!still_full) {
+      mailbox_overrun_.store(false, std::memory_order_relaxed);
+    }
+  }
+
   // Refresh the cross-thread health snapshot (independent of whether a
   // metrics registry is attached: /health.json works without /metrics).
   health_.pressure.store(report.pressure, std::memory_order_relaxed);
@@ -805,6 +875,44 @@ void Hive::report_metrics() {
   health_.queue_depth.store(queue_depth, std::memory_order_relaxed);
   health_.runq_depth.store(qs.depth, std::memory_order_relaxed);
   health_.cost_us.store(report.cost_us, std::memory_order_relaxed);
+  health_.shed_total.store(report.shed_total, std::memory_order_relaxed);
+  health_.stalled_frames.store(report.stalled_frames,
+                               std::memory_order_relaxed);
+  health_.credits.store(report.credits, std::memory_order_relaxed);
+  {
+    const std::uint64_t shed_delta =
+        report.shed_total >= prev_shed_ ? report.shed_total - prev_shed_ : 0;
+    const TimePoint dt = report.at - prev_report_at_;
+    health_.shed_per_s.store(
+        prev_report_at_ > 0 && dt > 0
+            ? static_cast<double>(shed_delta) * 1e6 / static_cast<double>(dt)
+            : 0.0,
+        std::memory_order_relaxed);
+    prev_shed_ = report.shed_total;
+    prev_report_at_ = report.at;
+  }
+
+  // Graceful degradation (DESIGN.md §10): when the health score falls below
+  // the configured low-water mark, advertise the reduced credit window on
+  // every inbound link (piggybacked on the next acks) so peers throttle
+  // traffic toward us. Hysteresis (+5 points) prevents flapping at the
+  // threshold; the decision is recomputed once per metrics window, from the
+  // same event-driven inputs on both runtimes — no wall clock, no RNG.
+  if (config_.degrade_below_score > 0.0) {
+    const double score = health().score();
+    const bool was_degraded = degraded_.load(std::memory_order_relaxed);
+    bool now_degraded = was_degraded;
+    if (!was_degraded && score < config_.degrade_below_score) {
+      now_degraded = true;
+    } else if (was_degraded && score >= config_.degrade_below_score + 5.0) {
+      now_degraded = false;
+    }
+    if (now_degraded != was_degraded) {
+      degraded_.store(now_degraded, std::memory_order_relaxed);
+      if (transport_ != nullptr) transport_->set_degraded(now_degraded);
+    }
+  }
+  report.degraded = degraded_.load(std::memory_order_relaxed);
 
   if (config_.metrics != nullptr) {
     const std::uint64_t runs = counters_.handler_runs;
@@ -827,6 +935,11 @@ HiveHealth Hive::health() const {
   h.runq_depth = health_.runq_depth.load(std::memory_order_relaxed);
   h.handler_failures = counters_.handler_failures;
   h.cost_us_window = health_.cost_us.load(std::memory_order_relaxed);
+  h.shed_total = health_.shed_total.load(std::memory_order_relaxed);
+  h.shed_per_s = health_.shed_per_s.load(std::memory_order_relaxed);
+  h.credits = health_.credits.load(std::memory_order_relaxed);
+  h.stalled = health_.stalled_frames.load(std::memory_order_relaxed);
+  h.degraded = degraded_.load(std::memory_order_relaxed);
   return h;
 }
 
@@ -861,6 +974,9 @@ void Hive::publish_window(const LocalMetricsReport& report,
   published_.egress_hwm->set(static_cast<double>(report.egress_hwm));
   published_.cost_window->push(report.at,
                                static_cast<double>(report.cost_us));
+  published_.link_credits->set(static_cast<double>(report.credits));
+  published_.link_stalled->set(static_cast<double>(report.stalled_frames));
+  published_.degraded->set(report.degraded ? 1.0 : 0.0);
 }
 
 }  // namespace beehive

@@ -83,6 +83,12 @@ struct HiveConfig {
   /// Sampling cost profiler (instrument/profiler.h). Off by default: the
   /// dispatch path then pays one load and one branch per handler.
   ProfilerConfig profiler;
+  /// Graceful degradation (DESIGN.md §10): when the hive's health score
+  /// drops below this low-water mark it advertises its degraded credit
+  /// window (TransportConfig::degraded_window) on all inbound links, and
+  /// recovers once the score climbs 5 points above the mark (hysteresis).
+  /// 0 disables degradation. Evaluated once per metrics period.
+  double degrade_below_score = 0.0;
 };
 
 class Hive {
@@ -152,6 +158,7 @@ class Hive {
     Counter migration_retries;   ///< MigrateXfer re-sent on timeout
     Counter migration_aborts;    ///< gave up; bee stayed at origin
     Counter registry_failures;   ///< messages dropped: no resolve
+    Counter shed_total;          ///< overload sheds: mailbox msgs + link frames
   };
   const Counters& counters() const { return counters_; }
 
@@ -181,6 +188,32 @@ class Hive {
   /// false here — failure-detector suspicion is a cluster-level judgment
   /// folded in by the runtime's health() aggregation.
   HiveHealth health() const;
+
+  // -- Overload control (DESIGN.md §10) ------------------------------------
+
+  /// Cheap saturation check for admission control at the IO boundary,
+  /// safe from any thread: true while outbound frames are stalled waiting
+  /// for link credit, or while a bounded mailbox sits at its limit under
+  /// kBlockSender. Producers (drivers, the overload demo) should stop
+  /// injecting while this holds.
+  bool overloaded() const {
+    if (mailbox_overrun_.load(std::memory_order_relaxed)) return true;
+    return transport_ != nullptr && transport_->stalled_now() > 0;
+  }
+
+  /// True while the hive advertises its degraded credit window.
+  bool degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// The reliable transport, if configured (tests, diagnostics).
+  const ReliableTransport* transport() const { return transport_.get(); }
+
+  /// Priority classification for the mailbox policies: platform control
+  /// and introspection traffic ("platform.*", "stats.*" message types) is
+  /// never shed. Cold path — only consulted once a bounded holdback is
+  /// already at its limit.
+  static bool is_priority_type(MsgTypeId type);
 
  private:
   friend class MigrationEngine;
@@ -368,8 +401,23 @@ class Hive {
     std::atomic<std::uint64_t> queue_depth{0};
     std::atomic<std::uint64_t> runq_depth{0};
     std::atomic<std::uint64_t> cost_us{0};
+    // Overload-control signals (DESIGN.md §10).
+    std::atomic<std::uint64_t> shed_total{0};
+    std::atomic<double> shed_per_s{0.0};
+    std::atomic<std::int64_t> credits{-1};
+    std::atomic<std::uint64_t> stalled_frames{0};
   };
   HealthSnapshot health_;
+  /// True while the hive advertises its degraded credit window.
+  std::atomic<bool> degraded_{false};
+  /// Set when a bounded kBlockSender mailbox hits its limit; cleared at
+  /// report time once every bounded holdback has drained below half its
+  /// limit, and in drain() when a holdback empties. Hysteresis keeps the
+  /// admission signal from flapping per message.
+  std::atomic<bool> mailbox_overrun_{false};
+  /// counters_.shed_total at the previous report (shed-rate window delta).
+  std::uint64_t prev_shed_ = 0;
+  TimePoint prev_report_at_ = 0;
   std::uint64_t next_trace_ = 0;
   LatencyHistogram queue_total_;
   LatencyHistogram handler_total_;
@@ -400,6 +448,10 @@ class Hive {
     TimeSeriesRing* drained_window = nullptr;
     Gauge* egress_hwm = nullptr;
     TimeSeriesRing* cost_window = nullptr;
+    // Overload control (DESIGN.md §10).
+    Gauge* link_credits = nullptr;
+    Gauge* link_stalled = nullptr;
+    Gauge* degraded = nullptr;
   };
   Published published_;
   std::uint64_t prev_handler_runs_ = 0;  ///< for per-window deltas

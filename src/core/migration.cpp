@@ -392,6 +392,11 @@ void Hive::drain(Bee& bee) {
     }
     process(bee, env);
   }
+  // A fully drained mailbox lifts the kBlockSender saturation flag early
+  // (report_metrics() would also clear it at the next window).
+  if (bee.holdback_size() == 0) {
+    mailbox_overrun_.store(false, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace beehive

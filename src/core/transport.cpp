@@ -1,22 +1,75 @@
 #include "core/transport.h"
 
+#include <algorithm>
+
 #include "core/wire.h"
 #include "util/logging.h"
 
 namespace beehive {
 
-// Reliable header: kind | src hive | seq | cumulative ack | inner frame
-// (raw to the end of the buffer — the channel preserves frame bounds).
-// Standalone ack: kind | src hive | cumulative ack.
+// Reliable header: kind | src hive | seq | cumulative ack | advertised
+// window | inner frame (raw to the end of the buffer — the channel
+// preserves frame bounds).
+// Standalone ack: kind | src hive | cumulative ack | advertised window.
+//
+// The advertised window is the receiver's half of the credit loop: every
+// frame a hive emits tells its peers how many unacked frames it is willing
+// to absorb (0 = unlimited). Senders cap in-flight frames per link at
+// min(own credit_window, peer advertisement) and park the excess in
+// Peer::stalled until acks return credit.
 
 ReliableTransport::ReliableTransport(HiveId self, RuntimeEnv& env,
                                      TransportConfig config)
-    : self_(self), env_(env), config_(config) {}
+    : self_(self), env_(env), config_(config) {
+  if (config_.degraded_window == 0) config_.degraded_window = 1;
+}
 
 std::size_t ReliableTransport::unacked_frames() const {
   std::size_t n = 0;
   for (const auto& [_, peer] : peers_) n += peer.unacked.size();
   return n;
+}
+
+std::uint64_t ReliableTransport::advertised_window() const {
+  if (degraded_.load(std::memory_order_relaxed)) {
+    return config_.degraded_window;
+  }
+  return config_.credit_window;
+}
+
+std::uint64_t ReliableTransport::effective_window(const Peer& peer) const {
+  const std::uint64_t own = config_.credit_window;
+  const std::uint64_t adv = peer.window;
+  if (own == 0) return adv;
+  if (adv == 0) return own;
+  return std::min(own, adv);
+}
+
+std::int64_t ReliableTransport::credits_available() const {
+  std::int64_t min_credit = -1;
+  for (const auto& [_, peer] : peers_) {
+    const std::uint64_t win = effective_window(peer);
+    if (win == 0) continue;
+    const std::uint64_t in_flight = peer.unacked.size();
+    const std::int64_t credit =
+        in_flight >= win ? 0 : static_cast<std::int64_t>(win - in_flight);
+    if (min_credit < 0 || credit < min_credit) min_credit = credit;
+  }
+  return min_credit;
+}
+
+std::uint64_t ReliableTransport::peer_window(HiveId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.window;
+}
+
+void ReliableTransport::set_degraded(bool degraded) {
+  const bool was = degraded_.exchange(degraded, std::memory_order_relaxed);
+  if (was == degraded) return;
+  // Push the new advertisement: arm a (delayed, piggyback-preferring) ack
+  // to every peer we have ever talked to. Without this, an idle reverse
+  // direction would leave peers on the stale window indefinitely.
+  for (auto& [to, peer] : peers_) arm_ack(to, peer);
 }
 
 void ReliableTransport::ship(HiveId to, Peer& peer, std::uint64_t seq,
@@ -28,18 +81,97 @@ void ReliableTransport::ship(HiveId to, Peer& peer, std::uint64_t seq,
   // Piggyback the freshest cumulative ack for the reverse direction; any
   // data frame then doubles as an ack and the standalone timer no-ops.
   w.varint(peer.next_expected - 1);
+  w.varint(advertised_window());
   w.raw(inner);
   peer.ack_pending = false;
   env_.send_frame(self_, to, std::move(w).take());
 }
 
-void ReliableTransport::send(HiveId to, Bytes inner) {
-  Peer& peer = peers_[to];
+void ReliableTransport::ship_new(HiveId to, Peer& peer, Bytes inner) {
   const std::uint64_t seq = peer.next_seq++;
   ++counters_.data_frames;
   ship(to, peer, seq, inner);
   peer.unacked.emplace(seq, std::move(inner));
   arm_retransmit(to, peer);
+}
+
+void ReliableTransport::send(HiveId to, Bytes inner) {
+  Peer& peer = peers_[to];
+  const std::uint64_t win = effective_window(peer);
+  // Stall behind an existing stall unconditionally (FIFO), and behind a
+  // full window. With flow control off on both sides this is one empty
+  // check and one zero compare.
+  if (!peer.stalled.empty() || (win != 0 && peer.unacked.size() >= win)) {
+    enqueue_stalled(to, peer, std::move(inner));
+    return;
+  }
+  ship_new(to, peer, std::move(inner));
+}
+
+void ReliableTransport::note_shed() {
+  ++counters_.frames_shed;
+  if (shed_counter_ != nullptr) ++*shed_counter_;
+}
+
+void ReliableTransport::enqueue_stalled(HiveId to, Peer& peer, Bytes inner) {
+  ++counters_.frames_stalled;
+  if (peer.stalled.size() < config_.stall_limit ||
+      config_.overload == OverloadPolicy::kBlockSender) {
+    // kBlockSender grows past the limit on purpose: stalled_now() > 0 is
+    // the saturation signal admission control reads; losing frames is the
+    // one thing this policy never does.
+    peer.stalled.push_back(std::move(inner));
+    stalled_now_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  switch (config_.overload) {
+    case OverloadPolicy::kBlockSender:
+      break;  // handled above
+    case OverloadPolicy::kShedNewest:
+    case OverloadPolicy::kPriorityLanes:
+      // Tail drop — but only pure app-message batches; control frames
+      // always queue (the priority lane, in both policies).
+      if (frame_is_sheddable(inner)) {
+        note_shed();
+        return;
+      }
+      peer.stalled.push_back(std::move(inner));
+      stalled_now_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case OverloadPolicy::kShedOldest: {
+      // Head drop: evict the oldest sheddable frame to admit the new one.
+      for (auto it = peer.stalled.begin(); it != peer.stalled.end(); ++it) {
+        if (frame_is_sheddable(*it)) {
+          peer.stalled.erase(it);
+          stalled_now_.fetch_sub(1, std::memory_order_relaxed);
+          note_shed();
+          peer.stalled.push_back(std::move(inner));
+          stalled_now_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+      // Nothing old is sheddable (all control): shed the newcomer if it
+      // is, otherwise queue it — control traffic is never lost here.
+      if (frame_is_sheddable(inner)) {
+        note_shed();
+        return;
+      }
+      peer.stalled.push_back(std::move(inner));
+      stalled_now_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
+void ReliableTransport::drain_stalled(HiveId to, Peer& peer) {
+  while (!peer.stalled.empty()) {
+    const std::uint64_t win = effective_window(peer);
+    if (win != 0 && peer.unacked.size() >= win) break;
+    Bytes inner = std::move(peer.stalled.front());
+    peer.stalled.pop_front();
+    stalled_now_.fetch_sub(1, std::memory_order_relaxed);
+    ship_new(to, peer, std::move(inner));
+  }
 }
 
 void ReliableTransport::arm_retransmit(HiveId to, Peer& peer) {
@@ -65,6 +197,9 @@ void ReliableTransport::retransmit_fired(HiveId to) {
     peer.unacked.clear();
     peer.rounds = 0;
     peer.rto = config_.rto_initial;
+    // Abandoning freed the whole window; stalled frames (if any) ship now
+    // rather than waiting for an ack that will never come.
+    drain_stalled(to, peer);
     return;
   }
   for (const auto& [seq, inner] : peer.unacked) {
@@ -91,6 +226,7 @@ void ReliableTransport::ack_fired(HiveId to) {
   w.u8(static_cast<std::uint8_t>(FrameKind::kAck));
   w.u32(self_);
   w.varint(peer.next_expected - 1);
+  w.varint(advertised_window());
   ++counters_.acks_sent;
   env_.send_frame(self_, to, std::move(w).take());
 }
@@ -114,13 +250,19 @@ void ReliableTransport::on_wire(std::string_view frame,
   const auto kind = static_cast<FrameKind>(r.u8());
   const HiveId src = r.u32();
   if (kind == FrameKind::kAck) {
-    process_ack(peers_[src], r.varint());
+    Peer& peer = peers_[src];
+    process_ack(peer, r.varint());
+    peer.window = r.varint();
+    drain_stalled(src, peer);
     return;
   }
   const std::uint64_t seq = r.varint();
   const std::uint64_t ack = r.varint();
+  const std::uint64_t window = r.varint();
   Peer& peer = peers_[src];
   process_ack(peer, ack);
+  peer.window = window;
+  drain_stalled(src, peer);
 
   if (seq < peer.next_expected) {
     // Duplicate of something already delivered; the sender keeps
@@ -156,6 +298,26 @@ void ReliableTransport::on_wire(std::string_view frame,
     deliver(inner);
   }
   arm_ack(src, peer);
+}
+
+bool frame_is_sheddable(const Bytes& frame) {
+  std::string_view bytes = frame;
+  if (bytes.empty()) return true;
+  ByteReader r(bytes);
+  const auto kind = static_cast<FrameKind>(r.u8());
+  if (kind == FrameKind::kAppMsg) return true;
+  if (kind != FrameKind::kBatch) return false;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t len = r.varint();
+    std::string_view inner = r.view(len);
+    if (inner.empty() ||
+        static_cast<FrameKind>(static_cast<unsigned char>(inner[0])) !=
+            FrameKind::kAppMsg) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace beehive

@@ -23,17 +23,34 @@
 // other frame, so the robustness overhead is billed to the ChannelMeter
 // and visible in Figure-4 bandwidth terms.
 //
+// Credit-based flow control (DESIGN.md §10) rides the same framing: every
+// reliable frame and every ack additionally carries the sender's own
+// advertised receive window — the same piggyback trick as the cumulative
+// ack. A sender caps its unacked frames per link at
+// min(credit_window, peer's advertisement); frames beyond the cap wait in
+// a per-peer stalled queue (sequence numbers are assigned at ship time, so
+// per-pair FIFO survives the stall) and drain as acks return credit. Past
+// `stall_limit` the link's OverloadPolicy applies — with the invariant
+// that frames carrying control traffic (merge/migrate/replica/registry)
+// are never shed, only pure app-message batches are.
+//
 // The transport is opt-in (TransportConfig::enabled); a hive built without
 // it sends raw frames exactly as before, with zero bookkeeping on the
-// dispatch hot path.
+// dispatch hot path. Flow control is a second opt-in (credit_window > 0,
+// or a peer advertising a finite window): with both off, send() costs one
+// emptiness check more than PR 2's transport.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 
 #include "cluster/runtime_env.h"
+#include "core/overload.h"
 #include "instrument/metrics.h"
+#include "instrument/registry.h"
 #include "util/bytes.h"
 #include "util/types.h"
 
@@ -52,6 +69,21 @@ struct TransportConfig {
   /// Standalone acks are delayed this long, giving reverse traffic a
   /// chance to piggyback the ack for free.
   Duration ack_delay = 400 * kMicrosecond;
+
+  // -- Credit-based flow control (DESIGN.md §10) --------------------------
+  /// Per-link credit window: max unacked data frames in flight to one
+  /// peer, and the window this hive advertises to its peers while
+  /// healthy. 0 = unlimited (flow control off unless a peer advertises).
+  std::uint32_t credit_window = 0;
+  /// Frames queued awaiting credit per link before `overload` applies.
+  std::size_t stall_limit = 1024;
+  /// Window advertised while the hive is degraded (health score under the
+  /// low-water mark). Clamped to >= 1 so links always make progress.
+  std::uint32_t degraded_window = 1;
+  /// What to do with sheddable frames once the stalled queue overflows.
+  /// kBlockSender lets the queue grow and relies on Hive::overloaded()
+  /// admission upstream; the shed policies drop app-message batches.
+  OverloadPolicy overload = OverloadPolicy::kBlockSender;
 };
 
 class ReliableTransport {
@@ -76,6 +108,36 @@ class ReliableTransport {
   /// Frames currently buffered awaiting ack, across all peers (tests).
   std::size_t unacked_frames() const;
 
+  // -- Flow control ---------------------------------------------------------
+
+  /// Frames waiting for credit right now, across all peers. Relaxed
+  /// atomic: safe from any thread (Hive::overloaded() admission checks).
+  std::uint64_t stalled_now() const {
+    return stalled_now_.load(std::memory_order_relaxed);
+  }
+
+  /// Smallest remaining credit across links with a finite effective
+  /// window; -1 when no link is credit-limited. Hive-thread only.
+  std::int64_t credits_available() const;
+
+  /// Switches the advertised receive window between credit_window and
+  /// degraded_window; on a change, arms an ack to every known peer so the
+  /// new advertisement propagates without waiting for data traffic.
+  void set_degraded(bool degraded);
+  bool degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// The receive window this hive currently advertises (0 = unlimited).
+  std::uint64_t advertised_window() const;
+
+  /// Link sheds also bump this external counter when set (the hive wires
+  /// its shed_total cell here so mailbox and link sheds share one metric).
+  void set_shed_counter(Counter* counter) { shed_counter_ = counter; }
+
+  /// The last window advertised by `peer` (tests; 0 = none/unlimited).
+  std::uint64_t peer_window(HiveId peer) const;
+
  private:
   struct Peer {
     // Outbound.
@@ -84,6 +146,11 @@ class ReliableTransport {
     Duration rto = 0;
     int rounds = 0;
     bool rtx_armed = false;
+    /// Receive window the peer advertised (0 = none yet / unlimited).
+    std::uint64_t window = 0;
+    /// Frames waiting for credit, in send order. Sequence numbers are
+    /// assigned when a frame leaves this queue, so FIFO holds.
+    std::deque<Bytes> stalled;
     // Inbound.
     std::uint64_t next_expected = 1;
     std::map<std::uint64_t, Bytes> reorder;  ///< seq -> inner frame
@@ -92,6 +159,17 @@ class ReliableTransport {
   };
 
   void ship(HiveId to, Peer& peer, std::uint64_t seq, const Bytes& inner);
+  /// Assigns a sequence number and puts `inner` on the wire (the moment a
+  /// frame consumes one credit).
+  void ship_new(HiveId to, Peer& peer, Bytes inner);
+  /// min(config credit_window, peer advertisement); 0 = unlimited.
+  std::uint64_t effective_window(const Peer& peer) const;
+  /// Queues a frame that found no credit, applying the overload policy
+  /// once the stall limit is exceeded.
+  void enqueue_stalled(HiveId to, Peer& peer, Bytes inner);
+  /// Ships stalled frames while credit is available.
+  void drain_stalled(HiveId to, Peer& peer);
+  void note_shed();
   void arm_retransmit(HiveId to, Peer& peer);
   void retransmit_fired(HiveId to);
   void arm_ack(HiveId to, Peer& peer);
@@ -103,6 +181,14 @@ class ReliableTransport {
   TransportConfig config_;
   std::map<HiveId, Peer> peers_;  ///< ordered: deterministic iteration
   TransportCounters counters_;
+  std::atomic<std::uint64_t> stalled_now_{0};
+  std::atomic<bool> degraded_{false};
+  Counter* shed_counter_ = nullptr;
 };
+
+/// True when `frame` may be dropped by a link-level shed policy: a bare
+/// AppMsg frame or a kBatch whose every inner frame is an AppMsg. Control
+/// frames (merge, migration, replication) make a frame unsheddable.
+bool frame_is_sheddable(const Bytes& frame);
 
 }  // namespace beehive

@@ -25,9 +25,20 @@ std::string bee_key(BeeId bee) { return std::to_string(bee); }
 struct HivePressure {
   static constexpr std::string_view kTypeName = "stats.hive_pressure";
   double pressure = 0.0;
+  /// The hive entered graceful degradation (advertising reduced credit;
+  /// DESIGN.md §10) — placement must not move work onto it.
+  bool degraded = false;
 
-  void encode(ByteWriter& w) const { w.f64(pressure); }
-  static HivePressure decode(ByteReader& r) { return {r.f64()}; }
+  void encode(ByteWriter& w) const {
+    w.f64(pressure);
+    w.boolean(degraded);
+  }
+  static HivePressure decode(ByteReader& r) {
+    HivePressure p;
+    p.pressure = r.f64();
+    p.degraded = r.boolean();
+    return p;
+  }
 };
 
 /// Codec for one "stats.transport" cell (latest snapshot per hive; the
@@ -134,7 +145,7 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
                          report.partitions_active});
         ctx.state().put_as(CollectorApp::kPressureDict,
                            std::to_string(report.hive),
-                           HivePressure{report.pressure});
+                           HivePressure{report.pressure, report.degraded});
         merge_hist(ctx.state(), "e2e", report.e2e_latency);
         for (const BeeMetricsSample& sample : report.bees) {
           BeeAgg agg = ctx.state()
@@ -192,8 +203,10 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
         ctx.state().for_each(
             std::string(CollectorApp::kPressureDict),
             [&view](const std::string& key, const Bytes& value) {
-              view.hive_pressure[static_cast<HiveId>(std::stoul(key))] =
-                  decode_from_bytes<HivePressure>(value).pressure;
+              const HivePressure p = decode_from_bytes<HivePressure>(value);
+              const auto hive = static_cast<HiveId>(std::stoul(key));
+              view.hive_pressure[hive] = p.pressure;
+              if (p.degraded) view.hive_degraded[hive] = true;
             });
         std::vector<std::string> keys;
         ctx.state().for_each(
@@ -354,8 +367,10 @@ ClusterView CollectorApp::view_from_store(const StateStore& store,
   }
   if (const Dict* pressure = store.find_dict(kPressureDict)) {
     pressure->for_each([&view](const std::string& key, const Bytes& value) {
-      view.hive_pressure[static_cast<HiveId>(std::stoul(key))] =
-          decode_from_bytes<HivePressure>(value).pressure;
+      const HivePressure p = decode_from_bytes<HivePressure>(value);
+      const auto hive = static_cast<HiveId>(std::stoul(key));
+      view.hive_pressure[hive] = p.pressure;
+      if (p.degraded) view.hive_degraded[hive] = true;
     });
   }
   if (const Dict* latency = store.find_dict(kLatencyDict)) {

@@ -55,7 +55,12 @@ std::string HealthReport::to_json() const {
            ", \"queue_depth\": " + std::to_string(h.queue_depth) +
            ", \"runq_depth\": " + std::to_string(h.runq_depth) +
            ", \"handler_failures\": " + std::to_string(h.handler_failures) +
-           ", \"cost_us_window\": " + std::to_string(h.cost_us_window) + "}";
+           ", \"cost_us_window\": " + std::to_string(h.cost_us_window) +
+           ", \"shed_total\": " + std::to_string(h.shed_total) +
+           ", \"shed_per_s\": " + fmt_double(h.shed_per_s) +
+           ", \"credits\": " + std::to_string(h.credits) +
+           ", \"stalled\": " + std::to_string(h.stalled) +
+           ", \"degraded\": " + (h.degraded ? "true" : "false") + "}";
   }
   out += "\n  ]\n}\n";
   return out;
@@ -72,6 +77,9 @@ std::string HealthReport::to_text() const {
            " runq=" + std::to_string(h.runq_depth) +
            " holdback=" + std::to_string(h.queue_depth) +
            " cost_us=" + std::to_string(h.cost_us_window) +
+           " shed=" + std::to_string(h.shed_total) +
+           " credits=" + std::to_string(h.credits) +
+           (h.degraded ? " DEGRADED" : "") +
            (h.suspected ? " SUSPECTED" : "") + "\n";
   }
   return out;

@@ -30,6 +30,13 @@ struct HiveHealth {
   std::uint64_t runq_depth = 0;      ///< run-queue tasks at report time
   std::uint64_t handler_failures = 0;  ///< lifetime rolled-back handlers
   std::uint64_t cost_us_window = 0;  ///< profiler: estimated CPU us, last window
+  // -- Overload control (DESIGN.md §10) --
+  std::uint64_t shed_total = 0;  ///< lifetime messages/frames shed by policy
+  double shed_per_s = 0.0;       ///< shed rate over the last metrics window
+  /// Smallest remaining credit across outbound links (-1 = no credited link).
+  std::int64_t credits = -1;
+  std::uint64_t stalled = 0;  ///< frames parked awaiting credit right now
+  bool degraded = false;      ///< advertising reduced credit (low health)
 
   /// 0..100. Deductions: up to 40 for pressure, 30 for retransmit rate,
   /// 20 for suspicion, 10 for handler p99 beyond 10ms (see DESIGN.md §9).

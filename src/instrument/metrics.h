@@ -84,6 +84,8 @@ struct TransportCounters {
   std::uint64_t dup_frames_dropped = 0; ///< receive-side dedup discards
   std::uint64_t reorder_buffered = 0;   ///< frames held for in-order delivery
   std::uint64_t frames_abandoned = 0;   ///< gave up after the retransmit cap
+  std::uint64_t frames_stalled = 0;     ///< frames that waited for credit
+  std::uint64_t frames_shed = 0;        ///< frames dropped at the credit gate
 
   void encode(ByteWriter& w) const {
     w.varint(data_frames);
@@ -92,6 +94,8 @@ struct TransportCounters {
     w.varint(dup_frames_dropped);
     w.varint(reorder_buffered);
     w.varint(frames_abandoned);
+    w.varint(frames_stalled);
+    w.varint(frames_shed);
   }
   static TransportCounters decode(ByteReader& r) {
     TransportCounters c;
@@ -101,6 +105,8 @@ struct TransportCounters {
     c.dup_frames_dropped = r.varint();
     c.reorder_buffered = r.varint();
     c.frames_abandoned = r.varint();
+    c.frames_stalled = r.varint();
+    c.frames_shed = r.varint();
     return c;
   }
 };
@@ -274,11 +280,22 @@ struct LocalMetricsReport {
   /// run-queue depth + holdback + pending egress frames at report time.
   double pressure = 0.0;
   std::uint64_t runq_depth = 0;       ///< run-queue tasks at report time
-  std::uint64_t runq_hwm = 0;         ///< lifetime run-queue high-watermark
+  std::uint64_t runq_hwm = 0;         ///< run-queue depth hwm, window (resets on read)
   std::uint64_t drained_window = 0;   ///< run-queue tasks executed, window
   std::uint64_t egress_hwm = 0;       ///< pending egress frames hwm, window
   /// Profiler: summed estimated handler CPU microseconds this window.
   std::uint64_t cost_us = 0;
+
+  // -- Overload control (DESIGN.md §10) ------------------------------------
+  /// Messages/frames shed by this hive's overload policies (lifetime).
+  std::uint64_t shed_total = 0;
+  /// Outbound frames waiting for link credit at report time.
+  std::uint64_t stalled_frames = 0;
+  /// Smallest remaining credit across outbound links; -1 = unlimited (no
+  /// credit window configured on any link).
+  std::int64_t credits = -1;
+  /// True while the hive advertises its degraded (reduced) credit window.
+  bool degraded = false;
 
   std::vector<BeeMetricsSample> bees;
 
@@ -296,6 +313,10 @@ struct LocalMetricsReport {
     w.varint(drained_window);
     w.varint(egress_hwm);
     w.varint(cost_us);
+    w.varint(shed_total);
+    w.varint(stalled_frames);
+    w.i64(credits);
+    w.boolean(degraded);
     encode_vector(w, bees);
   }
   static LocalMetricsReport decode(ByteReader& r) {
@@ -313,6 +334,10 @@ struct LocalMetricsReport {
     rep.drained_window = r.varint();
     rep.egress_hwm = r.varint();
     rep.cost_us = r.varint();
+    rep.shed_total = r.varint();
+    rep.stalled_frames = r.varint();
+    rep.credits = r.i64();
+    rep.degraded = r.boolean();
     rep.bees = decode_vector<BeeMetricsSample>(r);
     return rep;
   }

@@ -59,6 +59,8 @@ StatusApp::StatusApp(StatusAppConfig config) : App("platform.status") {
             ctx.state().get_as<HiveStatus>(hives, hive_key).value_or(
                 HiveStatus{});
         if (hs.at == 0) hs.msgs_window = TimeSeriesRing(config.ring_windows);
+        const TimePoint prev_at = hs.at;
+        const std::uint64_t prev_shed = hs.shed;
         hs.hive = report.hive;
         hs.at = report.at;
         hs.bees = report.bees.size();
@@ -71,6 +73,18 @@ StatusApp::StatusApp(StatusAppConfig config) : App("platform.status") {
         hs.partitions_active = report.partitions_active;
         hs.pressure = report.pressure;
         hs.cost_us = report.cost_us;
+        // Shed rate: delta against the previous folded report for this hive.
+        if (prev_at > 0 && report.at > prev_at &&
+            report.shed_total >= prev_shed) {
+          hs.shed_per_s = static_cast<double>(report.shed_total - prev_shed) *
+                          1e6 / static_cast<double>(report.at - prev_at);
+        } else {
+          hs.shed_per_s = 0.0;
+        }
+        hs.shed = report.shed_total;
+        hs.credits = report.credits;
+        hs.stalled = report.stalled_frames;
+        hs.degraded = report.degraded;
         hs.suspected = ctx.state()
                            .get_as<HiveSuspected>(std::string(kMetaDict),
                                                   suspected_key(report.hive))
@@ -233,6 +247,11 @@ std::string StatusReport::to_json() const {
            ", \"suspected\": " + (h.suspected ? "true" : "false") +
            ", \"pressure\": " + std::to_string(h.pressure) +
            ", \"cost_us\": " + std::to_string(h.cost_us) +
+           ", \"shed\": " + std::to_string(h.shed) +
+           ", \"shed_per_s\": " + std::to_string(h.shed_per_s) +
+           ", \"credits\": " + std::to_string(h.credits) +
+           ", \"stalled\": " + std::to_string(h.stalled) +
+           ", \"degraded\": " + (h.degraded ? "true" : "false") +
            ", \"msgs_window\": ";
     append_json_ring(out, h.msgs_window);
     out += "}";

@@ -52,6 +52,13 @@ struct HiveStatus {
   double pressure = 0.0;
   /// Profiler estimate of handler CPU microseconds over the last window.
   std::uint64_t cost_us = 0;
+  // -- Overload control (DESIGN.md §10) --
+  std::uint64_t shed = 0;   ///< lifetime messages/frames shed by policy
+  double shed_per_s = 0.0;  ///< shed rate between the last two reports
+  /// Smallest remaining credit across outbound links (-1 = no credited link).
+  std::int64_t credits = -1;
+  std::uint64_t stalled = 0;  ///< frames parked awaiting credit
+  bool degraded = false;      ///< hive advertises reduced credit
   /// Messages received per reporting window, last N windows.
   TimeSeriesRing msgs_window;
 
@@ -69,6 +76,11 @@ struct HiveStatus {
     w.boolean(suspected);
     w.f64(pressure);
     w.varint(cost_us);
+    w.varint(shed);
+    w.f64(shed_per_s);
+    w.i64(credits);
+    w.varint(stalled);
+    w.boolean(degraded);
     msgs_window.encode(w);
   }
   static HiveStatus decode(ByteReader& r) {
@@ -86,6 +98,11 @@ struct HiveStatus {
     s.suspected = r.boolean();
     s.pressure = r.f64();
     s.cost_us = r.varint();
+    s.shed = r.varint();
+    s.shed_per_s = r.f64();
+    s.credits = r.i64();
+    s.stalled = r.varint();
+    s.degraded = r.boolean();
     s.msgs_window = TimeSeriesRing::decode(r);
     return s;
   }

@@ -432,6 +432,44 @@ TEST(DispatchAllocs, LocalSteadyStateIsAllocationFree) {
       << "the warmed local dispatch+handler path must not touch the heap";
 }
 
+TEST(DispatchAllocs, BoundedLocalSteadyStateIsAllocationFree) {
+  // Satellite of DESIGN.md §10: turning on a mailbox bound and a credit
+  // window must not cost the local fast path anything — the bound is only
+  // consulted on the (cold) hold path, and credit bookkeeping lives in the
+  // remote transport.
+  AppSet apps;
+  CounterApp& app = apps.emplace<CounterApp>();
+  app.set_overload({.bounded = true,
+                    .mailbox_limit = 64,
+                    .policy = OverloadPolicy::kShedNewest});
+  ClusterConfig cfg;
+  cfg.n_hives = 1;
+  cfg.hive.metrics_period = 0;
+  cfg.hive.transport.credit_window = 8;
+  SimCluster sim(cfg, apps);
+  sim.start();
+
+  MessageEnvelope msg =
+      MessageEnvelope::make(Incr{"k0", 1}, 0, kNoBee, 0, sim.now());
+  for (int i = 0; i < 2000; ++i) sim.hive(0).inject(msg);  // warm everything
+  sim.run_to_idle();
+
+  constexpr std::uint64_t kN = 5000;
+  const std::uint64_t runs_before = sim.hive(0).counters().handler_runs;
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < kN; ++i) sim.hive(0).inject(msg);
+  sim.run_to_idle();
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - before;
+
+  ASSERT_EQ(sim.hive(0).counters().handler_runs - runs_before, kN);
+  EXPECT_EQ(sim.hive(0).counters().shed_total, 0u)
+      << "an unloaded bounded mailbox must not shed";
+  EXPECT_EQ(allocs, 0u)
+      << "bounded mailboxes and credit bookkeeping must add zero "
+         "allocations per message on the warmed local path";
+}
+
 TEST(DispatchAllocs, RemoteSteadyStateWithinTwoAllocsPerMessage) {
   AppSet apps;
   apps.emplace<CounterApp>();

@@ -249,6 +249,9 @@ struct HiveRow {
   std::uint64_t runq = 0;
   std::uint64_t queue = 0;
   std::uint64_t cost_us = 0;
+  double shed_per_s = 0.0;  ///< overload sheds per second, last window
+  long long credits = -1;   ///< tightest remaining link credit (-1 = unlimited)
+  bool degraded = false;
   bool suspected = false;
 };
 
@@ -305,6 +308,9 @@ std::size_t render_frame(const Options& opt, bool clear_screen) {
           row.queue = static_cast<std::uint64_t>(h.number("queue_depth"));
           row.cost_us =
               static_cast<std::uint64_t>(h.number("cost_us_window"));
+          row.shed_per_s = h.number("shed_per_s");
+          row.credits = static_cast<long long>(h.number("credits", -1.0));
+          row.degraded = h.boolean("degraded");
           row.suspected = h.boolean("suspected");
           hive_pressure[row.hive] = row.pressure;
           hives.push_back(row);
@@ -352,6 +358,9 @@ std::size_t render_frame(const Options& opt, bool clear_screen) {
                 static_cast<std::uint64_t>(h.number("e2e_p99_us"));
             row.queue = static_cast<std::uint64_t>(h.number("queue_depth"));
             row.cost_us = static_cast<std::uint64_t>(h.number("cost_us"));
+            row.shed_per_s = h.number("shed_per_s");
+            row.credits = static_cast<long long>(h.number("credits", -1.0));
+            row.degraded = h.boolean("degraded");
             row.suspected = h.boolean("suspected");
             hive_pressure[row.hive] = row.pressure;
             hives.push_back(row);
@@ -388,16 +397,26 @@ std::size_t render_frame(const Options& opt, bool clear_screen) {
   }
   std::printf("\n\n");
 
-  std::printf("%-5s %7s %9s %8s %9s %6s %6s %10s %s\n", "HIVE", "SCORE",
-              "PRESSURE", "RETX", "P99_US", "RUNQ", "QUEUE", "COST_US", "");
+  std::printf("%-5s %7s %9s %8s %9s %6s %6s %10s %8s %8s %s\n", "HIVE",
+              "SCORE", "PRESSURE", "RETX", "P99_US", "RUNQ", "QUEUE",
+              "COST_US", "SHED/S", "CREDITS", "");
   for (const HiveRow& h : hives) {
-    std::printf("%-5llu %7.1f %9.3f %8.3f %9llu %6llu %6llu %10llu %s\n",
+    char credits[24];
+    if (h.credits < 0) {
+      std::snprintf(credits, sizeof(credits), "%8s", "-");
+    } else {
+      std::snprintf(credits, sizeof(credits), "%8lld", h.credits);
+    }
+    std::string flags;
+    if (h.degraded) flags += "DEGRADED";
+    if (h.suspected) flags += flags.empty() ? "SUSPECTED" : " SUSPECTED";
+    std::printf("%-5llu %7.1f %9.3f %8.3f %9llu %6llu %6llu %10llu %8.1f %s %s\n",
                 static_cast<unsigned long long>(h.hive), h.score, h.pressure,
                 h.retx, static_cast<unsigned long long>(h.p99_us),
                 static_cast<unsigned long long>(h.runq),
                 static_cast<unsigned long long>(h.queue),
-                static_cast<unsigned long long>(h.cost_us),
-                h.suspected ? "SUSPECTED" : "");
+                static_cast<unsigned long long>(h.cost_us), h.shed_per_s,
+                credits, flags.c_str());
   }
   if (hives.empty()) std::printf("  (no hive rows yet)\n");
 
@@ -423,7 +442,15 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s top [--host H] [--port P] "
                "[--sort cost|pressure|latency|msgs] [--interval SECONDS] "
-               "[--once]\n",
+               "[--once]\n"
+               "\n"
+               "  --sort pressure ranks bees by their hive's queue-pressure\n"
+               "  score. Hive rows also show the overload-control fields\n"
+               "  (DESIGN.md §10): SHED/S (messages/frames dropped per\n"
+               "  second by shed policies), CREDITS (tightest remaining\n"
+               "  link credit; '-' = uncredited links), and a DEGRADED flag\n"
+               "  when the hive advertises reduced credit. Sourced from\n"
+               "  /health.json with /status.json as fallback.\n",
                argv0);
   return 64;
 }
