@@ -24,7 +24,16 @@
 // its A/B against plain `local` is the cost of the credit/bound bookkeeping
 // and must stay ≤3%. `--bounded` restricts the run to just that pair.
 //
+// A fourth pair, `local_spans` / `local_traced`, prices tracing (DESIGN.md
+// §11): spans-only vs spans + the tail sampler at the default 20ms
+// threshold. Local sim traffic never crosses the threshold, so the
+// spans-vs-tail A/B isolates exactly the unsampled decision path
+// (note_trace_end latency check, no retention) — budgeted ≤3% — while
+// local-vs-spans reports the PR-1 span-recording cost (off by default).
+// `--traced` restricts the run to just these.
+//
 // Usage: micro_dispatch [--json PATH] [--messages N] [--reps N] [--bounded]
+//                       [--traced]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -223,6 +232,54 @@ RunResult run_local_bounded(std::size_t n_messages, bool profiler) {
   return r;
 }
 
+/// run_local with span recording on, and optionally the tail sampler
+/// armed on top (DESIGN.md §11). With the sampler armed every message
+/// additionally pays the note_trace_end fast path; nothing is ever
+/// retained (virtual-time e2e is far below the 20ms threshold), so the
+/// A/B of with_tail=true against with_tail=false isolates the always-on
+/// cost of tail sampling — the number the ≤3% budget gates. (Span
+/// recording itself — 4 ring writes per local message — is PR-1
+/// machinery, costs ~10-15% on this microbench, and is off by default;
+/// its cost is reported separately as tracing_overhead.)
+RunResult run_local_traced(std::size_t n_messages, bool profiler,
+                           bool with_tail) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  ClusterConfig cfg = base_config(1, profiler);
+  cfg.tracing = true;
+  cfg.tail.enabled = with_tail;  // default latency threshold (20ms)
+  SimCluster sim(cfg, apps);
+  sim.start();
+
+  MessageEnvelope msg =
+      MessageEnvelope::make(Incr{"k0", 1}, 0, kNoBee, 0, sim.now());
+  for (std::size_t i = 0; i < kWarmup; ++i) sim.hive(0).inject(msg);
+  sim.run_to_idle();
+
+  const std::uint64_t runs_before = sim.hive(0).counters().handler_runs;
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n_messages; ++i) sim.hive(0).inject(msg);
+  sim.run_to_idle();
+  const double secs = seconds_since(t0);
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+
+  const std::uint64_t delivered =
+      sim.hive(0).counters().handler_runs - runs_before;
+  if (delivered != n_messages) {
+    throw std::runtime_error("local_traced: delivered " +
+                             std::to_string(delivered) + " of " +
+                             std::to_string(n_messages));
+  }
+  RunResult r;
+  r.delivered = delivered;
+  r.msgs_per_sec = static_cast<double>(delivered) / secs;
+  r.allocs_per_msg = static_cast<double>(allocs) / delivered;
+  return r;
+}
+
 /// Two hives with placement pinned to hive 1; the driver injects on hive 0,
 /// so every message crosses the control channel after resolve.
 RunResult run_remote(std::size_t n_messages, bool profiler) {
@@ -299,6 +356,7 @@ int run(int argc, char** argv) {
   std::size_t n_messages = 200'000;
   std::size_t reps = 5;
   bool bounded_only = false;
+  bool traced_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -310,46 +368,86 @@ int run(int argc, char** argv) {
       if (reps == 0) reps = 1;
     } else if (std::strcmp(argv[i], "--bounded") == 0) {
       bounded_only = true;
+    } else if (std::strcmp(argv[i], "--traced") == 0) {
+      traced_only = true;
     } else {
       std::fprintf(stderr,
                    "usage: micro_dispatch [--json PATH] [--messages N] "
-                   "[--reps N] [--bounded]\n"
+                   "[--reps N] [--bounded] [--traced]\n"
                    "  --bounded  run only the unbounded-vs-bounded local A/B\n"
-                   "             (overload control armed, DESIGN.md §10)\n");
+                   "             (overload control armed, DESIGN.md §10)\n"
+                   "  --traced   run only the local tracing/tail-sampler A/Bs\n"
+                   "             (tail sampling armed, DESIGN.md §11)\n");
       return 2;
     }
   }
 
   // Interleave the A/B variants within every rep so slow machine phases
   // (thermal, noisy neighbors) bias both sides the same way. The bounded
-  // variant rides in the same interleave so its A/B against plain local is
-  // fair; --bounded restricts the run to just that pair.
+  // and traced variants ride in the same interleave so their A/Bs against
+  // plain local are fair; --bounded / --traced restrict the run to just
+  // that pair.
   std::vector<RunResult> local_off, local_on, remote_off, remote_on;
-  std::vector<RunResult> local_bnd;
+  std::vector<RunResult> local_bnd, local_spn, local_trc;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     local_off.push_back(run_local(n_messages, /*profiler=*/false));
-    local_bnd.push_back(run_local_bounded(n_messages, /*profiler=*/false));
-    if (bounded_only) continue;
+    if (!traced_only) {
+      local_bnd.push_back(run_local_bounded(n_messages, /*profiler=*/false));
+    }
+    if (!bounded_only) {
+      local_spn.push_back(
+          run_local_traced(n_messages, /*profiler=*/false, /*tail=*/false));
+      local_trc.push_back(
+          run_local_traced(n_messages, /*profiler=*/false, /*tail=*/true));
+    }
+    if (bounded_only || traced_only) continue;
     local_on.push_back(run_local(n_messages, /*profiler=*/true));
     remote_off.push_back(run_remote(n_messages, /*profiler=*/false));
     remote_on.push_back(run_remote(n_messages, /*profiler=*/true));
   }
   const RunResult local = median_by_throughput(std::move(local_off));
-  const RunResult localb = median_by_throughput(std::move(local_bnd));
 
   print_result("local", local);
-  print_result("local+bounded", localb);
-  const double bounded_oh = overhead_pct(local, localb);
-  std::printf("bounded overhead (median of %zu reps): local %+.2f%%\n", reps,
-              bounded_oh);
 
   bench::JsonReport report("micro_dispatch");
   report_group(report, "local", local);
-  report_group(report, "local_bounded", localb);
-  report.integer("bounded_overhead", "reps", reps);
-  report.number("bounded_overhead", "local_pct", bounded_oh);
+
+  if (!traced_only) {
+    const RunResult localb = median_by_throughput(std::move(local_bnd));
+    print_result("local+bounded", localb);
+    const double bounded_oh = overhead_pct(local, localb);
+    std::printf("bounded overhead (median of %zu reps): local %+.2f%%\n",
+                reps, bounded_oh);
+    report_group(report, "local_bounded", localb);
+    report.integer("bounded_overhead", "reps", reps);
+    report.number("bounded_overhead", "local_pct", bounded_oh);
+  }
 
   if (!bounded_only) {
+    const RunResult locals = median_by_throughput(std::move(local_spn));
+    const RunResult localt = median_by_throughput(std::move(local_trc));
+    print_result("local+spans", locals);
+    print_result("local+spans+tail", localt);
+    // Two numbers with different owners: tracing_overhead is the PR-1
+    // span-recording cost (off by default, informational); traced_overhead
+    // is the tail sampler's increment on top of span recording — the
+    // always-on decision logic the ≤3% budget gates (DESIGN.md §11).
+    const double tracing_oh = overhead_pct(local, locals);
+    const double traced_oh = overhead_pct(locals, localt);
+    std::printf("tracing overhead (median of %zu reps): local %+.2f%%\n",
+                reps, tracing_oh);
+    std::printf("tail-sampler overhead (median of %zu reps, vs spans-only): "
+                "local %+.2f%%\n",
+                reps, traced_oh);
+    report_group(report, "local_spans", locals);
+    report_group(report, "local_traced", localt);
+    report.integer("tracing_overhead", "reps", reps);
+    report.number("tracing_overhead", "local_pct", tracing_oh);
+    report.integer("traced_overhead", "reps", reps);
+    report.number("traced_overhead", "local_pct", traced_oh);
+  }
+
+  if (!bounded_only && !traced_only) {
     const RunResult localp = median_by_throughput(std::move(local_on));
     const RunResult remote = median_by_throughput(std::move(remote_off));
     const RunResult remotep = median_by_throughput(std::move(remote_on));

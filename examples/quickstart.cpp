@@ -15,6 +15,12 @@
 // with the StatusApp on board and the HTTP exposition endpoint live:
 //   curl http://127.0.0.1:9780/metrics      # Prometheus text format
 //   curl http://127.0.0.1:9780/status.json  # per-hive / per-bee snapshot
+//   curl http://127.0.0.1:9780/traces.json  # tail-sampled slowest traces
+//
+// `--faults` (serve mode) makes the wire lossy (drop/duplicate/reorder),
+// arms the reliable transport with a tight credit window and bounds the
+// word app's mailbox — so retransmits, credit stalls and sheds actually
+// happen and /traces.json + `beectl trace` have tail latency to explain.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -125,9 +131,16 @@ std::string status_json_from(ThreadCluster& cluster, AppId status_app) {
   return "{}\n";
 }
 
-int serve(Duration run_for, std::uint16_t port) {
+int serve(Duration run_for, std::uint16_t port, bool faulted) {
   AppSet apps;
-  apps.emplace<WordCountApp>();
+  WordCountApp& wc = apps.emplace<WordCountApp>();
+  if (faulted) {
+    // A small mailbox bound makes overload sheds reachable by the skewed
+    // word stream, so shed-terminated traces show up in /traces.json.
+    wc.set_overload({.bounded = true,
+                     .mailbox_limit = 64,
+                     .policy = OverloadPolicy::kShedNewest});
+  }
   apps.emplace<StatusApp>();
   // The optimizer rides along as a plain control app: it folds the
   // per-hive reports (now carrying sampled handler cost and queue
@@ -146,21 +159,44 @@ int serve(Duration run_for, std::uint16_t port) {
   config.hive.profiler.enabled = true;
   config.hive.profiler.sample_every = 16;
   config.flight_recorder = true;
+  // Tail-latency attribution (DESIGN.md §11): spans on, full detail kept
+  // only for traces that end slow (>5ms wall), shed or failed — the ones
+  // /traces.json and `beectl trace` are for.
+  config.tracing = true;
+  config.tail.enabled = true;
+  config.tail.latency_threshold = 5 * kMillisecond;
+  if (faulted) {
+    // Reliable transport with a tight window: drops force retransmits,
+    // the window forces credit stalls — both then show up as blame.
+    config.hive.transport.enabled = true;
+    config.hive.transport.credit_window = 4;
+  }
   ThreadCluster cluster(config, apps);
+  if (faulted) {
+    LinkFaults lossy;
+    lossy.drop = 0.15;
+    lossy.duplicate = 0.05;
+    lossy.reorder = 0.05;
+    cluster.faults().set_default_link(lossy);
+  }
   cluster.start();
 
   HttpExportServer server(*cluster.metrics(), port);
   server.set_status_source(
       [&cluster, status_app] { return status_json_from(cluster, status_app); });
   server.set_health_source([&cluster] { return cluster.health_json(); });
+  server.set_traces_source([&cluster] { return cluster.traces_json(20); });
   if (FlightRecorder* recorder = cluster.flight_recorder()) {
     recorder->set_health_source([&cluster] { return cluster.health_json(); });
   }
-  std::printf("serving http://127.0.0.1:%u/metrics, /status.json and "
-              "/health.json for %.0f s  (try: beectl top --port %u)\n",
+  std::printf("serving http://127.0.0.1:%u/metrics, /status.json, "
+              "/health.json and /traces.json for %.0f s%s  "
+              "(try: beectl top --port %u, beectl trace --port %u)\n",
               server.port(),
               static_cast<double>(run_for) / static_cast<double>(kSecond),
-              server.port());
+              faulted ? "  [lossy wire + credit window + bounded mailbox]"
+                      : "",
+              server.port(), server.port());
   std::fflush(stdout);
 
   // A steady trickle of words keeps the counters, rate rings and the
@@ -207,15 +243,18 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--serve") == 0) {
       Duration run_for = 30 * kSecond;
       std::uint16_t port = 9780;
+      bool faulted = false;
       if (i + 1 < argc && std::atoi(argv[i + 1]) > 0) {
         run_for = static_cast<Duration>(std::atoi(argv[i + 1])) * kSecond;
       }
-      for (int j = 1; j + 1 < argc; ++j) {
-        if (std::strcmp(argv[j], "--port") == 0) {
+      for (int j = 1; j < argc; ++j) {
+        if (std::strcmp(argv[j], "--port") == 0 && j + 1 < argc) {
           port = static_cast<std::uint16_t>(std::atoi(argv[j + 1]));
+        } else if (std::strcmp(argv[j], "--faults") == 0) {
+          faulted = true;
         }
       }
-      return serve(run_for, port);
+      return serve(run_for, port, faulted);
     }
   }
 

@@ -21,6 +21,8 @@ SimCluster::SimCluster(ClusterConfig config, const AppSet& apps)
     // Single-threaded runtime: pulling spans from inside a dump is safe.
     if (config_.tracing) {
       recorder_->set_span_source([this] { return trace_events(); });
+      recorder_->set_trace_source(
+          [this] { return blame_summary_text(assembled_traces(8)); });
     }
   }
   hives_.reserve(config_.n_hives);
@@ -30,6 +32,9 @@ SimCluster::SimCluster(ClusterConfig config, const AppSet& apps)
     if (config_.tracing) {
       tracers_.push_back(
           std::make_unique<TraceRecorder>(config_.trace_capacity));
+      if (config_.tail.enabled) {
+        tracers_.back()->configure_tail(config_.tail);
+      }
       hc.tracer = tracers_.back().get();
     }
     hc.faults = &faults_;
@@ -185,6 +190,19 @@ std::vector<TraceEvent> SimCluster::trace_events() const {
   recorders.reserve(tracers_.size());
   for (const auto& t : tracers_) recorders.push_back(t.get());
   return merge_trace_events(recorders);
+}
+
+std::vector<AssembledTrace> SimCluster::assembled_traces(
+    std::size_t top_n) const {
+  // Single-threaded runtime: reading the recorders directly is safe.
+  std::vector<const TraceRecorder*> recorders;
+  recorders.reserve(tracers_.size());
+  for (const auto& t : tracers_) recorders.push_back(t.get());
+  return assemble_from_recorders(recorders, top_n);
+}
+
+std::string SimCluster::traces_json(std::size_t top_n) const {
+  return beehive::traces_json(assembled_traces(top_n), now_);
 }
 
 std::size_t SimCluster::recover_hive(HiveId hive) {

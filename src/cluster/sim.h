@@ -20,6 +20,7 @@
 #include "cluster/registry.h"
 #include "cluster/runtime_env.h"
 #include "core/hive.h"
+#include "instrument/blame.h"
 #include "instrument/flight_recorder.h"
 #include "instrument/health.h"
 #include "instrument/registry.h"
@@ -40,6 +41,10 @@ struct ClusterConfig {
   bool tracing = false;
   /// Ring capacity (events) of each per-hive recorder.
   std::size_t trace_capacity = 1 << 16;
+  /// Tail-based sampling (DESIGN.md §11): retain full span detail for
+  /// traces that end slow, shed or failed. Applied to every per-hive
+  /// recorder when tracing is on.
+  TailSamplerConfig tail;
   /// Own a MetricsRegistry and register every hive's counters, gauges,
   /// latency histograms and rate rings into it. Registration happens once
   /// here in the constructor; the per-message hot path is unchanged (the
@@ -129,6 +134,12 @@ class SimCluster final : public RuntimeEnv {
   /// All hives' recorded spans, merged into causal display order. Empty
   /// when tracing is off.
   std::vector<TraceEvent> trace_events() const;
+
+  /// The `top_n` slowest assembled traces with critical-path blame
+  /// (instrument/blame.h), built from ring + tail-retained spans.
+  std::vector<AssembledTrace> assembled_traces(std::size_t top_n = 20) const;
+  /// The /traces.json body for those traces.
+  std::string traces_json(std::size_t top_n = 20) const;
 
   /// The cluster-owned metrics registry (nullptr when config.metrics is
   /// off). Scrape-safe at any point of the run.

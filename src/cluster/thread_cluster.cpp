@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <future>
 
 namespace beehive {
 
@@ -20,6 +21,12 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
         static_cast<std::size_t>(config_.n_hives));
     // No span source here: the per-hive trace recorders are single-writer
     // and unlocked, so a dump from an arbitrary thread must not read them.
+    // The trace source IS safe — assembled_traces() snapshots each
+    // recorder on its own loop thread with a bounded wait.
+    if (config_.tracing) {
+      recorder_->set_trace_source(
+          [this] { return blame_summary_text(assembled_traces(8)); });
+    }
   }
   nodes_.reserve(config_.n_hives);
   if (config_.tracing) tracers_.reserve(config_.n_hives);
@@ -28,6 +35,9 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
     if (config_.tracing) {
       tracers_.push_back(
           std::make_unique<TraceRecorder>(config_.trace_capacity));
+      if (config_.tail.enabled) {
+        tracers_.back()->configure_tail(config_.tail);
+      }
       hc.tracer = tracers_.back().get();
     }
     hc.faults = &faults_;
@@ -54,6 +64,41 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
         "beehive_channel_hotspot_share", {},
         [this] { return meter_.hotspot_share(); },
         "Fraction of inter-hive traffic involving the busiest hive.");
+    if (config_.tracing) {
+      // Critical-path blame totals over the slowest assembled traces
+      // (DESIGN.md §11). Assembly is too heavy per scrape; blame_scrape
+      // caches for ~1s. Callbacks run with the registry mutex released.
+      struct Bucket {
+        const char* name;
+        std::uint64_t TraceBlame::* field;
+      };
+      static constexpr Bucket kBuckets[] = {
+          {"queue", &TraceBlame::queue_us},
+          {"handler", &TraceBlame::handler_us},
+          {"serialize", &TraceBlame::serialize_us},
+          {"wire", &TraceBlame::wire_us},
+          {"retransmit", &TraceBlame::retransmit_us},
+          {"stall", &TraceBlame::stall_us},
+      };
+      for (const Bucket& b : kBuckets) {
+        metrics_->gauge_fn(
+            "beehive_blame_us", {{"bucket", b.name}},
+            [this, field = b.field] {
+              std::uint64_t n = 0;
+              return static_cast<double>(blame_scrape(&n).*field);
+            },
+            "Critical-path microseconds attributed to this bucket across "
+            "the slowest assembled traces.");
+      }
+      metrics_->gauge_fn(
+          "beehive_blame_traces", {},
+          [this] {
+            std::uint64_t n = 0;
+            blame_scrape(&n);
+            return static_cast<double>(n);
+          },
+          "Assembled traces behind the beehive_blame_us totals.");
+    }
   }
   // Registry RPC attempts traverse the same lossy network as frames. The
   // hook runs under the registry mutex on arbitrary hive threads, so the
@@ -206,6 +251,59 @@ std::vector<TraceEvent> ThreadCluster::trace_events() const {
   recorders.reserve(tracers_.size());
   for (const auto& t : tracers_) recorders.push_back(t.get());
   return merge_trace_events(recorders);
+}
+
+std::vector<TraceEvent> ThreadCluster::snapshot_trace_events() {
+  std::vector<TraceEvent> all;
+  if (tracers_.empty()) return all;
+  if (!running_.load()) {
+    // Quiescent: no loop threads are writing, direct reads are safe.
+    for (const auto& t : tracers_) {
+      std::vector<TraceEvent> events = t->events_with_retained();
+      all.insert(all.end(), events.begin(), events.end());
+    }
+    return all;
+  }
+  // Running: each recorder is single-writer from its hive's loop thread,
+  // so the copy must happen *on* that thread. Bounded wait per hive — a
+  // wedged or overloaded loop is skipped (partial assembly beats blocking
+  // a scrape forever, and beats a torn read always). The shared_ptr keeps
+  // the promise alive if we time out and the task fires later.
+  for (HiveId id = 0; id < tracers_.size(); ++id) {
+    auto slot = std::make_shared<std::promise<std::vector<TraceEvent>>>();
+    std::future<std::vector<TraceEvent>> done = slot->get_future();
+    post(id, [t = tracers_[id].get(), slot] {
+      slot->set_value(t->events_with_retained());
+    });
+    if (done.wait_for(std::chrono::seconds(2)) ==
+        std::future_status::ready) {
+      std::vector<TraceEvent> events = done.get();
+      all.insert(all.end(), events.begin(), events.end());
+    }
+  }
+  return all;
+}
+
+std::vector<AssembledTrace> ThreadCluster::assembled_traces(
+    std::size_t top_n) {
+  return assemble_traces(snapshot_trace_events(), top_n);
+}
+
+std::string ThreadCluster::traces_json(std::size_t top_n) {
+  return beehive::traces_json(assembled_traces(top_n), now());
+}
+
+TraceBlame ThreadCluster::blame_scrape(std::uint64_t* n_traces) {
+  std::lock_guard lock(blame_mutex_);
+  const TimePoint at = now();
+  if (at - blame_at_ >= kSecond) {
+    std::vector<AssembledTrace> traces = assembled_traces(20);
+    blame_totals_ = blame_totals(traces);
+    blame_traces_ = traces.size();
+    blame_at_ = at;
+  }
+  if (n_traces != nullptr) *n_traces = blame_traces_;
+  return blame_totals_;
 }
 
 void ThreadCluster::loop(Node& node) {

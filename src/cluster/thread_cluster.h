@@ -25,6 +25,7 @@
 #include "cluster/registry.h"
 #include "cluster/runtime_env.h"
 #include "core/hive.h"
+#include "instrument/blame.h"
 #include "instrument/flight_recorder.h"
 #include "instrument/health.h"
 #include "instrument/registry.h"
@@ -40,6 +41,10 @@ struct ThreadClusterConfig {
   /// recorders; each hive's spans are written only from its loop thread).
   bool tracing = false;
   std::size_t trace_capacity = 1 << 16;
+  /// Tail-based sampling (DESIGN.md §11): retain full span detail for
+  /// traces that end slow, shed or failed. Applied to every per-hive
+  /// recorder when tracing is on.
+  TailSamplerConfig tail;
   /// Own a MetricsRegistry and register every hive's metrics into it; the
   /// registry (and therefore /metrics via net/http_export.h) is safe to
   /// scrape from any thread while hives run.
@@ -96,6 +101,15 @@ class ThreadCluster final : public RuntimeEnv {
   /// All hives' recorded spans in display order. Call only when the
   /// cluster is stopped or idle (recorders are not locked).
   std::vector<TraceEvent> trace_events() const;
+
+  /// The `top_n` slowest assembled traces with critical-path blame
+  /// (instrument/blame.h). Safe from any thread: while the cluster runs,
+  /// each recorder is snapshotted on its own loop thread (posted task,
+  /// bounded wait); a wedged hive is skipped rather than blocking the
+  /// caller. When stopped, recorders are read directly.
+  std::vector<AssembledTrace> assembled_traces(std::size_t top_n = 20);
+  /// The /traces.json body for those traces.
+  std::string traces_json(std::size_t top_n = 20);
 
   /// The cluster-owned metrics registry (nullptr when config.metrics is
   /// off). Scrape-safe from any thread while the cluster runs.
@@ -157,6 +171,14 @@ class ThreadCluster final : public RuntimeEnv {
 
   void loop(Node& node);
 
+  /// Gathers every recorder's ring + tail-retained spans, thread-safely
+  /// (see assembled_traces).
+  std::vector<TraceEvent> snapshot_trace_events();
+
+  /// Scrape-time blame totals, recomputed at most once per second (trace
+  /// assembly walks every retained trace — too heavy to run per scrape).
+  TraceBlame blame_scrape(std::uint64_t* n_traces);
+
   ThreadClusterConfig config_;
   ChannelMeter meter_;
   RegistryService registry_;
@@ -170,6 +192,11 @@ class ThreadCluster final : public RuntimeEnv {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> next_seq_{0};
   std::chrono::steady_clock::time_point epoch_;
+  // Blame-gauge cache (see blame_scrape). Guarded by blame_mutex_.
+  std::mutex blame_mutex_;
+  TimePoint blame_at_ = -kSecond;
+  TraceBlame blame_totals_;
+  std::uint64_t blame_traces_ = 0;
 };
 
 }  // namespace beehive

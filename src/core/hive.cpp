@@ -23,6 +23,8 @@ Hive::Hive(HiveId id, const AppSet& apps, RegistryService& registry,
         std::make_unique<ReliableTransport>(id_, env_, config_.transport);
     // Link-level sheds and mailbox sheds share one metric cell.
     transport_->set_shed_counter(&counters_.shed_total);
+    // Link-level spans (stall/retransmit/shed) land in the hive's recorder.
+    transport_->set_tracer(config_.tracer);
   }
   register_metrics();
 }
@@ -150,6 +152,19 @@ void Hive::register_metrics() {
   published_.degraded = &reg->gauge(
       "beehive_degraded", labels,
       "1 while the hive advertises its degraded credit window");
+
+  // Tail-latency attribution (DESIGN.md §11): silent trace loss must be
+  // visible, so ring overwrites + sampler budget rejections scrape live.
+  if (config_.tracer != nullptr) {
+    reg->gauge_fn(
+        "beehive_trace_dropped_total", labels,
+        [tracer = config_.tracer]() {
+          return static_cast<double>(tracer->trace_dropped_total());
+        },
+        "Trace events lost: span-ring overwrites plus tail-sampler "
+        "budget rejections",
+        /*counter_semantics=*/true);
+  }
 }
 
 Hive::~Hive() = default;
@@ -305,6 +320,16 @@ void Hive::deliver_local(Bee& bee, const MessageEnvelope& env,
           bee.hold_bounded(env, *oc, &Hive::is_priority_type);
       if (out != Bee::HoldOutcome::kHeld) {
         ++counters_.shed_total;
+        // A mailbox shed terminates the message's causal chain: record the
+        // terminal span and let the tail sampler retain the trace (sheds
+        // always qualify, independent of latency).
+        trace_span(SpanKind::kShed, env, bee.id());
+        if (tracing() && env.trace_id() != 0) {
+          Duration e2e = env_.now() - env.trace_root_at();
+          if (e2e < 0) e2e = 0;
+          config_.tracer->note_trace_end(env.trace_id(), e2e,
+                                         /*errored=*/true);
+        }
         return;
       }
       if (oc->policy == OverloadPolicy::kBlockSender) {
@@ -378,6 +403,12 @@ void Hive::process(Bee& bee, const MessageEnvelope& env,
     queue_total_.record(queued);
     handler_total_.record(ran_failed);
     trace_span(SpanKind::kHandlerEnd, env, bee.id(), 0, /*failed=*/1);
+    // Failed traces always qualify for tail retention.
+    if (tracing() && e2e_eligible(env)) {
+      Duration e2e = env_.now() - env.trace_root_at();
+      if (e2e < 0) e2e = 0;
+      config_.tracer->note_trace_end(env.trace_id(), e2e, /*errored=*/true);
+    }
     if (config_.recorder != nullptr) {
       config_.recorder->note(id_, "handler failure app=" + app->name() +
                                       " bee=" + to_string_bee(bee.id()) +
@@ -408,6 +439,11 @@ void Hive::process(Bee& bee, const MessageEnvelope& env,
     const Duration e2e = ended - env.trace_root_at();
     e2e_window_.record(e2e);
     e2e_total_.record(e2e);
+    // Tail-sampling decision point: slow traces get their spans copied
+    // aside before the ring can overwrite them.
+    if (tracing()) {
+      config_.tracer->note_trace_end(env.trace_id(), e2e, /*errored=*/false);
+    }
   }
 
   replicate_txn(bee, ctx.state());
@@ -565,6 +601,17 @@ void Hive::flush_egress() {
     Egress& e = egress_[i];
     if (e.count == 0) continue;
     e.buf.patch_u32(1, e.count);
+    if (tracing()) {
+      // Trace-0 link span: the batch aggregates many messages, so the
+      // assembler re-attaches it to timelines by interval overlap.
+      TraceEvent ev;
+      ev.at = env_.now();
+      ev.kind = SpanKind::kBatchFlush;
+      ev.hive = id_;
+      ev.aux = e.count;
+      ev.aux2 = i;
+      config_.tracer->record(ev);
+    }
     e.count = 0;
     // Move the accumulated batch out (the buffer restarts empty); the whole
     // batch is one wire unit from here on — one meter update, one fault
@@ -940,6 +987,8 @@ HiveHealth Hive::health() const {
   h.credits = health_.credits.load(std::memory_order_relaxed);
   h.stalled = health_.stalled_frames.load(std::memory_order_relaxed);
   h.degraded = degraded_.load(std::memory_order_relaxed);
+  h.trace_dropped =
+      config_.tracer != nullptr ? config_.tracer->trace_dropped_total() : 0;
   return h;
 }
 

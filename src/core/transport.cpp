@@ -108,20 +108,37 @@ void ReliableTransport::send(HiveId to, Bytes inner) {
   ship_new(to, peer, std::move(inner));
 }
 
-void ReliableTransport::note_shed() {
+void ReliableTransport::note_shed(HiveId to) {
   ++counters_.frames_shed;
   if (shed_counter_ != nullptr) ++*shed_counter_;
+  if (tracing()) trace_link(SpanKind::kShed, to, 0);
+}
+
+void ReliableTransport::trace_link(SpanKind kind, HiveId to, std::uint64_t aux,
+                                   std::uint32_t depth) {
+  TraceEvent ev;
+  ev.at = env_.now();
+  ev.kind = kind;
+  ev.depth = depth;
+  ev.hive = self_;
+  ev.aux = aux;
+  ev.aux2 = to;
+  tracer_->record(ev);
 }
 
 void ReliableTransport::enqueue_stalled(HiveId to, Peer& peer, Bytes inner) {
   ++counters_.frames_stalled;
+  const auto queue_frame = [&](Bytes frame) {
+    peer.stalled.push_back(Peer::StalledFrame{std::move(frame), env_.now()});
+    stalled_now_.fetch_add(1, std::memory_order_relaxed);
+    if (tracing()) trace_link(SpanKind::kStallQueued, to, peer.stalled.size());
+  };
   if (peer.stalled.size() < config_.stall_limit ||
       config_.overload == OverloadPolicy::kBlockSender) {
     // kBlockSender grows past the limit on purpose: stalled_now() > 0 is
     // the saturation signal admission control reads; losing frames is the
     // one thing this policy never does.
-    peer.stalled.push_back(std::move(inner));
-    stalled_now_.fetch_add(1, std::memory_order_relaxed);
+    queue_frame(std::move(inner));
     return;
   }
   switch (config_.overload) {
@@ -132,32 +149,29 @@ void ReliableTransport::enqueue_stalled(HiveId to, Peer& peer, Bytes inner) {
       // Tail drop — but only pure app-message batches; control frames
       // always queue (the priority lane, in both policies).
       if (frame_is_sheddable(inner)) {
-        note_shed();
+        note_shed(to);
         return;
       }
-      peer.stalled.push_back(std::move(inner));
-      stalled_now_.fetch_add(1, std::memory_order_relaxed);
+      queue_frame(std::move(inner));
       break;
     case OverloadPolicy::kShedOldest: {
       // Head drop: evict the oldest sheddable frame to admit the new one.
       for (auto it = peer.stalled.begin(); it != peer.stalled.end(); ++it) {
-        if (frame_is_sheddable(*it)) {
+        if (frame_is_sheddable(it->frame)) {
           peer.stalled.erase(it);
           stalled_now_.fetch_sub(1, std::memory_order_relaxed);
-          note_shed();
-          peer.stalled.push_back(std::move(inner));
-          stalled_now_.fetch_add(1, std::memory_order_relaxed);
+          note_shed(to);
+          queue_frame(std::move(inner));
           return;
         }
       }
       // Nothing old is sheddable (all control): shed the newcomer if it
       // is, otherwise queue it — control traffic is never lost here.
       if (frame_is_sheddable(inner)) {
-        note_shed();
+        note_shed(to);
         return;
       }
-      peer.stalled.push_back(std::move(inner));
-      stalled_now_.fetch_add(1, std::memory_order_relaxed);
+      queue_frame(std::move(inner));
       break;
     }
   }
@@ -167,10 +181,15 @@ void ReliableTransport::drain_stalled(HiveId to, Peer& peer) {
   while (!peer.stalled.empty()) {
     const std::uint64_t win = effective_window(peer);
     if (win != 0 && peer.unacked.size() >= win) break;
-    Bytes inner = std::move(peer.stalled.front());
+    Peer::StalledFrame entry = std::move(peer.stalled.front());
     peer.stalled.pop_front();
     stalled_now_.fetch_sub(1, std::memory_order_relaxed);
-    ship_new(to, peer, std::move(inner));
+    if (tracing()) {
+      const Duration waited = env_.now() - entry.since;
+      trace_link(SpanKind::kCreditStall, to,
+                 waited > 0 ? static_cast<std::uint64_t>(waited) : 0);
+    }
+    ship_new(to, peer, std::move(entry.frame));
   }
 }
 
@@ -204,6 +223,10 @@ void ReliableTransport::retransmit_fired(HiveId to) {
   }
   for (const auto& [seq, inner] : peer.unacked) {
     ++counters_.retransmits;
+    if (tracing()) {
+      trace_link(SpanKind::kRetransmit, to, seq,
+                 static_cast<std::uint32_t>(peer.rounds));
+    }
     ship(to, peer, seq, inner);
   }
   peer.rto = std::min(peer.rto * 2, config_.rto_max);

@@ -51,6 +51,7 @@
 #include "core/overload.h"
 #include "instrument/metrics.h"
 #include "instrument/registry.h"
+#include "instrument/trace.h"
 #include "util/bytes.h"
 #include "util/types.h"
 
@@ -135,6 +136,12 @@ class ReliableTransport {
   /// its shed_total cell here so mailbox and link sheds share one metric).
   void set_shed_counter(Counter* counter) { shed_counter_ = counter; }
 
+  /// When set, the transport records link-level spans (kStallQueued,
+  /// kCreditStall, kRetransmit, kShed) into the hive's recorder. These are
+  /// trace-0 spans — a frame aggregates many messages — stitched back onto
+  /// message timelines by interval overlap in the trace assembler.
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
   /// The last window advertised by `peer` (tests; 0 = none/unlimited).
   std::uint64_t peer_window(HiveId peer) const;
 
@@ -148,9 +155,15 @@ class ReliableTransport {
     bool rtx_armed = false;
     /// Receive window the peer advertised (0 = none yet / unlimited).
     std::uint64_t window = 0;
+    /// A frame waiting for credit, stamped with when its wait began so
+    /// the ship-time kCreditStall span can carry the full stall duration.
+    struct StalledFrame {
+      Bytes frame;
+      TimePoint since = 0;
+    };
     /// Frames waiting for credit, in send order. Sequence numbers are
     /// assigned when a frame leaves this queue, so FIFO holds.
-    std::deque<Bytes> stalled;
+    std::deque<StalledFrame> stalled;
     // Inbound.
     std::uint64_t next_expected = 1;
     std::map<std::uint64_t, Bytes> reorder;  ///< seq -> inner frame
@@ -169,7 +182,11 @@ class ReliableTransport {
   void enqueue_stalled(HiveId to, Peer& peer, Bytes inner);
   /// Ships stalled frames while credit is available.
   void drain_stalled(HiveId to, Peer& peer);
-  void note_shed();
+  void note_shed(HiveId to);
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  /// Records a trace-0 link span on this hive's recorder.
+  void trace_link(SpanKind kind, HiveId to, std::uint64_t aux,
+                  std::uint32_t depth = 0);
   void arm_retransmit(HiveId to, Peer& peer);
   void retransmit_fired(HiveId to);
   void arm_ack(HiveId to, Peer& peer);
@@ -184,6 +201,7 @@ class ReliableTransport {
   std::atomic<std::uint64_t> stalled_now_{0};
   std::atomic<bool> degraded_{false};
   Counter* shed_counter_ = nullptr;
+  TraceRecorder* tracer_ = nullptr;
 };
 
 /// True when `frame` may be dropped by a link-level shed policy: a bare

@@ -65,6 +65,11 @@ void FlightRecorder::set_health_source(HealthSource source) {
   health_source_ = std::move(source);
 }
 
+void FlightRecorder::set_trace_source(TraceSource source) {
+  std::lock_guard lock(mutex_);
+  trace_source_ = std::move(source);
+}
+
 FlightRecorder::Ring& FlightRecorder::ring_for_locked(HiveId hive) {
   for (Ring& r : rings_) {
     if (r.hive == hive) return r;
@@ -109,17 +114,23 @@ std::string FlightRecorder::render_locked(const std::string& reason) const {
 std::string FlightRecorder::render(const std::string& reason) const {
   std::string out;
   HealthSource health;
+  TraceSource traces;
   {
     std::lock_guard lock(mutex_);
     out = render_locked(reason);
     health = health_source_;
+    traces = trace_source_;
   }
-  // The health source runs outside the mutex: it may itself note() into
-  // the recorder or take cluster locks. Never invoked on the crash path
-  // (crash_dump_unsafe), which must stay lock- and allocation-free.
+  // The health and trace sources run outside the mutex: they may note()
+  // into the recorder or take cluster locks. Never invoked on the crash
+  // path (crash_dump_unsafe), which must stay lock- and allocation-free.
   if (health) {
     out += "--- health ---\n";
     out += health();
+  }
+  if (traces) {
+    out += "--- slowest traces ---\n";
+    out += traces();
   }
   return out;
 }

@@ -67,6 +67,14 @@ class FlightRecorder {
   using HealthSource = std::function<std::string()>;
   void set_health_source(HealthSource source);
 
+  /// Optional trace source: when set, dump()/render() append its text
+  /// (e.g. blame_summary_text() over the slowest assembled traces) after
+  /// the health section, so a post-mortem names the tail-latency culprits
+  /// alongside the last health picture. Same contract as the health
+  /// source: runs OUTSIDE the recorder mutex, never on the crash path.
+  using TraceSource = std::function<std::string()>;
+  void set_trace_source(TraceSource source);
+
   /// Writes every hive's ring (oldest line first) to `path`, prefixed with
   /// `reason`. Returns false on IO error. Thread-safe.
   bool dump(const std::string& path, const std::string& reason) const;
@@ -112,6 +120,7 @@ class FlightRecorder {
   std::atomic<std::size_t> ring_count_{0};
   SpanSource span_source_;
   HealthSource health_source_;
+  TraceSource trace_source_;
 };
 
 }  // namespace beehive

@@ -60,7 +60,8 @@ std::string HealthReport::to_json() const {
            ", \"shed_per_s\": " + fmt_double(h.shed_per_s) +
            ", \"credits\": " + std::to_string(h.credits) +
            ", \"stalled\": " + std::to_string(h.stalled) +
-           ", \"degraded\": " + (h.degraded ? "true" : "false") + "}";
+           ", \"degraded\": " + (h.degraded ? "true" : "false") +
+           ", \"trace_dropped\": " + std::to_string(h.trace_dropped) + "}";
   }
   out += "\n  ]\n}\n";
   return out;
@@ -79,6 +80,7 @@ std::string HealthReport::to_text() const {
            " cost_us=" + std::to_string(h.cost_us_window) +
            " shed=" + std::to_string(h.shed_total) +
            " credits=" + std::to_string(h.credits) +
+           " trace_drop=" + std::to_string(h.trace_dropped) +
            (h.degraded ? " DEGRADED" : "") +
            (h.suspected ? " SUSPECTED" : "") + "\n";
   }

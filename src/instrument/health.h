@@ -37,6 +37,8 @@ struct HiveHealth {
   std::int64_t credits = -1;
   std::uint64_t stalled = 0;  ///< frames parked awaiting credit right now
   bool degraded = false;      ///< advertising reduced credit (low health)
+  /// Trace events lost: span-ring overwrites + tail-sampler rejections.
+  std::uint64_t trace_dropped = 0;
 
   /// 0..100. Deductions: up to 40 for pressure, 30 for retransmit rate,
   /// 20 for suspicion, 10 for handler p99 beyond 10ms (see DESIGN.md §9).

@@ -52,20 +52,6 @@ std::uint64_t channel_tid(HiveId from, std::uint64_t to) {
   return (static_cast<std::uint64_t>(from) << 16) | (to & 0xffff);
 }
 
-const char* frame_kind_name(std::uint32_t kind) {
-  switch (kind) {
-    case 1: return "app_msg";
-    case 2: return "batch";
-    case 3: return "merge_cmd";
-    case 4: return "migrate_xfer";
-    case 5: return "migrate_ack";
-    case 6: return "migration_order";
-    case 7: return "replica_txn";
-    case 8: return "replica_snapshot";
-  }
-  return "frame";
-}
-
 void append_event(std::string& out, bool& first, const std::string& body) {
   if (!first) out += ",\n";
   first = false;
@@ -100,25 +86,142 @@ std::string_view to_string(SpanKind kind) {
     case SpanKind::kMigrateIn: return "migrate_in";
     case SpanKind::kMigrateOut: return "migrate_out";
     case SpanKind::kDecision: return "decision";
+    case SpanKind::kCreditStall: return "credit_stall";
+    case SpanKind::kRetransmit: return "retransmit";
+    case SpanKind::kStallQueued: return "stall_queued";
+    case SpanKind::kShed: return "shed";
+    case SpanKind::kBatchFlush: return "batch_flush";
   }
   return "?";
 }
 
+std::string_view frame_kind_name(std::uint32_t kind) {
+  switch (kind) {
+    case 1: return "app_msg";
+    case 2: return "batch";
+    case 3: return "merge_cmd";
+    case 4: return "migrate_xfer";
+    case 5: return "migrate_ack";
+    case 6: return "migration_order";
+    case 7: return "replica_txn";
+    case 8: return "replica_snapshot";
+    case 9: return "reliable";
+    case 10: return "ack";
+  }
+  return "frame";
+}
+
+namespace {
+/// Smallest power of two >= n: the ring is mask-indexed so the record()
+/// hot path pays two ANDs instead of two integer divisions.
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
 TraceRecorder::TraceRecorder(std::size_t capacity)
-    : ring_(capacity == 0 ? 1 : capacity) {}
+    : ring_(round_up_pow2(capacity == 0 ? 1 : capacity)),
+      mask_(ring_.size() - 1) {}
 
 void TraceRecorder::clear() {
   head_ = 0;
   size_ = 0;
-  dropped_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+  slots_used_ = 0;
+  tail_rejected_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
   std::vector<TraceEvent> out;
   out.reserve(size_);
   for (std::size_t i = 0; i < size_; ++i) {
-    out.push_back(ring_[(head_ + i) % ring_.size()]);
+    out.push_back(ring_[(head_ + i) & mask_]);
   }
+  return out;
+}
+
+void TraceRecorder::configure_tail(const TailSamplerConfig& config) {
+  tail_ = config;
+  if (tail_.max_traces == 0) tail_.max_traces = 1;
+  if (tail_.max_spans_per_trace == 0) tail_.max_spans_per_trace = 1;
+  slots_used_ = 0;
+  if (tail_.enabled) {
+    slots_.assign(tail_.max_traces, RetainedTrace{});
+    slot_events_.assign(tail_.max_traces * tail_.max_spans_per_trace,
+                        TraceEvent{});
+  } else {
+    slots_.clear();
+    slots_.shrink_to_fit();
+    slot_events_.clear();
+    slot_events_.shrink_to_fit();
+  }
+}
+
+void TraceRecorder::retain_trace(std::uint64_t trace_id, Duration e2e,
+                                 bool errored) {
+  // Fan-out traces reach a terminal more than once; refresh the existing
+  // slot (keeping the worst e2e) so late spans survive too.
+  std::size_t slot = slots_used_;
+  for (std::size_t i = 0; i < slots_used_; ++i) {
+    if (slots_[i].trace_id == trace_id) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == slots_used_) {
+    if (slots_used_ < tail_.max_traces) {
+      ++slots_used_;
+    } else {
+      // Budget contest: evict the least-slow retained trace iff the
+      // newcomer is strictly slower; the loser counts as rejected.
+      std::size_t min_i = 0;
+      for (std::size_t i = 1; i < slots_.size(); ++i) {
+        if (slots_[i].e2e < slots_[min_i].e2e) min_i = i;
+      }
+      tail_rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (slots_[min_i].e2e >= e2e) return;
+      slot = min_i;
+    }
+    slots_[slot] = RetainedTrace{};
+    slots_[slot].trace_id = trace_id;
+  }
+
+  RetainedTrace& rt = slots_[slot];
+  if (e2e > rt.e2e) rt.e2e = e2e;
+  rt.errored = rt.errored || errored;
+  rt.count = 0;
+  TraceEvent* dst = slot_events_.data() + slot * tail_.max_spans_per_trace;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceEvent& ev = ring_[(head_ + i) & mask_];
+    if (ev.trace_id != trace_id) continue;
+    if (rt.count >= tail_.max_spans_per_trace) break;
+    dst[rt.count++] = ev;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::retained_events() const {
+  std::vector<TraceEvent> out;
+  for (std::size_t s = 0; s < slots_used_; ++s) {
+    const TraceEvent* src = slot_events_.data() + s * tail_.max_spans_per_trace;
+    out.insert(out.end(), src, src + slots_[s].count);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::events_with_retained() const {
+  std::vector<TraceEvent> out = events();
+  // The ring holds the contiguous seq window [next_seq_ - size_, next_seq_);
+  // any retained span below it has been overwritten and must be re-added.
+  const std::uint64_t ring_floor = next_seq_ - size_;
+  for (const TraceEvent& ev : retained_events()) {
+    if (ev.seq < ring_floor) out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
   return out;
 }
 
@@ -227,7 +330,7 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
         append_event(
             out, first,
             std::string("{\"ph\":\"X\",\"name\":\"") +
-                frame_kind_name(send.type) +
+                std::string(frame_kind_name(send.type)) +
                 "\",\"cat\":\"channel\",\"pid\":" + std::to_string(kChannelPid) +
                 ",\"tid\":" + std::to_string(channel_tid(send.hive, send.aux2)) +
                 ",\"ts\":" + std::to_string(send.at) +

@@ -84,8 +84,8 @@ HttpExportServer::HttpExportServer(const MetricsRegistry& registry,
 
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { serve_loop(); });
-  BH_INFO << "http_export: serving /metrics, /status.json and /health.json "
-          << "on 127.0.0.1:" << port_;
+  BH_INFO << "http_export: serving /metrics, /status.json, /health.json "
+          << "and /traces.json on 127.0.0.1:" << port_;
 }
 
 HttpExportServer::~HttpExportServer() { stop(); }
@@ -102,6 +102,12 @@ void HttpExportServer::set_health_source(
   health_source_ = std::move(source);
 }
 
+void HttpExportServer::set_traces_source(
+    std::function<std::string()> source) {
+  std::lock_guard lock(source_mutex_);
+  traces_source_ = std::move(source);
+}
+
 void HttpExportServer::detach() {
   // Order matters: clear the registry pointer first (requests in flight
   // re-check it per route), then drop the callbacks under the source lock
@@ -110,6 +116,7 @@ void HttpExportServer::detach() {
   std::lock_guard lock(source_mutex_);
   status_source_ = nullptr;
   health_source_ = nullptr;
+  traces_source_ = nullptr;
 }
 
 void HttpExportServer::stop() {
@@ -210,14 +217,24 @@ void HttpExportServer::handle_connection(int client_fd) {
     response = source
                    ? http_response(200, "OK", "application/json", source())
                    : unavailable();
+  } else if (path == "/traces.json") {
+    std::function<std::string()> source;
+    {
+      std::lock_guard lock(source_mutex_);
+      source = traces_source_;
+    }
+    response = source
+                   ? http_response(200, "OK", "application/json", source())
+                   : unavailable();
   } else if (path == "/" || path == "/index.html") {
     response = http_response(200, "OK", "text/plain",
                              "beehive exposition endpoints:\n  /metrics\n"
-                             "  /status.json\n  /health.json\n");
+                             "  /status.json\n  /health.json\n"
+                             "  /traces.json\n");
   } else {
     response = http_response(404, "Not Found", "text/plain",
-                             "unknown path; try /metrics, /status.json or "
-                             "/health.json\n");
+                             "unknown path; try /metrics, /status.json, "
+                             "/health.json or /traces.json\n");
   }
   if (send_all(client_fd, response)) {
     served_.fetch_add(1, std::memory_order_relaxed);

@@ -50,6 +50,10 @@ class HttpExportServer {
   /// wrapped in a lambda). Unset = 503 on that path.
   void set_health_source(std::function<std::string()> source);
 
+  /// Sets the /traces.json body producer (e.g. ThreadCluster::traces_json
+  /// wrapped in a lambda). Unset = 503 on that path.
+  void set_traces_source(std::function<std::string()> source);
+
   /// Disconnects the server from the registry and the source callbacks:
   /// every subsequent request answers 503 Service Unavailable. Call before
   /// destroying the cluster that owns the registry when the server object
@@ -72,6 +76,7 @@ class HttpExportServer {
   std::atomic<const MetricsRegistry*> registry_;
   std::function<std::string()> status_source_;
   std::function<std::string()> health_source_;
+  std::function<std::string()> traces_source_;
   mutable std::mutex source_mutex_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -1,0 +1,385 @@
+// Tests for tail-latency attribution (DESIGN.md §11): the tail-based
+// sampler's retention policy (threshold, error override, slowest-win
+// budget), the new transport/hive span kinds (credit stall, retransmit,
+// stall-queue, shed, batch flush), cross-hive trace assembly with
+// critical-path blame, and the determinism property — assembly over a
+// seeded faulted run (drops, duplicates, reorders) is bit-identical
+// across repeats.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cluster/faults.h"
+#include "cluster/sim.h"
+#include "instrument/blame.h"
+#include "instrument/health.h"
+#include "instrument/trace.h"
+#include "tests/test_helpers.h"
+
+namespace beehive {
+namespace {
+
+using testing::CounterApp;
+using testing::Incr;
+using testing::Poison;
+
+// ---------------------------------------------------------------------------
+// Tail sampler unit tests
+// ---------------------------------------------------------------------------
+
+TraceEvent span(TimePoint at, std::uint64_t trace_id,
+                SpanKind kind = SpanKind::kIngress) {
+  return TraceEvent{at, kind, 0, trace_id, 0, kNoBee, 0, 0, 0, 0};
+}
+
+TailSamplerConfig tail_config(Duration threshold, std::size_t max_traces) {
+  TailSamplerConfig cfg;
+  cfg.enabled = true;
+  cfg.latency_threshold = threshold;
+  cfg.max_traces = max_traces;
+  cfg.max_spans_per_trace = 8;
+  return cfg;
+}
+
+TEST(TailSampler, FastHealthyTracesRetainNothing) {
+  TraceRecorder rec(64);
+  rec.configure_tail(tail_config(1000, 4));
+  rec.record(span(0, 7));
+  rec.note_trace_end(7, 999, /*errored=*/false);
+  EXPECT_EQ(rec.tail_retained(), 0u);
+  EXPECT_EQ(rec.tail_rejected(), 0u);
+}
+
+TEST(TailSampler, SlowTraceRetainsItsSpansOnly) {
+  TraceRecorder rec(64);
+  rec.configure_tail(tail_config(1000, 4));
+  rec.record(span(0, 7));
+  rec.record(span(1, 8));  // a different, fast trace
+  rec.record(span(1200, 7, SpanKind::kHandlerEnd));
+  rec.note_trace_end(7, 1200, /*errored=*/false);
+  ASSERT_EQ(rec.tail_retained(), 1u);
+  auto retained = rec.retained_events();
+  ASSERT_EQ(retained.size(), 2u);
+  for (const TraceEvent& e : retained) EXPECT_EQ(e.trace_id, 7u);
+}
+
+TEST(TailSampler, ErroredTraceRetainedBelowThreshold) {
+  TraceRecorder rec(64);
+  rec.configure_tail(tail_config(1000, 4));
+  rec.record(span(0, 3));
+  rec.note_trace_end(3, 0, /*errored=*/true);
+  EXPECT_EQ(rec.tail_retained(), 1u);
+}
+
+TEST(TailSampler, BudgetKeepsTheSlowestAndCountsLosers) {
+  TraceRecorder rec(64);
+  rec.configure_tail(tail_config(10, 2));
+  rec.record(span(0, 1));
+  rec.record(span(0, 2));
+  rec.record(span(0, 3));
+  rec.record(span(0, 4));
+  rec.note_trace_end(1, 100, false);
+  rec.note_trace_end(2, 200, false);
+  ASSERT_EQ(rec.tail_retained(), 2u);
+  EXPECT_EQ(rec.tail_rejected(), 0u);
+
+  // Slower newcomer evicts the least-slow retained trace...
+  rec.note_trace_end(3, 150, false);
+  EXPECT_EQ(rec.tail_retained(), 2u);
+  EXPECT_EQ(rec.tail_rejected(), 1u);
+  std::set<std::uint64_t> ids;
+  for (const TraceEvent& e : rec.retained_events()) ids.insert(e.trace_id);
+  EXPECT_EQ(ids, (std::set<std::uint64_t>{2, 3}));
+
+  // ...a faster one is itself the loser.
+  rec.note_trace_end(4, 50, false);
+  EXPECT_EQ(rec.tail_rejected(), 2u);
+  ids.clear();
+  for (const TraceEvent& e : rec.retained_events()) ids.insert(e.trace_id);
+  EXPECT_EQ(ids, (std::set<std::uint64_t>{2, 3}));
+  EXPECT_EQ(rec.trace_dropped_total(), rec.dropped() + rec.tail_rejected());
+}
+
+TEST(TailSampler, RetainedSpansSurviveRingOverwrite) {
+  TraceRecorder rec(4);  // tiny ring: spans of trace 1 will be overwritten
+  rec.configure_tail(tail_config(10, 2));
+  rec.record(span(0, 1));
+  rec.record(span(5, 1, SpanKind::kHandlerEnd));
+  rec.note_trace_end(1, 100, false);
+  for (std::uint64_t i = 0; i < 8; ++i) rec.record(span(10 + i, 99));
+
+  auto merged = rec.events_with_retained();
+  std::set<std::uint64_t> seqs;
+  std::size_t trace1 = 0;
+  for (const TraceEvent& e : merged) {
+    EXPECT_TRUE(seqs.insert(e.seq).second) << "duplicate seq " << e.seq;
+    if (e.trace_id == 1) ++trace1;
+  }
+  EXPECT_EQ(trace1, 2u) << "overwritten spans must come back from retention";
+  EXPECT_GT(merged.size(), rec.size());
+}
+
+// ---------------------------------------------------------------------------
+// Sim fixtures: cross-hive traffic with tracing + tail sampling armed
+// ---------------------------------------------------------------------------
+
+ClusterConfig traced_config(std::uint32_t credit_window) {
+  ClusterConfig cfg;
+  cfg.n_hives = 2;
+  cfg.hive.metrics_period = 0;
+  cfg.tracing = true;
+  cfg.tail.enabled = true;
+  // Any cross-hive message (>= one 200us wire hop) qualifies; local
+  // instant traffic does not.
+  cfg.tail.latency_threshold = 1;
+  if (credit_window > 0) {
+    cfg.hive.transport.enabled = true;
+    cfg.hive.transport.credit_window = credit_window;
+  }
+  return cfg;
+}
+
+void pin_to_hive_1(SimCluster& sim) {
+  sim.registry().set_placement_hook(
+      [](AppId, const CellSet&, HiveId) -> HiveId { return 1; });
+}
+
+void drive_remote(SimCluster& sim, int n, Duration spacing) {
+  for (int i = 0; i < n; ++i) {
+    sim.hive(0).inject(
+        MessageEnvelope::make(Incr{"k", 1}, 0, kNoBee, 0, sim.now()));
+    sim.run_for(spacing);
+  }
+  sim.run_to_idle();
+}
+
+std::set<SpanKind> kinds_present(const std::vector<TraceEvent>& events) {
+  std::set<SpanKind> kinds;
+  for (const TraceEvent& e : events) kinds.insert(e.kind);
+  return kinds;
+}
+
+TEST(LinkSpans, FaultedCreditedRunEmitsTheNewKinds) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  SimCluster sim(traced_config(/*credit_window=*/1), apps);
+  pin_to_hive_1(sim);
+  LinkFaults lossy;
+  lossy.drop = 0.3;
+  sim.faults().set_default_link(lossy);
+  sim.start();
+  drive_remote(sim, 40, 20 * kMicrosecond);
+
+  auto kinds = kinds_present(sim.trace_events());
+  EXPECT_TRUE(kinds.contains(SpanKind::kBatchFlush));
+  EXPECT_TRUE(kinds.contains(SpanKind::kStallQueued));
+  EXPECT_TRUE(kinds.contains(SpanKind::kCreditStall));
+  EXPECT_TRUE(kinds.contains(SpanKind::kRetransmit))
+      << "30% drop over 40 messages must fire at least one retransmit";
+}
+
+TEST(LinkSpans, CleanRunEmitsNoFaultKinds) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  SimCluster sim(traced_config(/*credit_window=*/0), apps);
+  pin_to_hive_1(sim);
+  sim.start();
+  drive_remote(sim, 10, 50 * kMicrosecond);
+
+  auto kinds = kinds_present(sim.trace_events());
+  EXPECT_FALSE(kinds.contains(SpanKind::kCreditStall));
+  EXPECT_FALSE(kinds.contains(SpanKind::kRetransmit));
+  EXPECT_FALSE(kinds.contains(SpanKind::kShed));
+  EXPECT_TRUE(kinds.contains(SpanKind::kBatchFlush));
+}
+
+// ---------------------------------------------------------------------------
+// Assembly + blame
+// ---------------------------------------------------------------------------
+
+TEST(Assembly, CrossHiveTraceHasBlamedCriticalPath) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  SimCluster sim(traced_config(/*credit_window=*/0), apps);
+  pin_to_hive_1(sim);
+  sim.start();
+  drive_remote(sim, 8, 100 * kMicrosecond);
+
+  auto traces = sim.assembled_traces(20);
+  ASSERT_FALSE(traces.empty());
+  // Slowest first.
+  for (std::size_t i = 1; i < traces.size(); ++i) {
+    EXPECT_GE(traces[i - 1].e2e, traces[i].e2e);
+  }
+  const AssembledTrace& t = traces.front();
+  EXPECT_NE(t.trace_id, 0u);
+  EXPECT_GE(t.hops, 1u) << "pinned traffic must cross the wire";
+  EXPECT_GT(t.e2e, 0);
+  EXPECT_FALSE(t.spans.empty());
+  EXPECT_FALSE(t.critical.empty());
+  EXPECT_FALSE(t.rows.empty());
+  EXPECT_GT(t.blame.total(), 0u);
+  EXPECT_GT(t.blame.wire_us, 0u) << "a cross-hive hop pays wire latency";
+  EXPECT_LE(t.blame.total(), static_cast<std::uint64_t>(t.e2e))
+      << "blame must never exceed the trace's wall time";
+}
+
+TEST(Assembly, FaultedRunBlamesStallOrRetransmit) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  SimCluster sim(traced_config(/*credit_window=*/1), apps);
+  pin_to_hive_1(sim);
+  LinkFaults lossy;
+  lossy.drop = 0.3;
+  sim.faults().set_default_link(lossy);
+  sim.start();
+  drive_remote(sim, 40, 20 * kMicrosecond);
+
+  auto traces = sim.assembled_traces(20);
+  ASSERT_FALSE(traces.empty());
+  const TraceBlame totals = blame_totals(traces);
+  EXPECT_GT(totals.stall_us + totals.retransmit_us, 0u)
+      << "drops + a credit window of 1 must surface stall/retransmit blame";
+}
+
+TEST(Assembly, DeterministicUnderDupAndReorderFaults) {
+  auto run = [] {
+    AppSet apps;
+    apps.emplace<CounterApp>();
+    ClusterConfig cfg = traced_config(/*credit_window=*/2);
+    cfg.seed = 1234;
+    SimCluster sim(cfg, apps);
+    pin_to_hive_1(sim);
+    LinkFaults faults;
+    faults.drop = 0.15;
+    faults.duplicate = 0.2;
+    faults.reorder = 0.2;
+    sim.faults().set_default_link(faults);
+    sim.start();
+    drive_remote(sim, 30, 30 * kMicrosecond);
+
+    std::vector<std::tuple<std::uint64_t, Duration, std::size_t, std::size_t,
+                           std::uint64_t, std::uint64_t, std::uint64_t,
+                           std::uint64_t, std::uint64_t, std::uint64_t>>
+        shape;
+    for (const AssembledTrace& t : sim.assembled_traces(20)) {
+      shape.emplace_back(t.trace_id, t.e2e, t.spans.size(), t.critical.size(),
+                         t.blame.queue_us, t.blame.handler_us,
+                         t.blame.serialize_us, t.blame.wire_us,
+                         t.blame.retransmit_us, t.blame.stall_us);
+    }
+    return shape;
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "assembly over a seeded faulted run must be "
+                     "bit-identical across repeats";
+}
+
+TEST(Assembly, FailedHandlerMarksTheTrace) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  SimCluster sim(traced_config(/*credit_window=*/0), apps);
+  sim.start();
+  // Poison writes, emits, then throws: the hive rolls the handler back and
+  // stamps kHandlerEnd aux2=1 — an errored terminal, retained regardless
+  // of latency.
+  sim.hive(0).inject(
+      MessageEnvelope::make(Poison{"p"}, 0, kNoBee, 0, sim.now()));
+  sim.run_to_idle();
+
+  auto traces = sim.assembled_traces(20);
+  ASSERT_FALSE(traces.empty());
+  EXPECT_TRUE(traces.front().failed)
+      << "a rolled-back handler is an errored terminal: always retained";
+}
+
+TEST(Assembly, SyntheticShedTerminalIsMarked) {
+  // Hand-built trace: ingress, then a mailbox shed carrying the trace id.
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent{0, SpanKind::kIngress, 0, 9, 0, kNoBee, 0, 7,
+                              0, 0, /*seq=*/0});
+  events.push_back(TraceEvent{500, SpanKind::kShed, 0, 9, 0, kNoBee, 0, 7,
+                              0, 0, /*seq=*/1});
+  auto traces = assemble_traces(events, 10);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_TRUE(traces.front().shed);
+  EXPECT_EQ(traces.front().e2e, 500);
+}
+
+TEST(Assembly, DuplicateSpansByHiveSeqAreDeduped) {
+  std::vector<TraceEvent> events;
+  TraceEvent a{0, SpanKind::kIngress, 0, 9, 0, kNoBee, 0, 7, 0, 0, 0};
+  TraceEvent b{10, SpanKind::kHandlerEnd, 0, 9, 0, kNoBee, 0, 7, 0, 0, 1};
+  events.insert(events.end(), {a, b, a, b});  // e.g. ring + retained copy
+  auto traces = assemble_traces(events, 10);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces.front().spans.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Surfacing: /traces.json body, health field, Prometheus family
+// ---------------------------------------------------------------------------
+
+TEST(Surfacing, TracesJsonCarriesBlameAndRows) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  SimCluster sim(traced_config(/*credit_window=*/0), apps);
+  pin_to_hive_1(sim);
+  sim.start();
+  drive_remote(sim, 8, 100 * kMicrosecond);
+
+  const std::string json = sim.traces_json(5);
+  EXPECT_NE(json.find("\"blame_totals\""), std::string::npos);
+  EXPECT_NE(json.find("\"traces\""), std::string::npos);
+  EXPECT_NE(json.find("\"e2e_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical\""), std::string::npos);
+  EXPECT_NE(json.find("\"wire_us\""), std::string::npos);
+}
+
+TEST(Surfacing, TraceDropExposedInHealthAndMetrics) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  ClusterConfig cfg = traced_config(/*credit_window=*/0);
+  cfg.trace_capacity = 8;  // tiny ring: overwrites are guaranteed
+  SimCluster sim(cfg, apps);
+  pin_to_hive_1(sim);
+  sim.start();
+  drive_remote(sim, 50, 20 * kMicrosecond);
+
+  ASSERT_NE(sim.tracer(0), nullptr);
+  EXPECT_GT(sim.tracer(0)->trace_dropped_total(), 0u);
+  HealthReport report = sim.health();
+  ASSERT_FALSE(report.hives.empty());
+  EXPECT_EQ(report.hives[0].trace_dropped,
+            sim.tracer(0)->trace_dropped_total());
+  EXPECT_NE(report.to_json().find("\"trace_dropped\""), std::string::npos);
+
+  ASSERT_NE(sim.metrics(), nullptr);
+  const std::string prom = sim.metrics()->prometheus_text();
+  EXPECT_NE(prom.find("beehive_trace_dropped_total"), std::string::npos);
+}
+
+TEST(Surfacing, BlameSummaryTextNamesEveryBucket) {
+  AppSet apps;
+  apps.emplace<CounterApp>();
+  SimCluster sim(traced_config(/*credit_window=*/0), apps);
+  pin_to_hive_1(sim);
+  sim.start();
+  drive_remote(sim, 4, 100 * kMicrosecond);
+
+  const std::string text = blame_summary_text(sim.assembled_traces(5));
+  for (const char* bucket : {"queue=", "handler=", "serialize=", "wire=",
+                             "retransmit=", "stall="}) {
+    EXPECT_NE(text.find(bucket), std::string::npos) << bucket;
+  }
+}
+
+}  // namespace
+}  // namespace beehive

@@ -1,14 +1,24 @@
 // beectl — an operator console for a running beehive cluster.
 //
 //   beectl top [--host H] [--port P] [--sort cost|pressure|latency|msgs]
-//              [--interval SECONDS] [--once]
+//              [--interval SECONDS] [--once] [--json]
+//   beectl trace [--host H] [--port P] [--limit N]
 //
-// Scrapes the cluster's HTTP exposition endpoint (/status.json for the
-// per-hive / per-bee view, /health.json for scores and pressure) and
+// `top` scrapes the cluster's HTTP exposition endpoint (/status.json for
+// the per-hive / per-bee view, /health.json for scores and pressure) and
 // renders a refreshing `top`-style table: hives ranked by health, bees
 // ranked by the chosen signal. `--once` prints a single frame and exits —
 // non-zero when the cluster answered but had nothing to show, so CI smoke
-// steps can assert on it.
+// steps can assert on it. `--json` (implies --once) emits the raw
+// /health.json and /status.json bodies as one combined JSON object for
+// scripts.
+//
+// `trace` scrapes /traces.json — the tail-sampled slowest traces with
+// critical-path blame (DESIGN.md §11) — and renders each as an ASCII
+// waterfall (critical-path segments marked *) plus a cluster-wide blame
+// summary: which bucket (queue / handler / serialize / wire / retransmit
+// / stall) the p99's wall time actually went to. Exits non-zero when the
+// cluster has no assembled traces yet.
 //
 // Standalone on purpose: plain POSIX sockets and a ~150-line JSON reader,
 // no link against the beehive library, so the binary works against any
@@ -238,6 +248,8 @@ struct Options {
   std::string sort = "cost";  // cost | pressure | latency | msgs
   int interval_s = 2;
   bool once = false;
+  bool json = false;       // top --json: raw combined JSON, single shot
+  std::size_t limit = 5;   // trace --limit: max traces rendered
 };
 
 struct HiveRow {
@@ -438,20 +450,155 @@ std::size_t render_frame(const Options& opt, bool clear_screen) {
   return hives.size() + bees.size();
 }
 
+/// `top --json`: one combined machine-readable snapshot. The endpoint
+/// bodies are already JSON, so they are embedded verbatim — scripts get
+/// exactly what the server said, not this tool's re-interpretation.
+int render_top_json(const Options& opt) {
+  int health_status = 0;
+  int status_status = 0;
+  const std::string health_body =
+      http_get(opt.host, opt.port, "/health.json", health_status);
+  const std::string status_body =
+      http_get(opt.host, opt.port, "/status.json", status_status);
+  std::string out = "{\"health\": ";
+  out += health_status == 200 ? health_body : std::string("null");
+  out += ", \"status\": ";
+  out += status_status == 200 ? status_body : std::string("null");
+  out += "}\n";
+  std::fputs(out.c_str(), stdout);
+  std::fflush(stdout);
+  return (health_status == 200 || status_status == 200) ? 0 : 2;
+}
+
+// ---------------------------------------------------------------------------
+// beectl trace — waterfall + blame rendering of /traces.json
+// ---------------------------------------------------------------------------
+
+constexpr int kWaterfallWidth = 44;
+
+/// One waterfall lane: offset spaces + a duration bar ('#', instants '|')
+/// positioned proportionally inside the trace's [0, e2e] window.
+std::string waterfall_bar(double t_us, double dur_us, double e2e_us) {
+  std::string lane(kWaterfallWidth, ' ');
+  if (e2e_us <= 0) return lane;
+  int off = static_cast<int>(t_us / e2e_us * kWaterfallWidth);
+  off = std::max(0, std::min(off, kWaterfallWidth - 1));
+  if (dur_us <= 0) {
+    lane[static_cast<std::size_t>(off)] = '|';
+    return lane;
+  }
+  int len = static_cast<int>(dur_us / e2e_us * kWaterfallWidth + 0.5);
+  len = std::max(1, std::min(len, kWaterfallWidth - off));
+  for (int i = 0; i < len; ++i) lane[static_cast<std::size_t>(off + i)] = '#';
+  return lane;
+}
+
+const char* const kBlameBuckets[] = {"queue_us",      "handler_us",
+                                     "serialize_us",  "wire_us",
+                                     "retransmit_us", "stall_us"};
+
+void print_blame_line(const char* prefix, const Json& blame, double denom) {
+  std::printf("%s", prefix);
+  for (const char* bucket : kBlameBuckets) {
+    const double us = blame.number(bucket);
+    std::string name(bucket);
+    name.resize(name.size() - 3);  // drop "_us"
+    std::printf(" %s=%.0fus", name.c_str(), us);
+    if (denom > 0 && us > 0) std::printf(" (%.0f%%)", us / denom * 100.0);
+  }
+  std::printf("\n");
+}
+
+int run_trace(const Options& opt) {
+  int status = 0;
+  const std::string body =
+      http_get(opt.host, opt.port, "/traces.json", status);
+  if (status != 200) {
+    std::fprintf(stderr, "beectl trace: GET /traces.json -> %s\n",
+                 status == 0 ? "unreachable"
+                             : std::to_string(status).c_str());
+    return 1;
+  }
+  Json root;
+  if (!JsonParser(body).parse(root)) {
+    std::fprintf(stderr, "beectl trace: malformed /traces.json body\n");
+    return 1;
+  }
+  const Json* traces = root.find("traces");
+  if (traces == nullptr || traces->kind != Json::Kind::kArray ||
+      traces->items.empty()) {
+    std::printf("no assembled traces yet — the tail sampler retains only "
+                "slow, shed or failed traces\n");
+    return 2;
+  }
+
+  std::printf("beectl trace — %s:%u   %zu assembled trace(s), slowest "
+              "first\n",
+              opt.host.c_str(), opt.port, traces->items.size());
+  if (const Json* totals = root.find("blame_totals"); totals != nullptr) {
+    double denom = 0;
+    for (const char* bucket : kBlameBuckets) denom += totals->number(bucket);
+    print_blame_line("cluster blame (slowest traces):", *totals, denom);
+  }
+
+  std::size_t shown = 0;
+  for (const Json& t : traces->items) {
+    if (shown++ == opt.limit) {
+      std::printf("\n... %zu more (raise --limit)\n",
+                  traces->items.size() - opt.limit);
+      break;
+    }
+    const double e2e = t.number("e2e_us");
+    std::printf("\ntrace %.0f  e2e=%.0fus  hops=%.0f  spans=%.0f%s%s\n",
+                t.number("trace_id"), e2e, t.number("hops"),
+                t.number("spans"), t.boolean("shed") ? "  SHED" : "",
+                t.boolean("failed") ? "  FAILED" : "");
+    if (const Json* blame = t.find("blame"); blame != nullptr) {
+      print_blame_line("  blame:", *blame, e2e);
+      const double un = t.number("unattributed_us");
+      if (un > 0) std::printf("  unattributed: %.0fus\n", un);
+    }
+    if (const Json* rows = t.find("rows");
+        rows != nullptr && rows->kind == Json::Kind::kArray) {
+      std::printf("  %8s %8s %-5s %-*s %s\n", "T_US", "DUR_US", "HIVE",
+                  kWaterfallWidth, "WATERFALL", "SEGMENT (* = critical path)");
+      for (const Json& r : rows->items) {
+        const std::string lane =
+            waterfall_bar(r.number("t_us"), r.number("dur_us"), e2e);
+        std::printf("  %8.0f %8.0f %-5.0f %s %c%s %s\n", r.number("t_us"),
+                    r.number("dur_us"), r.number("hive"), lane.c_str(),
+                    r.boolean("critical") ? '*' : ' ',
+                    r.text("kind").c_str(), r.text("label").c_str());
+      }
+    }
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s top [--host H] [--port P] "
                "[--sort cost|pressure|latency|msgs] [--interval SECONDS] "
-               "[--once]\n"
+               "[--once] [--json]\n"
+               "       %s trace [--host H] [--port P] [--limit N]\n"
                "\n"
-               "  --sort pressure ranks bees by their hive's queue-pressure\n"
-               "  score. Hive rows also show the overload-control fields\n"
-               "  (DESIGN.md §10): SHED/S (messages/frames dropped per\n"
-               "  second by shed policies), CREDITS (tightest remaining\n"
-               "  link credit; '-' = uncredited links), and a DEGRADED flag\n"
-               "  when the hive advertises reduced credit. Sourced from\n"
-               "  /health.json with /status.json as fallback.\n",
-               argv0);
+               "  top: --sort pressure ranks bees by their hive's\n"
+               "  queue-pressure score. Hive rows also show the\n"
+               "  overload-control fields (DESIGN.md §10): SHED/S\n"
+               "  (messages/frames dropped per second by shed policies),\n"
+               "  CREDITS (tightest remaining link credit; '-' =\n"
+               "  uncredited links), and a DEGRADED flag when the hive\n"
+               "  advertises reduced credit. Sourced from /health.json\n"
+               "  with /status.json as fallback. --json emits both raw\n"
+               "  bodies as one JSON object and exits.\n"
+               "\n"
+               "  trace: renders /traces.json (DESIGN.md §11) — the\n"
+               "  tail-sampled slowest traces as ASCII waterfalls with\n"
+               "  critical-path blame per bucket (queue, handler,\n"
+               "  serialize, wire, retransmit, stall). Exits 2 when no\n"
+               "  traces are assembled yet.\n",
+               argv0, argv0);
   return 64;
 }
 
@@ -459,8 +606,10 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   Options opt;
+  std::string cmd = "top";
   int i = 1;
-  if (i < argc && std::strcmp(argv[i], "top") == 0) ++i;  // only subcommand
+  if (i < argc && argv[i][0] != '-') cmd = argv[i++];
+  if (cmd != "top" && cmd != "trace") return usage(argv[0]);
   for (; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -487,11 +636,20 @@ int main(int argc, char** argv) {
       opt.interval_s = std::atoi(v);
     } else if (std::strcmp(argv[i], "--once") == 0) {
       opt.once = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json = true;
+      opt.once = true;
+    } else if (std::strcmp(argv[i], "--limit") == 0) {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return usage(argv[0]);
+      opt.limit = static_cast<std::size_t>(std::atoi(v));
     } else {
       return usage(argv[0]);
     }
   }
 
+  if (cmd == "trace") return run_trace(opt);
+  if (opt.json) return render_top_json(opt);
   if (opt.once) {
     return render_frame(opt, /*clear_screen=*/false) == 0 ? 2 : 0;
   }
