@@ -17,6 +17,7 @@
 // cells to a winner and reports the losers so the hives can merge state.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -230,6 +231,18 @@ class RegistryService::Client {
   void invalidate(BeeId bee);
 
   HiveId self() const { return self_; }
+
+  /// Monotonic version of this client's ownership cache; bumped on every
+  /// cache mutation (resolve fill, hive_of fill, invalidation). Lock-free
+  /// so the hive's dispatch memo can validate itself per message without
+  /// taking the client mutex. A concurrent bump right after the load is
+  /// benign: it can only make the reader *discard* a still-usable memo or
+  /// act on a cache state the locked path could equally have served one
+  /// instant earlier (stale-cache forwarding already covers misroutes).
+  std::uint64_t cache_version() const {
+    return cache_version_.load(std::memory_order_acquire);
+  }
+
   std::uint64_t cache_hits() const { return hits_; }
   std::uint64_t cache_misses() const { return misses_; }
   /// Lost attempts that were retried.
@@ -280,7 +293,9 @@ class RegistryService::Client {
     ResolveOutcome out;
   };
   ResolveMemo memo_;
-  std::uint64_t cache_version_ = 0;
+  /// Atomic (not plain) solely for the lock-free cache_version() reader;
+  /// all writes still happen under mutex_.
+  std::atomic<std::uint64_t> cache_version_{0};
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t rpc_retries_ = 0;

@@ -4,6 +4,11 @@
 #include <cassert>
 #include <future>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace beehive {
 
 ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
@@ -43,7 +48,7 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
     hc.faults = &faults_;
     hc.metrics = metrics_.get();
     hc.recorder = recorder_.get();
-    auto node = std::make_unique<Node>();
+    auto node = std::make_unique<Node>(config_.ring_capacity);
     node->hive = std::make_unique<Hive>(id, apps, registry_, *this, hc);
     nodes_.push_back(std::move(node));
   }
@@ -149,26 +154,35 @@ void ThreadCluster::schedule_after(HiveId hive, Duration delay,
                                    std::function<void()> fn) {
   assert(hive < nodes_.size());
   Node& node = *nodes_[hive];
-  bool wake;
-  {
-    std::lock_guard lock(node.mutex);
-    if (delay <= 0) {
-      node.immediate.push_back(std::move(fn));
-    } else {
-      node.timed.push(
-          Task{now() + delay, next_seq_.fetch_add(1), std::move(fn)});
-    }
-    const std::uint64_t depth = node.immediate.size() + node.timed.size();
-    node.q_depth.store(depth, std::memory_order_relaxed);
-    if (depth > node.q_hwm.load(std::memory_order_relaxed)) {
-      node.q_hwm.store(depth, std::memory_order_relaxed);
-    }
-    // Notify only when the loop is actually parked: a running loop re-checks
-    // both lanes before sleeping, so waking it is pure overhead — and on the
-    // hot path the notify syscall dominates the enqueue itself.
-    wake = node.sleeping;
+  Task task;
+  task.at = delay <= 0 ? 0 : now() + delay;
+  task.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  task.fn = std::move(fn);
+  node.queue.push(std::move(task));
+
+  // Pressure accounting: occupancy watermarks sampled at enqueue (the
+  // consumer samples again per drain). Relaxed — monitoring, not ordering.
+  const std::uint64_t depth =
+      node.queue.size() + node.timed_size.load(std::memory_order_relaxed);
+  if (depth > node.q_hwm.load(std::memory_order_relaxed)) {
+    node.q_hwm.store(depth, std::memory_order_relaxed);
   }
-  if (wake) node.cv.notify_one();
+  const std::uint64_t ring = node.queue.ring_size();
+  if (ring > node.ring_hwm.load(std::memory_order_relaxed)) {
+    node.ring_hwm.store(ring, std::memory_order_relaxed);
+  }
+
+  // Wake the loop only when it is actually parked (the empty->non-empty
+  // edge): in steady state `sleeping` is false and the push costs no lock
+  // and no syscall. The seq_cst fence orders our ring publish before the
+  // sleeping read against the loop's park sequence (set sleeping, fence,
+  // re-check ring) — the classic store/load handshake; the loop's bounded
+  // wait backstops the (now impossible) missed-wakeup interleaving.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (node.sleeping.load(std::memory_order_relaxed)) {
+    std::lock_guard lock(node.mutex);
+    node.cv.notify_one();
+  }
 }
 
 void ThreadCluster::send_frame(HiveId from, HiveId to, Bytes frame) {
@@ -217,13 +231,18 @@ QueueStats ThreadCluster::queue_stats(HiveId hive) {
   if (hive >= nodes_.size()) return {};
   Node& node = *nodes_[hive];
   QueueStats qs;
-  qs.depth = node.q_depth.load(std::memory_order_relaxed);
+  qs.depth =
+      node.queue.size() + node.timed_size.load(std::memory_order_relaxed);
   // Window-watermark semantics: swap the current depth in as the new
   // baseline. A concurrent enqueue's bump can race the reset and be lost
   // across the window boundary — acceptable for a watermark gauge.
   qs.hwm = std::max(node.q_hwm.exchange(qs.depth, std::memory_order_relaxed),
                     qs.depth);
   qs.drained = node.q_drained.load(std::memory_order_relaxed);
+  const std::uint64_t ring = node.queue.ring_size();
+  qs.ring_hwm =
+      std::max(node.ring_hwm.exchange(ring, std::memory_order_relaxed), ring);
+  qs.overflowed = node.queue.overflowed();
   return qs;
 }
 
@@ -306,54 +325,116 @@ TraceBlame ThreadCluster::blame_scrape(std::uint64_t* n_traces) {
   return blame_totals_;
 }
 
+void ThreadCluster::pin_loop_thread(std::size_t hive_index) {
+#if defined(__linux__)
+  const unsigned ncores = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned core =
+      (static_cast<unsigned>(config_.hive.pin_cpu) + hive_index) % ncores;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  // Best-effort: a failure (cgroup cpuset restrictions, exotic kernels)
+  // leaves the thread unpinned, which is only a performance concern.
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)hive_index;
+#endif
+}
+
 void ThreadCluster::loop(Node& node) {
-  // Reusable batch buffer: lives on the loop thread only, keeps its
-  // capacity across iterations.
+  if (config_.hive.pin_cpu >= 0) pin_loop_thread(node.hive->id());
+  // Reusable buffers: live on the loop thread only, keep their capacity
+  // across iterations — the steady-state drain allocates nothing.
+  std::vector<Task> batch;
   std::vector<std::function<void()>> run;
-  std::unique_lock lock(node.mutex);
   while (running_.load()) {
-    // Gather everything runnable under a single lock hold: due timed tasks
-    // first (they were scheduled for an earlier instant), then the whole
-    // immediate lane, swapped out wholesale.
+    // `busy` goes up BEFORE the drain: from here until the drained batch
+    // has executed, in-flight work is visible either in the queue or in
+    // this flag — wait_idle() checks both, so it can't slip through the
+    // gap between a drain and the batch's execution.
+    node.busy.store(true, std::memory_order_seq_cst);
+    batch.clear();
+    node.queue.drain(batch);
     const TimePoint current = now();
+
+    // Ring-occupancy watermark, sampled pre-drain occupancy via batch size
+    // (the producers also sample at enqueue; this catches bursts drained
+    // before any scrape).
+    const auto drained_now = static_cast<std::uint64_t>(batch.size());
+    if (drained_now > node.ring_hwm.load(std::memory_order_relaxed)) {
+      node.ring_hwm.store(drained_now, std::memory_order_relaxed);
+    }
+
+    // Delayed tasks ride the ring stamped with a due time; file them into
+    // the loop-local heap (no lock — only this thread touches it).
+    for (Task& t : batch) {
+      if (t.at != 0) node.timed.push(std::move(t));
+    }
+    // Due timed tasks run first (they were scheduled for an earlier
+    // instant), ordered by (due time, sequence) ...
     while (!node.timed.empty() && node.timed.top().at <= current) {
       run.push_back(std::move(const_cast<Task&>(node.timed.top()).fn));
       node.timed.pop();
     }
-    if (!node.immediate.empty()) {
-      if (run.empty()) {
-        run.swap(node.immediate);
-      } else {
-        for (auto& fn : node.immediate) run.push_back(std::move(fn));
-        node.immediate.clear();
-      }
+    // ... then this turn's immediate tasks, in arrival (ring) order.
+    for (Task& t : batch) {
+      if (t.at == 0) run.push_back(std::move(t.fn));
     }
+    node.timed_size.store(node.timed.size(), std::memory_order_relaxed);
+
     if (!run.empty()) {
       node.q_drained.fetch_add(run.size(), std::memory_order_relaxed);
-      node.q_depth.store(node.immediate.size() + node.timed.size(),
-                         std::memory_order_relaxed);
-    }
-    if (run.empty()) {
-      node.sleeping = true;
-      if (node.timed.empty()) {
-        node.cv.wait_for(lock, std::chrono::milliseconds(50));
-      } else {
-        node.cv.wait_for(
-            lock, std::chrono::microseconds(node.timed.top().at - current));
+      for (auto& fn : run) fn();
+      run.clear();
+      node.busy.store(false, std::memory_order_seq_cst);
+      // Idle edge: executing the batch may have re-fed our own queue
+      // (egress flushes, deferred emissions), so check after the store.
+      if (node.queue.empty() && node.timed.empty()) {
+        std::lock_guard lock(node.mutex);
+        node.idle_cv.notify_all();
       }
-      node.sleeping = false;
       continue;
     }
-    node.busy = true;
-    lock.unlock();
-    for (auto& fn : run) fn();
-    run.clear();
-    lock.lock();
-    node.busy = false;
-    if (node.immediate.empty() && node.timed.empty()) {
-      node.idle_cv.notify_all();
+
+    node.busy.store(false, std::memory_order_seq_cst);
+    // Nothing runnable: park until the next due time or a producer's wake.
+    std::unique_lock lock(node.mutex);
+    node.sleeping.store(true, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Dekker re-check against a push that raced the park: the producer
+    // published to the ring before reading `sleeping`; we set `sleeping`
+    // before re-reading the ring. One of the two must see the other.
+    if (!node.queue.empty()) {
+      node.sleeping.store(false, std::memory_order_seq_cst);
+      continue;
     }
+    if (node.timed.empty()) {
+      node.idle_cv.notify_all();  // truly empty: release wait_idle callers
+      node.cv.wait_for(lock, std::chrono::milliseconds(50));
+    } else {
+      Duration until_due = node.timed.top().at - now();
+      if (until_due < 0) until_due = 0;
+      node.cv.wait_for(lock,
+                       std::min(std::chrono::microseconds(until_due),
+                                std::chrono::microseconds(50000)));
+    }
+    node.sleeping.store(false, std::memory_order_seq_cst);
   }
+}
+
+bool ThreadCluster::node_idle(Node& node) {
+  // Order matters. (1) queue empty — synchronizes with the consumer's
+  // drain, so if emptiness came from a drain, the pre-drain busy=true is
+  // visible at (2). (2) not busy — its release store follows every push
+  // the executing batch made, so (3) re-reading the queue sees any re-fed
+  // work. A bare queue-then-busy read (or busy-then-queue) admits an
+  // interleaving where a drained-but-still-executing batch, or its
+  // self-pushed follow-up work, goes unseen — the early-return bug this
+  // replaces.
+  if (!node.queue.empty()) return false;
+  if (node.busy.load(std::memory_order_seq_cst)) return false;
+  if (!node.queue.empty()) return false;
+  return node.timed_size.load(std::memory_order_relaxed) == 0;
 }
 
 void ThreadCluster::wait_idle() {
@@ -363,15 +444,13 @@ void ThreadCluster::wait_idle() {
   while (running_.load()) {
     for (auto& node : nodes_) {
       std::unique_lock lock(node->mutex);
-      node->idle_cv.wait(lock, [&] {
-        return !running_.load() || (node->immediate.empty() &&
-                                    node->timed.empty() && !node->busy);
+      node->idle_cv.wait_for(lock, std::chrono::milliseconds(50), [&] {
+        return !running_.load() || node_idle(*node);
       });
     }
     bool idle = true;
     for (auto& node : nodes_) {
-      std::lock_guard lock(node->mutex);
-      if (!node->immediate.empty() || !node->timed.empty() || node->busy) {
+      if (!node_idle(*node)) {
         idle = false;
         break;
       }

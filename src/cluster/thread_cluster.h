@@ -1,9 +1,17 @@
-// Threaded in-process cluster runtime.
+// Threaded in-process cluster runtime (shared-nothing datapath,
+// DESIGN.md §12).
 //
-// Each hive runs its own event-loop thread with a two-lane run queue — an
-// immediate lane (delay==0 work: frame deliveries, posts, egress flushes)
-// drained wholesale by a vector swap, and a timed lane (a priority queue)
-// for delayed tasks — so the hive's bees keep the one-handler-at-a-time
+// Each hive runs its own event-loop thread fed by a lock-free MPSC ring
+// (cluster/runqueue.h): producers CAS a tail slot and publish with a
+// release store; the loop drains a whole batch per turn without taking a
+// mutex. Delayed tasks ride the same ring stamped with a due time and land
+// in a heap owned by the loop thread — no cross-thread lock guards either
+// lane. The loop parks on a condition variable only on the empty queue
+// edge; producers skip the notify entirely while the loop is running (a
+// relaxed `sleeping` flag, Dekker-fenced against the park). A full ring
+// spills to a mutex-guarded overflow lane that preserves per-producer FIFO
+// (the backpressure handoff; overflowed pushes are counted into
+// queue_stats as a pressure signal). Bees keep the one-handler-at-a-time
 // discipline while different hives execute genuinely concurrently. Frames
 // between hives are in-memory posts, metered on the same ChannelMeter as
 // the simulator. This runtime backs the runnable examples and the
@@ -23,6 +31,7 @@
 #include "cluster/channel.h"
 #include "cluster/faults.h"
 #include "cluster/registry.h"
+#include "cluster/runqueue.h"
 #include "cluster/runtime_env.h"
 #include "core/hive.h"
 #include "instrument/blame.h"
@@ -37,6 +46,10 @@ struct ThreadClusterConfig {
   Duration bw_bucket = kSecond;
   HiveId registry_hive = 0;
   std::uint64_t seed = 42;
+  /// Per-hive run-queue ring capacity (rounded up to a power of two).
+  /// Pushes beyond it take the mutex-guarded overflow lane — correct but
+  /// no longer lock-free, and counted as a pressure signal.
+  std::size_t ring_capacity = 1024;
   /// Record span events for the Chrome trace exporter (per-hive
   /// recorders; each hive's spans are written only from its loop thread).
   bool tracing = false;
@@ -79,6 +92,9 @@ class ThreadCluster final : public RuntimeEnv {
   void send_frame(HiveId from, HiveId to, Bytes frame) override;
   Xoshiro256& rng() override { return rng_; }
   QueueStats queue_stats(HiveId hive) override;
+  std::uint64_t run_depth(HiveId hive) override {
+    return hive < nodes_.size() ? nodes_[hive]->queue.size() : 0;
+  }
 
   // -- Access ---------------------------------------------------------------
 
@@ -137,8 +153,8 @@ class ThreadCluster final : public RuntimeEnv {
 
  private:
   struct Task {
-    TimePoint at;
-    std::uint64_t seq;
+    TimePoint at = 0;  ///< 0 = immediate; otherwise absolute due time
+    std::uint64_t seq = 0;
     std::function<void()> fn;
     bool operator>(const Task& other) const {
       if (at != other.at) return at > other.at;
@@ -147,29 +163,47 @@ class ThreadCluster final : public RuntimeEnv {
   };
 
   struct Node {
+    explicit Node(std::size_t ring_capacity) : queue(ring_capacity) {}
+
     std::unique_ptr<Hive> hive;
     std::thread thread;
+    /// The lock-free run queue: every cross-thread submission (immediate
+    /// and delayed alike) lands here; the loop drains a full batch per
+    /// turn. Delayed tasks are re-queued into `timed` by the loop.
+    RunQueue<Task> queue;
+    /// Timed lane: owned by the loop thread exclusively — no lock. Sized
+    /// separately in `timed_size` (atomic) so wait_idle can observe it.
+    std::priority_queue<Task, std::vector<Task>, std::greater<>> timed;
+    std::atomic<std::uint64_t> timed_size{0};
+    /// Parking. The mutex guards only the sleep/wake edge and idle
+    /// signalling — never the hot enqueue/drain path.
     std::mutex mutex;
     std::condition_variable cv;       ///< wakes the loop (work arrived, stop)
     std::condition_variable idle_cv;  ///< signals quiescence to wait_idle()
-    /// Immediate lane: delay==0 tasks — frame deliveries, posts, egress
-    /// flushes; the dispatch hot path. Drained FIFO by swapping the whole
-    /// vector out under one lock hold, so a burst of N deliveries costs one
-    /// lock round-trip instead of N.
-    std::vector<std::function<void()>> immediate;
-    /// Timed lane: delayed tasks ordered by (due time, sequence).
-    std::priority_queue<Task, std::vector<Task>, std::greater<>> timed;
-    bool busy = false;      ///< loop is executing a batch outside the lock
-    bool sleeping = false;  ///< loop is parked in cv.wait; senders notify
-    /// Run-queue pressure accounting (QueueStats). Written under `mutex`
-    /// (enqueue/drain sites already hold it); atomics so the hive can read
-    /// its own stats at report time without taking the loop lock.
-    std::atomic<std::uint64_t> q_depth{0};
+    /// True while the loop is parked in cv.wait — producers notify only
+    /// then (the empty->non-empty edge). seq_cst against the park's
+    /// re-check of the ring (Dekker pattern); a bounded wait backstops the
+    /// benign race that remains.
+    std::atomic<bool> sleeping{false};
+    /// True from just before the loop drains until the drained batch has
+    /// fully executed. Set *before* the drain so there is no instant where
+    /// in-flight work is visible neither in the queue nor here — this is
+    /// what keeps wait_idle() from returning early between a drain and the
+    /// batch's execution.
+    std::atomic<bool> busy{false};
+    /// Run-queue pressure accounting (QueueStats): ring+overflow occupancy
+    /// high-watermark (sampled at enqueue and drain), lifetime drained
+    /// count, and ring-occupancy HWM for the `ringq` column.
     std::atomic<std::uint64_t> q_hwm{0};
     std::atomic<std::uint64_t> q_drained{0};
+    std::atomic<std::uint64_t> ring_hwm{0};
   };
 
   void loop(Node& node);
+  void pin_loop_thread(std::size_t hive_index);
+  /// The race-free idle predicate shared by wait_idle and the loop's idle
+  /// signalling (ordering contract documented at the definition).
+  static bool node_idle(Node& node);
 
   /// Gathers every recorder's ring + tail-retained spans, thread-safely
   /// (see assembled_traces).

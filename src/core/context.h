@@ -33,6 +33,19 @@ class AppContext {
         now_(now),
         in_reply_to_(in_reply_to) {}
 
+  /// Borrowed-policy variant for the dispatch hot path: the hive owns the
+  /// policy and it outlives the context (the handler runs synchronously
+  /// inside the dispatch frame), so no AccessPolicy is copied or moved.
+  AppContext(StateStore& store, const AccessPolicy* policy, AppId app,
+             BeeId bee, HiveId hive, TimePoint now, MsgTypeId in_reply_to,
+             Txn::Scratch* txn_scratch = nullptr)
+      : txn_(store, policy, txn_scratch),
+        app_(app),
+        bee_(bee),
+        hive_(hive),
+        now_(now),
+        in_reply_to_(in_reply_to) {}
+
   /// Transactional access to the bee's cells.
   Txn& state() { return txn_; }
 

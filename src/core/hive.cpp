@@ -135,6 +135,10 @@ void Hive::register_metrics() {
       &reg->gauge("beehive_runq_hwm", labels,
                   "High-watermark of run-queue depth over the last metrics "
                   "window (resets each report)");
+  published_.ringq_hwm = &reg->gauge(
+      "beehive_ringq_hwm", labels,
+      "High-watermark of lock-free run-queue ring occupancy over the last "
+      "metrics window (DESIGN.md §12; zero without a ring runtime)");
   published_.drained_window =
       &reg->ring("beehive_runq_drained_window", labels);
   published_.egress_hwm = &reg->gauge(
@@ -175,10 +179,55 @@ void Hive::start() {
 }
 
 void Hive::inject(MessageEnvelope env) {
-  ++counters_.injected;
+  counters_.injected.bump();  // single-writer: only the loop thread injects
   ensure_trace(env);
   trace_span(SpanKind::kIngress, env, kNoBee);
   route(env);
+}
+
+void Hive::inject_batch(std::span<MessageEnvelope> batch) {
+  if (batch.empty()) return;
+  counters_.injected.bump(batch.size());
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    // Batched activation: open a memoized run when the head of the batch
+    // hits the dispatch memo, then feed consecutive messages through the
+    // cached route under one bind. Epoch revalidation stays per message
+    // (two counter compares — a handler can merge or migrate mid-batch)
+    // and Map runs per message as the correctness guard; everything else
+    // the memo amortizes is paid once per run.
+    if (memo_.valid && !memo_in_use_ && memo_.type == batch[i].type() &&
+        bees_epoch_ == memo_.bees_epoch &&
+        registry_client_.cache_version() == memo_.registry_version) {
+      std::uint64_t n = 0;
+      memo_in_use_ = true;
+      while (i < batch.size() && memo_.valid &&
+             batch[i].type() == memo_.type &&
+             bees_epoch_ == memo_.bees_epoch &&
+             registry_client_.cache_version() == memo_.registry_version) {
+        MessageEnvelope& env = batch[i];
+        CellSet cells = memo_.binding->map(env);
+        if (!(cells == memo_.cells)) break;
+        ensure_trace(env);
+        trace_span(SpanKind::kIngress, env, kNoBee);
+        trace_span(SpanKind::kRegistryResolve, env, memo_.bee->id(), id_);
+        deliver_local(*memo_.bee, env, memo_.transfers_expected, &memo_.cells,
+                      &memo_.bound);
+        ++i;
+        ++n;
+      }
+      memo_in_use_ = false;
+      counters_.routed_local.bump(n);
+      if (n > 0) continue;
+    }
+    // This message missed the memo (or invalidated it): full route, one
+    // message, then try to re-open a run on the next one.
+    MessageEnvelope& env = batch[i];
+    ensure_trace(env);
+    trace_span(SpanKind::kIngress, env, kNoBee);
+    route(env);
+    ++i;
+  }
 }
 
 void Hive::ensure_trace(MessageEnvelope& env) {
@@ -205,6 +254,7 @@ bool Hive::e2e_eligible(const MessageEnvelope& env) {
 // ---------------------------------------------------------------------------
 
 void Hive::route(const MessageEnvelope& env) {
+  if (memo_.valid && memo_.type == env.type() && route_memoized(env)) return;
   apps_.for_each_subscriber(
       env.type(), [&](App& app, const HandlerBinding& binding) {
         if (binding.kind == HandlerBinding::Kind::kForeachLocal) {
@@ -213,6 +263,46 @@ void Hive::route(const MessageEnvelope& env) {
           dispatch_mapped(app, binding, env);
         }
       });
+}
+
+bool Hive::route_memoized(const MessageEnvelope& env) {
+  if (bees_epoch_ != memo_.bees_epoch ||
+      registry_client_.cache_version() != memo_.registry_version) {
+    memo_.valid = false;  // a merge/migration/invalidation happened: rebuild
+    return false;
+  }
+  // Map still runs per message (its result depends on the payload); only
+  // when it reproduces the memoized cells is the cached route usable.
+  CellSet cells = memo_.binding->map(env);
+  if (!(cells == memo_.cells)) return false;
+  trace_span(SpanKind::kRegistryResolve, env, memo_.bee->id(), id_);
+  counters_.routed_local.bump();
+  const bool outer = !memo_in_use_;
+  memo_in_use_ = true;
+  deliver_local(*memo_.bee, env, memo_.transfers_expected, &memo_.cells,
+                &memo_.bound);
+  if (outer) memo_in_use_ = false;
+  return true;
+}
+
+void Hive::maybe_install_memo(App& app, const HandlerBinding& binding,
+                              CellSet cells, const ResolveOutcome& out) {
+  (void)app;
+  if (memo_in_use_) return;  // a live handler borrows the current memo
+  if (binding.kind != HandlerBinding::Kind::kMapped) return;
+  if (apps_.subscriber_count(binding.msg_type) != 1) return;
+  Bee* bee = find_bee(out.bee);
+  if (bee == nullptr) return;
+  memo_.valid = true;
+  memo_.type = binding.msg_type;
+  memo_.binding = &binding;
+  memo_.cells = std::move(cells);
+  memo_.registry_version = registry_client_.cache_version();
+  memo_.bees_epoch = bees_epoch_;
+  memo_.bee = bee;
+  memo_.transfers_expected = out.transfers_expected;
+  memo_.bound.handle = &binding.handle;
+  memo_.bound.policy = AccessPolicy::cells_view(memo_.cells);
 }
 
 void Hive::dispatch_mapped(App& app, const HandlerBinding& binding,
@@ -243,6 +333,9 @@ void Hive::dispatch_mapped(App& app, const HandlerBinding& binding,
   // `cells` is borrowed down the synchronous delivery chain so the local
   // path binds the handler's access policy without a second Map run.
   deliver(out.bee, app.id(), out.hive, env, out.transfers_expected, &cells);
+  if (out.hive == id_ && out.losers.empty() && !out.created) {
+    maybe_install_memo(app, binding, std::move(cells), out);
+  }
 }
 
 void Hive::dispatch_foreach_local(AppId app, const std::string& dict,
@@ -299,11 +392,36 @@ void Hive::deliver(BeeId bee, AppId app, HiveId hive,
   }
 }
 
+void Hive::shed_at_admission(Bee& bee, const MessageEnvelope& env) {
+  ++counters_.shed_total;
+  trace_span(SpanKind::kShed, env, bee.id());
+  if (tracing() && env.trace_id() != 0) {
+    Duration e2e = env_.now() - env.trace_root_at();
+    if (e2e < 0) e2e = 0;
+    config_.tracer->note_trace_end(env.trace_id(), e2e, /*errored=*/true);
+  }
+}
+
 void Hive::deliver_local(Bee& bee, const MessageEnvelope& env,
-                         std::uint64_t min_transfers, const CellSet* mapped) {
+                         std::uint64_t min_transfers, const CellSet* mapped,
+                         const Bound* pre) {
   bee.note_required_transfers(min_transfers);
   bee.note_receive(env.from_bee(), env.from_hive(), env.wire_size(),
                    /*count_provenance=*/!env.is<TimerTick>(), env.type());
+  // Run-queue occupancy gate (DESIGN.md §12): with a ring_limit armed,
+  // shed non-priority traffic at admission while the hive's run queue sits
+  // at/above the limit — the loop is visibly saturated, and queueing more
+  // work behind the backlog only lengthens every latency tail. Apps with
+  // no overload config pay one load and a never-taken branch; control
+  // traffic is never shed.
+  if (const OverloadConfig* oc = bee.overload(); oc != nullptr)
+      [[unlikely]] {
+    if (oc->bounded && oc->ring_limit != 0 && !is_priority_type(env.type()) &&
+        env_.run_depth(id_) >= oc->ring_limit) {
+      shed_at_admission(bee, env);
+      return;
+    }
+  }
   // Hold when the transfer fence is up — and also behind an existing
   // holdback, so per-bee arrival order is preserved. The borrowed Map
   // result cannot outlive this call, so held messages recompute it when
@@ -342,17 +460,25 @@ void Hive::deliver_local(Bee& bee, const MessageEnvelope& env,
     bee.hold(env);
     return;
   }
-  process(bee, env, mapped);
+  process(bee, env, mapped, pre);
 }
 
 void Hive::process(Bee& bee, const MessageEnvelope& env,
-                   const CellSet* mapped) {
-  App* app = apps_.find(bee.app());
-  assert(app != nullptr && "bee refers to unknown app");
-  auto bound = bind(*app, env, mapped);
-  if (!bound) return;
+                   const CellSet* mapped, const Bound* pre) {
+  // `pre` is the dispatch memo's already-bound handler+policy; without it,
+  // bind here (the bound policy lives on this frame, so the transaction
+  // borrows it either way — no AccessPolicy copies on any path).
+  std::optional<Bound> bound_storage;
+  const Bound* bound = pre;
+  if (bound == nullptr) {
+    App* app = apps_.find(bee.app());
+    assert(app != nullptr && "bee refers to unknown app");
+    bound_storage = bind(*app, env, mapped);
+    if (!bound_storage) return;
+    bound = &*bound_storage;
+  }
 
-  ++counters_.handler_runs;
+  counters_.handler_runs.bump();
   bee.window().handler_invocations += 1;
   bee.total().handler_invocations += 1;
 
@@ -376,7 +502,7 @@ void Hive::process(Bee& bee, const MessageEnvelope& env,
       if (flag != nullptr) *flag = false;
     }
   } busy_reset{scratch != nullptr ? &txn_scratch_busy_ : nullptr};
-  AppContext ctx(bee.store(), std::move(bound->policy), app->id(), bee.id(),
+  AppContext ctx(bee.store(), &bound->policy, bee.app(), bee.id(),
                  id_, started, env.type(), scratch);
   TraceLogScope log_scope(env.trace_id(), env.causal_depth());
   // Cost sampling: every activation pays the tick (one increment + mask
@@ -396,7 +522,7 @@ void Hive::process(Bee& bee, const MessageEnvelope& env,
     if (sampled) {
       const std::uint64_t dns = thread_cpu_now_ns() - cpu0;
       bee.note_cost(dns);
-      profiler_.attribute(ctx.state().policy(), app->id(), dns);
+      profiler_.attribute(ctx.state().policy(), bee.app(), dns);
     }
     const Duration ran_failed = env_.now() - started;
     bee.note_latency(queued, ran_failed);
@@ -409,12 +535,17 @@ void Hive::process(Bee& bee, const MessageEnvelope& env,
       if (e2e < 0) e2e = 0;
       config_.tracer->note_trace_end(env.trace_id(), e2e, /*errored=*/true);
     }
+    // Failure path only: resolve the app name for diagnostics (the hot
+    // path above no longer needs the App object at all).
+    const App* app = apps_.find(bee.app());
+    const std::string app_name =
+        app != nullptr ? app->name() : std::to_string(bee.app());
     if (config_.recorder != nullptr) {
-      config_.recorder->note(id_, "handler failure app=" + app->name() +
+      config_.recorder->note(id_, "handler failure app=" + app_name +
                                       " bee=" + to_string_bee(bee.id()) +
                                       ": " + e.what());
     }
-    BH_WARN << "handler failure in app " << app->name() << " on hive " << id_
+    BH_WARN << "handler failure in app " << app_name << " on hive " << id_
             << ": " << e.what();
     return;
   }
@@ -422,23 +553,33 @@ void Hive::process(Bee& bee, const MessageEnvelope& env,
   if (sampled) {
     const std::uint64_t dns = thread_cpu_now_ns() - cpu0;
     bee.note_cost(dns);
-    profiler_.attribute(ctx.state().policy(), app->id(), dns);
+    profiler_.attribute(ctx.state().policy(), bee.app(), dns);
   }
   bee.note_txn_ops(ctx.state().writes().size());
 
   const TimePoint ended = env_.now();
-  const Duration ran = ended - started;
-  bee.note_latency(queued, ran);
-  queue_total_.record(queued);
-  handler_total_.record(ran);
+  Duration ran = ended - started;
+  if (ran < 0) ran = 0;
+  // One bucket computation per value, fanned out to every histogram that
+  // records it (bee window/total + hive total).
+  const auto qv = static_cast<std::uint64_t>(queued);
+  const auto rv = static_cast<std::uint64_t>(ran);
+  const std::uint32_t qidx = LatencyHistogram::index(qv);
+  const std::uint32_t ridx = LatencyHistogram::index(rv);
+  bee.note_latency_at(qidx, qv, ridx, rv);
+  queue_total_.record_at(qidx, qv);
+  handler_total_.record_at(ridx, rv);
   trace_span(SpanKind::kHandlerEnd, env, bee.id(), ctx.emitted().size());
 
   // A handler that emits nothing terminates its causal chain: the gap from
   // the trace root's ingress to here is one end-to-end latency sample.
   if (ctx.emitted().empty() && e2e_eligible(env)) {
-    const Duration e2e = ended - env.trace_root_at();
-    e2e_window_.record(e2e);
-    e2e_total_.record(e2e);
+    Duration e2e = ended - env.trace_root_at();
+    if (e2e < 0) e2e = 0;
+    const auto ev = static_cast<std::uint64_t>(e2e);
+    const std::uint32_t eidx = LatencyHistogram::index(ev);
+    e2e_window_.record_at(eidx, ev);
+    e2e_total_.record_at(eidx, ev);
     // Tail-sampling decision point: slow traces get their spans copied
     // aside before the ring can overwrite them.
     if (tracing()) {
@@ -539,6 +680,7 @@ Bee& Hive::ensure_local_bee(BeeId id, AppId app) {
   auto it = bees_.find(id);
   if (it == bees_.end()) {
     it = bees_.emplace(id, std::make_unique<Bee>(id, app)).first;
+    ++bees_epoch_;
     // Point the bee at its app's mailbox bound (immutable deployment
     // config on the shared AppSet) so the hold path needs no app lookup.
     if (const App* a = apps_.find(app)) {
@@ -880,6 +1022,8 @@ void Hive::report_metrics() {
                     static_cast<double>(backlog + drained_window + 1);
   report.runq_depth = qs.depth;
   report.runq_hwm = qs.hwm;
+  report.ringq_hwm = qs.ring_hwm;
+  report.ring_overflowed = qs.overflowed;
   report.drained_window = drained_window;
   report.egress_hwm = egress_hwm_window_;
   egress_hwm_window_ = egress_pending_;
@@ -921,6 +1065,7 @@ void Hive::report_metrics() {
                                std::memory_order_relaxed);
   health_.queue_depth.store(queue_depth, std::memory_order_relaxed);
   health_.runq_depth.store(qs.depth, std::memory_order_relaxed);
+  health_.ringq_hwm.store(qs.ring_hwm, std::memory_order_relaxed);
   health_.cost_us.store(report.cost_us, std::memory_order_relaxed);
   health_.shed_total.store(report.shed_total, std::memory_order_relaxed);
   health_.stalled_frames.store(report.stalled_frames,
@@ -980,6 +1125,7 @@ HiveHealth Hive::health() const {
   h.handler_p99_us = health_.handler_p99_us.load(std::memory_order_relaxed);
   h.queue_depth = health_.queue_depth.load(std::memory_order_relaxed);
   h.runq_depth = health_.runq_depth.load(std::memory_order_relaxed);
+  h.ringq_hwm = health_.ringq_hwm.load(std::memory_order_relaxed);
   h.handler_failures = counters_.handler_failures;
   h.cost_us_window = health_.cost_us.load(std::memory_order_relaxed);
   h.shed_total = health_.shed_total.load(std::memory_order_relaxed);
@@ -1018,6 +1164,7 @@ void Hive::publish_window(const LocalMetricsReport& report,
   published_.pressure->set(report.pressure);
   published_.runq_depth->set(static_cast<double>(report.runq_depth));
   published_.runq_hwm->set(static_cast<double>(report.runq_hwm));
+  published_.ringq_hwm->set(static_cast<double>(report.ringq_hwm));
   published_.drained_window->push(
       report.at, static_cast<double>(report.drained_window));
   published_.egress_hwm->set(static_cast<double>(report.egress_hwm));

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -89,6 +90,12 @@ struct HiveConfig {
   /// recovers once the score climbs 5 points above the mark (hysteresis).
   /// 0 disables degradation. Evaluated once per metrics period.
   double degrade_below_score = 0.0;
+  /// Core pinning for the hive's loop thread (threaded runtime only).
+  /// < 0 leaves placement to the OS scheduler. >= 0 pins hive i's loop to
+  /// core (pin_cpu + i) mod hardware_concurrency, so loops stop migrating
+  /// across cores under load (shared-nothing datapath, DESIGN.md §12).
+  /// Honored on Linux via pthread_setaffinity_np; a no-op elsewhere.
+  int pin_cpu = -1;
 };
 
 class Hive {
@@ -109,6 +116,17 @@ class Hive {
   /// Entry point for messages arriving over IO channels (drivers, tests,
   /// benches). Routed exactly like paper §3's "Life of a Message".
   void inject(MessageEnvelope env);
+
+  /// Batched ingress (shared-nothing datapath, DESIGN.md §12): routes every
+  /// envelope exactly as inject() would, in order, but hands runs of
+  /// consecutive messages that hit the dispatch memo to the bee as one
+  /// activation — the memo's epoch validation, handler bind, AccessPolicy
+  /// setup and ingress counter updates are paid once per run instead of
+  /// once per message. Map still runs per message (its result depends on
+  /// the payload) and every message keeps its own transaction, so handler
+  /// atomicity, FIFO order and determinism are unchanged. The envelopes
+  /// are borrowed, not copied — callers may reuse the batch.
+  void inject_batch(std::span<MessageEnvelope> batch);
 
   /// Entry point for frames from other hives.
   void on_wire(std::string_view frame);
@@ -228,17 +246,6 @@ class Hive {
                        const MessageEnvelope& env);
   void dispatch_foreach_local(AppId app, const std::string& dict,
                               const MessageEnvelope& env);
-  void deliver(BeeId bee, AppId app, HiveId hive, const MessageEnvelope& env,
-               std::uint64_t min_transfers, const CellSet* mapped = nullptr);
-  void deliver_local(Bee& bee, const MessageEnvelope& env,
-                     std::uint64_t min_transfers = 0,
-                     const CellSet* mapped = nullptr);
-
-  /// Runs the bound handler for one message on a local bee, inside a
-  /// transaction; flushes emissions and migration orders on commit.
-  void process(Bee& bee, const MessageEnvelope& env,
-               const CellSet* mapped = nullptr);
-
   /// Finds the handler binding for a message on this app (resolving timer
   /// ticks to their timer binding). Returns {handler, policy}. When
   /// `mapped` is non-null the policy borrows it instead of re-running Map.
@@ -246,8 +253,46 @@ class Hive {
     const HandlerFn* handle = nullptr;
     AccessPolicy policy;
   };
+
+  void deliver(BeeId bee, AppId app, HiveId hive, const MessageEnvelope& env,
+               std::uint64_t min_transfers, const CellSet* mapped = nullptr);
+  void deliver_local(Bee& bee, const MessageEnvelope& env,
+                     std::uint64_t min_transfers = 0,
+                     const CellSet* mapped = nullptr,
+                     const Bound* pre = nullptr);
+  // Cold tail of the §12 admission gate: count the shed, record the
+  // terminal span, close the trace. Out of line so deliver_local's fast
+  // path stays small.
+  void shed_at_admission(Bee& bee, const MessageEnvelope& env);
+
+  /// Runs the bound handler for one message on a local bee, inside a
+  /// transaction; flushes emissions and migration orders on commit. `pre`
+  /// is an already-bound handler+policy (the dispatch memo's); when null
+  /// the handler is bound here.
+  void process(Bee& bee, const MessageEnvelope& env,
+               const CellSet* mapped = nullptr, const Bound* pre = nullptr);
+
   std::optional<Bound> bind(App& app, const MessageEnvelope& env,
                             const CellSet* mapped = nullptr) const;
+
+  // -- Dispatch memo (the shared-nothing fast path, DESIGN.md §12) ---------
+  // Steady-state dispatch repeats one route: same message type, same Map
+  // result, same live bee, unchanged registry cache. The memo caches the
+  // entire route→resolve→bind outcome of the last such delivery; a repeat
+  // revalidates with two counter compares plus one Map run and CellSet
+  // compare, then jumps straight to deliver_local with the memoized
+  // handler and a policy borrowing the memoized cells. Every bee-table
+  // mutation bumps `bees_epoch_` and every registry-cache mutation bumps
+  // the client's cache_version, so merges, migrations and invalidations
+  // can never serve a stale route.
+
+  /// Attempts the memoized route; returns false (and may invalidate the
+  /// memo) when the slow path must run.
+  bool route_memoized(const MessageEnvelope& env);
+  /// Installs the memo after a successful local delivery, when the type
+  /// has exactly one mapped subscriber and the resolve was clean.
+  void maybe_install_memo(App& app, const HandlerBinding& binding,
+                          CellSet cells, const ResolveOutcome& out);
 
   Bee& ensure_local_bee(BeeId id, AppId app);
 
@@ -345,6 +390,24 @@ class Hive {
   RuntimeEnv& env_;
   HiveConfig config_;
   std::unordered_map<BeeId, std::unique_ptr<Bee>> bees_;
+  /// Bumped on every bees_ insert/erase; memoized Bee* are valid only
+  /// while it is unchanged.
+  std::uint64_t bees_epoch_ = 0;
+  struct DispatchMemo {
+    bool valid = false;
+    MsgTypeId type = 0;
+    const HandlerBinding* binding = nullptr;
+    CellSet cells;  ///< the Map result the memo was built on
+    std::uint64_t registry_version = 0;
+    std::uint64_t bees_epoch = 0;
+    Bee* bee = nullptr;
+    std::uint64_t transfers_expected = 0;
+    Bound bound;  ///< bound.policy borrows `cells`
+  };
+  DispatchMemo memo_;
+  /// True while a handler runs under the memo's borrowed policy; blocks
+  /// reentrant slow-path dispatches from overwriting the memo under it.
+  bool memo_in_use_ = false;
   struct Replica {
     AppId app = 0;
     StateStore store;
@@ -400,6 +463,7 @@ class Hive {
     std::atomic<std::uint64_t> handler_p99_us{0};
     std::atomic<std::uint64_t> queue_depth{0};
     std::atomic<std::uint64_t> runq_depth{0};
+    std::atomic<std::uint64_t> ringq_hwm{0};
     std::atomic<std::uint64_t> cost_us{0};
     // Overload-control signals (DESIGN.md §10).
     std::atomic<std::uint64_t> shed_total{0};
@@ -445,6 +509,7 @@ class Hive {
     Gauge* pressure = nullptr;
     Gauge* runq_depth = nullptr;
     Gauge* runq_hwm = nullptr;
+    Gauge* ringq_hwm = nullptr;
     TimeSeriesRing* drained_window = nullptr;
     Gauge* egress_hwm = nullptr;
     TimeSeriesRing* cost_window = nullptr;

@@ -34,7 +34,15 @@ class LatencyHistogram {
 
   void record(Duration v) {
     const std::uint64_t value = v < 0 ? 0 : static_cast<std::uint64_t>(v);
-    buckets_[index(value)] += 1;
+    record_at(index(value), value);
+  }
+
+  /// record() with the bucket index precomputed by the caller. The dispatch
+  /// hot path records one latency value into several histograms (bee window,
+  /// bee total, hive total); computing index() once and fanning out the
+  /// increments keeps the per-message cost at one bucket computation.
+  void record_at(std::uint32_t idx, std::uint64_t value) {
+    buckets_[idx] += 1;
     count_ += 1;
     sum_ += value;
     if (value > max_) max_ = value;

@@ -47,6 +47,16 @@ class Counter {
   void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
   std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
 
+  /// Single-writer increment: plain load + store instead of an atomic RMW.
+  /// Valid only when exactly one thread ever writes this counter (each
+  /// hive's Counters are written solely by its loop thread); concurrent
+  /// readers still see untorn, monotonic values. Saves the locked-op cost
+  /// on the per-message dispatch path.
+  void bump(std::uint64_t n = 1) {
+    v_.store(v_.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+  }
+
   Counter& operator++() {
     inc();
     return *this;

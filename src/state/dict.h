@@ -25,22 +25,55 @@ class Dict {
   const std::string& name() const { return name_; }
 
   void put(std::string_view key, Bytes value) {
-    entries_[std::string(key)] = std::move(value);
+    // Transparent find first: the overwhelmingly common case on the
+    // dispatch hot path is overwriting an existing key, which must not
+    // construct a temporary std::string for the lookup.
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second = std::move(value);
+      return;
+    }
+    entries_.emplace(std::string(key), std::move(value));
+  }
+
+  /// put() that also hands back the key's prior value — one tree traversal
+  /// where the transactional write path (undo capture + store) used to pay
+  /// two lookups plus a value copy.
+  std::optional<Bytes> put_and_fetch_prior(std::string_view key,
+                                           Bytes value) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      std::optional<Bytes> prior(std::move(it->second));
+      it->second = std::move(value);
+      return prior;
+    }
+    entries_.emplace(std::string(key), std::move(value));
+    return std::nullopt;
   }
 
   std::optional<Bytes> get(std::string_view key) const {
-    auto it = entries_.find(std::string(key));
+    auto it = entries_.find(key);
     if (it == entries_.end()) return std::nullopt;
     return it->second;
   }
 
+  /// Borrowed lookup; nullptr when absent. Valid until the entry is
+  /// overwritten or erased.
+  const Bytes* get_ptr(std::string_view key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
   bool contains(std::string_view key) const {
-    return entries_.contains(std::string(key));
+    return entries_.find(key) != entries_.end();
   }
 
   /// Removes the key; returns whether it existed.
   bool erase(std::string_view key) {
-    return entries_.erase(std::string(key)) > 0;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    entries_.erase(it);
+    return true;
   }
 
   template <WireEncodable T>

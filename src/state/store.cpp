@@ -15,6 +15,11 @@ const Dict* StateStore::find_dict(std::string_view name) const {
   return it == dicts_.end() ? nullptr : &it->second;
 }
 
+Dict* StateStore::find_dict(std::string_view name) {
+  auto it = dicts_.find(name);
+  return it == dicts_.end() ? nullptr : &it->second;
+}
+
 void StateStore::merge_from(StateStore&& other) {
   for (auto& [name, src] : other.dicts_) {
     Dict& dst = dict(name);

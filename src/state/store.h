@@ -23,6 +23,7 @@ class StateStore {
 
   /// Read-only lookup; nullptr when the dictionary was never touched.
   const Dict* find_dict(std::string_view name) const;
+  Dict* find_dict(std::string_view name);
 
   /// Moves every entry of `other` into this store (bee merge: when two
   /// previously independent cell sets turn out to intersect, the losing

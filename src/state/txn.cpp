@@ -31,68 +31,123 @@ Txn::~Txn() {
 }
 
 void Txn::check_access(std::string_view dict, std::string_view key) const {
-  if (!policy_.can_access(dict, key)) {
+  if (!policy_->can_access(dict, key)) {
     throw StateAccessError("handler accessed cell " + std::string(dict) +
                            "/" + std::string(key) +
                            " outside its mapped cells " +
-                           policy_.effective().to_string());
+                           policy_->effective().to_string());
   }
+}
+
+Dict& Txn::resolve_dict(std::string_view dict) const {
+  if (cached_dict_ != nullptr && cached_dict_->name() == dict) {
+    return *cached_dict_;
+  }
+  cached_dict_ = &store_.dict(dict);
+  return *cached_dict_;
+}
+
+Dict* Txn::resolve_dict_ro(std::string_view dict) const {
+  if (cached_dict_ != nullptr && cached_dict_->name() == dict) {
+    return cached_dict_;
+  }
+  Dict* d = store_.find_dict(dict);
+  if (d != nullptr) cached_dict_ = d;
+  return d;
 }
 
 std::optional<Bytes> Txn::get(std::string_view dict,
                               std::string_view key) const {
   check_access(dict, key);
-  const Dict* d = store_.find_dict(dict);
+  const Dict* d = resolve_dict_ro(dict);
   if (d == nullptr) return std::nullopt;
   return d->get(key);
 }
 
+const Bytes* Txn::get_raw(std::string_view dict, std::string_view key) const {
+  check_access(dict, key);
+  const Dict* d = resolve_dict_ro(dict);
+  return d == nullptr ? nullptr : d->get_ptr(key);
+}
+
 bool Txn::contains(std::string_view dict, std::string_view key) const {
   check_access(dict, key);
-  const Dict* d = store_.find_dict(dict);
+  const Dict* d = resolve_dict_ro(dict);
   return d != nullptr && d->contains(key);
 }
 
+// Pool-slot append: entries past the live mark are retired but keep their
+// string capacity, so re-recording a write in steady state is a handful of
+// assigns into retained buffers (no allocation; see Scratch).
+void Txn::append_undo(std::string_view dict, std::string_view key,
+                      std::optional<Bytes> prior) {
+  auto& undo = scratch_->undo;
+  if (scratch_->undo_live < undo.size()) {
+    UndoEntry& u = undo[scratch_->undo_live];
+    u.dict.assign(dict);
+    u.key.assign(key);
+    u.prior = std::move(prior);
+  } else {
+    undo.push_back({std::string(dict), std::string(key), std::move(prior)});
+  }
+  ++scratch_->undo_live;
+}
+
+void Txn::append_redo(std::string_view dict, std::string_view key,
+                      bool erased, const Bytes& value) {
+  auto& redo = scratch_->redo;
+  if (scratch_->redo_live < redo.size()) {
+    WriteRecord& r = redo[scratch_->redo_live];
+    r.dict.assign(dict);
+    r.key.assign(key);
+    r.erased = erased;
+    r.value = value;
+  } else {
+    redo.push_back({std::string(dict), std::string(key), erased, value});
+  }
+  ++scratch_->redo_live;
+}
+
 void Txn::record_undo(std::string_view dict, std::string_view key) {
-  const Dict* d = store_.find_dict(dict);
+  const Dict* d = resolve_dict_ro(dict);
   std::optional<Bytes> prior;
   if (d != nullptr) prior = d->get(key);
-  scratch_->undo.push_back(
-      {std::string(dict), std::string(key), std::move(prior)});
+  append_undo(dict, key, std::move(prior));
 }
 
 void Txn::put(std::string_view dict, std::string_view key, Bytes value) {
   check_access(dict, key);
-  record_undo(dict, key);
-  scratch_->redo.push_back(
-      {std::string(dict), std::string(key), /*erased=*/false, value});
-  store_.dict(dict).put(key, std::move(value));
+  Dict& d = resolve_dict(dict);
+  // Redo keeps a copy for replication; the store takes the original. The
+  // prior value rides back out of the same tree traversal that stores the
+  // new one (undo capture used to cost a second lookup plus a copy).
+  append_redo(dict, key, /*erased=*/false, value);
+  append_undo(dict, key, d.put_and_fetch_prior(key, std::move(value)));
 }
 
 bool Txn::erase(std::string_view dict, std::string_view key) {
   check_access(dict, key);
-  Dict* d = store_.find_dict(dict) ? &store_.dict(dict) : nullptr;
+  Dict* d = resolve_dict_ro(dict);
   if (d == nullptr || !d->contains(key)) return false;
   record_undo(dict, key);
-  scratch_->redo.push_back(
-      {std::string(dict), std::string(key), /*erased=*/true, {}});
+  append_redo(dict, key, /*erased=*/true, {});
   return d->erase(key);
 }
 
 void Txn::for_each(
     std::string_view dict,
     const std::function<void(const std::string&, const Bytes&)>& fn) const {
-  if (!policy_.can_scan(dict)) {
+  if (!policy_->can_scan(dict)) {
     throw StateAccessError("handler scanned dictionary " + std::string(dict) +
                            " without whole-dict access " +
-                           policy_.effective().to_string());
+                           policy_->effective().to_string());
   }
   const Dict* d = store_.find_dict(dict);
   if (d != nullptr) d->for_each(fn);
 }
 
 std::size_t Txn::dict_size(std::string_view dict) const {
-  if (!policy_.can_scan(dict)) {
+  if (!policy_->can_scan(dict)) {
     throw StateAccessError("dict_size on " + std::string(dict) +
                            " requires whole-dict access");
   }
@@ -102,23 +157,26 @@ std::size_t Txn::dict_size(std::string_view dict) const {
 
 void Txn::commit() {
   committed_ = true;
-  scratch_->undo.clear();
-  // The redo log is kept: the platform reads it for replication.
+  // Retire (don't destroy) the undo entries; the redo log stays live —
+  // the platform reads it for replication through writes().
+  scratch_->undo_live = 0;
 }
 
 void Txn::rollback() {
   // Reverse order so overlapping writes to the same key restore correctly.
+  // Only the first undo_live entries belong to this transaction.
   auto& undo = scratch_->undo;
-  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
-    Dict& d = store_.dict(it->dict);
-    if (it->prior.has_value()) {
-      d.put(it->key, std::move(*it->prior));
+  for (std::size_t i = scratch_->undo_live; i > 0; --i) {
+    UndoEntry& u = undo[i - 1];
+    Dict& d = store_.dict(u.dict);
+    if (u.prior.has_value()) {
+      d.put(u.key, std::move(*u.prior));
     } else {
-      d.erase(it->key);
+      d.erase(u.key);
     }
   }
-  undo.clear();
-  scratch_->redo.clear();
+  scratch_->undo_live = 0;
+  scratch_->redo_live = 0;
   rolled_back_ = true;
 }
 

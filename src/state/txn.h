@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -98,9 +99,17 @@ class Txn {
   /// and threads it through every transaction pays the log's vector
   /// allocations once, at warmup — afterwards each transaction reuses the
   /// retained capacity (the hive hot path's zero-allocation contract).
+  ///
+  /// The vectors are entry *pools*: only the first `undo_live` / `redo_live`
+  /// elements belong to the current transaction. Retired entries keep their
+  /// string/byte capacity, so the steady state re-records a write as a few
+  /// assigns (memcpy into retained buffers) instead of constructing and
+  /// destroying four strings per message.
   struct Scratch {
     std::vector<UndoEntry> undo;
     std::vector<WriteRecord> redo;
+    std::size_t undo_live = 0;
+    std::size_t redo_live = 0;
   };
 
   /// `scratch` is optional external log storage; when null the transaction
@@ -109,10 +118,24 @@ class Txn {
   /// log stays readable through writes() until the next Txn reuses it.
   Txn(StateStore& store, AccessPolicy policy, Scratch* scratch = nullptr)
       : store_(store),
-        policy_(std::move(policy)),
+        owned_policy_(std::move(policy)),
+        policy_(&owned_policy_),
         scratch_(scratch != nullptr ? scratch : &owned_) {
-    scratch_->undo.clear();
-    scratch_->redo.clear();
+    scratch_->undo_live = 0;
+    scratch_->redo_live = 0;
+  }
+
+  /// Borrowed-policy variant for the dispatch hot path: the hive owns the
+  /// policy (it outlives the transaction — the handler runs synchronously
+  /// inside the dispatch frame that built it), so the transaction pays no
+  /// AccessPolicy copy/move at all.
+  Txn(StateStore& store, const AccessPolicy* policy,
+      Scratch* scratch = nullptr)
+      : store_(store),
+        policy_(policy),
+        scratch_(scratch != nullptr ? scratch : &owned_) {
+    scratch_->undo_live = 0;
+    scratch_->redo_live = 0;
   }
   ~Txn();
 
@@ -122,14 +145,18 @@ class Txn {
   // -- Key-level access (requires the cell or whole-dict permission) ------
 
   std::optional<Bytes> get(std::string_view dict, std::string_view key) const;
+  /// Borrowed read: a pointer into the store, valid until the next write
+  /// touching the key. The typed accessors decode through it so the hot
+  /// path pays no value copy.
+  const Bytes* get_raw(std::string_view dict, std::string_view key) const;
   bool contains(std::string_view dict, std::string_view key) const;
   void put(std::string_view dict, std::string_view key, Bytes value);
   bool erase(std::string_view dict, std::string_view key);
 
   template <WireEncodable T>
   std::optional<T> get_as(std::string_view dict, std::string_view key) const {
-    auto raw = get(dict, key);
-    if (!raw) return std::nullopt;
+    const Bytes* raw = get_raw(dict, key);
+    if (raw == nullptr) return std::nullopt;
     return decode_from_bytes<T>(*raw);
   }
 
@@ -158,23 +185,39 @@ class Txn {
   void rollback();
 
   bool committed() const { return committed_; }
-  std::size_t write_count() const { return scratch_->redo.size(); }
+  std::size_t write_count() const { return scratch_->redo_live; }
 
   /// The access policy this transaction runs under (the cost profiler
   /// attributes sampled handler runs to its cells).
-  const AccessPolicy& policy() const { return policy_; }
+  const AccessPolicy& policy() const { return *policy_; }
 
-  /// The redo log; meaningful after commit() (empty after rollback).
-  const std::vector<WriteRecord>& writes() const { return scratch_->redo; }
+  /// The redo log; meaningful after commit() (empty after rollback). A
+  /// view into the scratch's entry pool — valid until the next Txn reuses
+  /// the scratch.
+  std::span<const WriteRecord> writes() const {
+    return {scratch_->redo.data(), scratch_->redo_live};
+  }
 
  private:
   void check_access(std::string_view dict, std::string_view key) const;
   void record_undo(std::string_view dict, std::string_view key);
+  void append_undo(std::string_view dict, std::string_view key,
+                   std::optional<Bytes> prior);
+  void append_redo(std::string_view dict, std::string_view key, bool erased,
+                   const Bytes& value);
+  /// Named-dictionary lookup with a one-entry memo: a handler touches one
+  /// dictionary almost always, so repeat accesses skip the store's map.
+  /// The `_ro` variant never creates the dictionary (read paths must not
+  /// grow the store).
+  Dict& resolve_dict(std::string_view dict) const;
+  Dict* resolve_dict_ro(std::string_view dict) const;
 
   StateStore& store_;
-  AccessPolicy policy_;
+  AccessPolicy owned_policy_;  ///< backing storage for the owning ctor
+  const AccessPolicy* policy_;
   Scratch owned_;     ///< used only when no external scratch was given
   Scratch* scratch_;  ///< &owned_ or the caller's reusable storage
+  mutable Dict* cached_dict_ = nullptr;
   bool committed_ = false;
   bool rolled_back_ = false;
 };
