@@ -15,10 +15,29 @@
 // message's mapped cells span several existing bees (the collocation
 // obligation of paper §2), the registry atomically reassigns all involved
 // cells to a winner and reports the losers so the hives can merge state.
+//
+// -- Control-plane scale (DESIGN.md §13) ------------------------------------
+// The service is internally partitioned into N independent shards by
+// cell-key hash. Each shard owns its own mutex, ownership tables, bee
+// records (a bee is "homed" in the shard of the cells it was created for),
+// cacher lists and lease state, so resolves against disjoint key ranges
+// never contend. The public API is unchanged: a thin router computes the
+// set of shards an operation touches and locks exactly those, in ascending
+// index order; when the decision turns out to involve bees homed elsewhere
+// (a cross-shard merge), the router releases everything and retries with
+// the expanded set — the classic lock-coupling restart, which single-shard
+// steady-state traffic never pays. Each shard also grants leases
+// (term + expiry): clients may serve cached assignments of a shard while
+// they hold an unexpired lease on it, even through registry suspicion
+// windows; a term bump (failover) forces per-shard revalidation without
+// touching the other shards' caches.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -65,14 +84,42 @@ struct ResolveOutcome {
     HiveId hive;
   };
   std::vector<Loser> losers;
+  /// Primary registry shard of the resolved cell set (kAllShards when the
+  /// set spans shards). Stamped by the service so clients and the hive
+  /// dispatch memo can validate per shard instead of globally.
+  std::uint32_t shard = 0;
+  /// Lease of the primary shard at decision time (term 0 when the set
+  /// spans shards — the client pulls a full snapshot instead).
+  std::uint64_t lease_term = 0;
+  TimePoint lease_expiry = 0;
+};
+
+/// One shard's contention/throughput counters, for /metrics and beectl.
+struct RegistryShardStats {
+  std::uint64_t ops = 0;            ///< locked operations through the shard
+  std::uint64_t lock_waits = 0;     ///< acquisitions that contended
+  std::uint64_t lock_wait_ns = 0;   ///< total time spent waiting for the lock
+  std::uint64_t invalidations = 0;  ///< cache-invalidation events issued
+  std::uint64_t resolves = 0;       ///< resolve decisions anchored here
+  std::uint64_t lease_term = 0;     ///< current lease term
+  TimePoint lease_expiry = 0;       ///< latest granted lease expiry
 };
 
 class RegistryService {
  public:
+  /// Default shard count; 8 keeps single-lock behavior measurable in
+  /// benches (pass 1) while removing the global-mutex hotspot by default.
+  static constexpr std::size_t kDefaultShards = 8;
+  /// Shard sets are tracked as a 64-bit mask; counts are clamped to this.
+  static constexpr std::size_t kMaxShards = 64;
+  /// Sentinel "spans more than one shard" value for primary-shard fields.
+  static constexpr std::uint32_t kAllShards = 0xffffffffu;
+
   /// `meter` may be null (tests); `registry_hive` is where the service
   /// logically runs — RPCs from other hives are billed to the channel.
   RegistryService(std::size_t n_hives, ChannelMeter* meter,
-                  HiveId registry_hive = 0);
+                  HiveId registry_hive = 0,
+                  std::size_t n_shards = kDefaultShards);
 
   /// Benches override initial placement (the paper's "artificially assign
   /// the cells of all switches to the bees on the first hive"). Returning
@@ -143,6 +190,47 @@ class RegistryService {
   std::size_t live_bee_count() const;
   std::size_t cells_on_hive(HiveId hive) const;
 
+  // -- Sharding introspection ----------------------------------------------
+
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Shard owning one cell's table entry. Whole-dict cells hash to the
+  /// dictionary's canonical shard (the one that also holds global owners).
+  std::uint32_t shard_of_cell(AppId app, const CellKey& cell) const;
+  /// Primary shard of a cell set: the common shard when all cells agree,
+  /// kAllShards otherwise. Lock-free (pure hashing).
+  std::uint32_t shard_of(AppId app, const CellSet& cells) const;
+  RegistryShardStats shard_stats(std::size_t shard) const;
+
+  // -- Leases ----------------------------------------------------------------
+  // Each shard grants (term, expiry) leases on successful RPCs. Clients
+  // serve cached assignments of a shard while its lease is fresh; once it
+  // expires they revalidate (one RPC), and inside the grace window they may
+  // keep serving stale data when the master is unreachable — the Chubby
+  // "jeopardy" behavior that keeps assignments valid across suspicion
+  // windows. Defaults are deliberately long so leases are inert unless a
+  // deployment opts into shorter terms.
+
+  static constexpr Duration kDefaultLeaseDuration = 3600 * kSecond;
+
+  void set_lease(Duration duration, Duration grace);
+  Duration lease_duration() const;
+  Duration lease_grace() const;
+
+  struct LeaseGrant {
+    std::uint32_t shard = 0;
+    std::uint64_t term = 0;
+    TimePoint expires_at = 0;
+  };
+  /// Current leases of every shard in `shard_mask` (bit i = shard i),
+  /// extending each to now + lease_duration. The client calls this after a
+  /// multi-shard resolve; billing rode on the resolve RPC itself.
+  std::vector<LeaseGrant> lease_snapshot(std::uint64_t shard_mask,
+                                         TimePoint now);
+  /// Failover hook (tests, chaos): bumps the shard's lease term so every
+  /// client must revalidate that shard — and only that shard — on its next
+  /// fill. Returns the new term.
+  std::uint64_t expire_shard_lease(std::size_t shard);
+
   // -- Fault injection (lossy RPC channel) ---------------------------------
 
   /// Installed by the cluster runtime: decides whether one RPC attempt
@@ -172,32 +260,134 @@ class RegistryService {
  private:
   struct AppTables {
     std::unordered_map<CellKey, BeeId, CellKeyHash> owner;
-    // dict name -> bee owning (dict, "*"), if any.
+    // dict name -> bee owning (dict, "*"), if any (canonical shard only).
     std::unordered_map<std::string, BeeId> global_owner;
-    // dict name -> bees owning at least one cell of the dict.
+    // dict name -> bees owning at least one cell of the dict in this shard.
     std::unordered_map<std::string, std::unordered_set<BeeId>> dict_bees;
   };
 
-  BeeId allocate_bee_id(HiveId hive);
-  BeeId live_successor_locked(BeeId bee) const;
-  void assign_cells_locked(AppTables& tables, BeeRecord& bee,
-                           const CellSet& cells);
-  void bill_rpc_locked(HiveId requester, std::size_t request_bytes,
-                       TimePoint now);
-  void invalidate_cachers_locked(BeeId bee, TimePoint now);
+  /// One independent partition of the lock service. Records homed here
+  /// never move to another shard, so a (bee -> shard) lookup needs no
+  /// revalidation after its lock is dropped.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<AppId, AppTables> apps;
+    std::unordered_map<BeeId, BeeRecord> bees;  ///< records homed here
+    // Which client hives have each homed bee cached (invalidation fan-out).
+    std::unordered_map<BeeId, std::unordered_set<HiveId>> cachers;
+    // Lease state; written under mutex, atomics so scrapes never block.
+    std::atomic<std::uint64_t> lease_term{1};
+    std::atomic<TimePoint> lease_expiry{0};
+    // Contention stats (atomics: read lock-free by shard_stats()).
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<std::uint64_t> lock_waits{0};
+    std::atomic<std::uint64_t> lock_wait_ns{0};
+    std::atomic<std::uint64_t> invalidations{0};
+    std::atomic<std::uint64_t> resolves{0};
+  };
 
-  mutable std::mutex mutex_;
+  /// RAII multi-shard lock: acquires every shard in `mask` in ascending
+  /// index order (the global lock order that makes expand-and-retry safe).
+  class MaskGuard {
+   public:
+    MaskGuard(const RegistryService& svc, std::uint64_t mask);
+    ~MaskGuard();
+    MaskGuard(const MaskGuard&) = delete;
+    MaskGuard& operator=(const MaskGuard&) = delete;
+
+   private:
+    const RegistryService& svc_;
+    std::uint64_t mask_;
+  };
+
+  static constexpr std::uint64_t bit(std::uint32_t shard) {
+    return std::uint64_t{1} << shard;
+  }
+  std::uint64_t all_mask() const {
+    return shards_.size() >= 64 ? ~std::uint64_t{0}
+                                : (std::uint64_t{1} << shards_.size()) - 1;
+  }
+
+  std::uint32_t dict_shard(AppId app, const std::string& dict) const;
+  std::size_t filter_slot(AppId app, const std::string& dict) const;
+  /// Shards an operation on `cells` must lock before discovery: each key
+  /// cell's shard, the dictionary's canonical shard when a whole-dict
+  /// owner may exist (dict_filter_), and every shard for whole-dict
+  /// requests (absorption scans all partitions).
+  std::uint64_t request_mask(AppId app, const CellSet& cells) const;
+  /// Just the dict_filter_-dependent bits of request_mask: the only bits
+  /// that can appear between the pre-lock mask computation and the
+  /// post-lock re-check (key→shard bits are pure hashes and never move).
+  std::uint64_t filter_mask(AppId app, const CellSet& cells) const;
+
+  void lock_shard(std::uint32_t shard) const;
+  /// Home shard of `bee` (kAllShards when unknown). Lock-free w.r.t. the
+  /// shard mutexes; the stripe mutex guards only one map lookup.
+  std::uint32_t home_of(BeeId bee) const;
+
+  /// Live record of `id` (following forwarding), visible only through
+  /// shards locked in `mask`. When the walk needs a shard outside the
+  /// mask, returns nullptr and ORs that shard into *miss_mask so the
+  /// caller can expand and retry.
+  BeeRecord* find_live_in_mask(BeeId id, std::uint64_t mask,
+                               std::uint64_t* miss_mask,
+                               std::uint32_t* shard_out = nullptr);
+
+  BeeId allocate_bee_id(HiveId hive);
+  void assign_cells_locked(AppId app, BeeRecord& bee, const CellSet& cells);
+  void bill_rpc(HiveId requester, std::size_t request_bytes, TimePoint now);
+  /// `home` must be the (locked) shard `rec` is homed in.
+  void invalidate_cachers_locked(Shard& home, const BeeRecord& rec,
+                                 TimePoint now);
+  /// Extends the lease of every shard in `mask`; fills the outcome's
+  /// primary-lease fields from `primary` when it is a single shard.
+  void grant_leases_locked(std::uint64_t mask, std::uint32_t primary,
+                           TimePoint now, ResolveOutcome* out);
+  /// Record lookup + callback under the bee's home shard lock; returns
+  /// false for unknown ids. The workhorse of all single-bee operations.
+  bool with_bee(BeeId bee, const std::function<void(Shard&, BeeRecord&)>& fn);
+  bool with_bee(BeeId bee,
+                const std::function<void(const Shard&, const BeeRecord&)>& fn)
+      const;
+
   std::size_t n_hives_;
   ChannelMeter* meter_;
   HiveId registry_hive_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // bee -> home shard. Striped: tiny critical sections, never held while
+  // taking a shard mutex (home assignments are immutable once written).
+  static constexpr std::size_t kHomeStripes = 16;
+  struct HomeStripe {
+    mutable std::mutex mutex;
+    std::unordered_map<BeeId, std::uint32_t> home;
+  };
+  mutable std::array<HomeStripe, kHomeStripes> home_;
+
+  /// Lock-free "might dict D have a whole-dict owner?" filter (counting,
+  /// never decremented). Slot 0 proves no owner exists, so single-key
+  /// resolves skip the canonical dict shard; false positives only cost an
+  /// extra shard lock. Incremented BEFORE the owning insert commits is not
+  /// needed: assign happens under the canonical shard's lock and readers
+  /// re-check the filter after locking (see resolve_or_create).
+  std::array<std::atomic<std::uint32_t>, 512> dict_filter_{};
+
+  /// Per-hive bee-id counters (lock-free allocation).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> bee_counters_;
+
+  mutable std::mutex misc_mutex_;  ///< hooks, clients
   PlacementHook placement_hook_;
+  /// Lets the resolve hot path skip the misc_mutex_ hook copy entirely
+  /// when no hook was ever installed (the overwhelmingly common case).
+  std::atomic<bool> has_placement_hook_{false};
   RpcFaultHook rpc_fault_hook_;
-  std::unordered_map<AppId, AppTables> apps_;
-  std::unordered_map<BeeId, BeeRecord> bees_;
-  std::unordered_map<HiveId, std::uint32_t> bee_counters_;
-  // Which client hives have each bee cached (for invalidation billing).
-  std::unordered_map<BeeId, std::unordered_set<HiveId>> cachers_;
   std::vector<Client*> clients_;
+  /// Atomic so every resolve can read the lease config without touching
+  /// a global mutex (set_lease is rare; torn pairs are impossible since
+  /// each field is individually atomic and readers tolerate either
+  /// ordering of a duration/grace update).
+  std::atomic<Duration> lease_duration_{kDefaultLeaseDuration};
+  std::atomic<Duration> lease_grace_{kDefaultLeaseDuration};
 };
 
 /// Per-hive front end with a Chubby-style cache. Lookups served from the
@@ -208,6 +398,10 @@ class RegistryService {
 /// the client fails the lookup (resolve outcomes report bee == kNoBee,
 /// hive_of returns nullopt) and backs off exponentially — further misses
 /// fail fast, without billing the channel, until the backoff expires.
+///
+/// The cache is version-stamped PER SHARD: an invalidation or fill against
+/// shard A bumps only A's stamp, so memoized resolutions against shard B
+/// (this client's and the hive dispatch memo's) survive untouched.
 class RegistryService::Client {
  public:
   Client(RegistryService& service, HiveId self);
@@ -227,20 +421,38 @@ class RegistryService::Client {
   /// Cached bee location; falls back to the master on a miss.
   std::optional<HiveId> hive_of(BeeId bee, TimePoint now);
 
-  /// Called by the service when ownership of `bee` changes.
-  void invalidate(BeeId bee);
+  /// Called by the service when ownership of `bee` changes. `shard_mask`
+  /// names the shards the bee owned cells in: only those version stamps
+  /// are bumped, so cached resolutions against other shards stay valid.
+  void invalidate(BeeId bee, std::uint64_t shard_mask);
 
   HiveId self() const { return self_; }
 
-  /// Monotonic version of this client's ownership cache; bumped on every
-  /// cache mutation (resolve fill, hive_of fill, invalidation). Lock-free
-  /// so the hive's dispatch memo can validate itself per message without
+  /// A lock-free validity token for one resolved cell set: the version of
+  /// its primary shard (or the global version for cross-shard sets). The
+  /// hive dispatch memo stores one and revalidates per message without
   /// taking the client mutex. A concurrent bump right after the load is
   /// benign: it can only make the reader *discard* a still-usable memo or
   /// act on a cache state the locked path could equally have served one
   /// instant earlier (stale-cache forwarding already covers misroutes).
+  struct CacheStamp {
+    std::uint32_t shard = RegistryService::kAllShards;
+    std::uint64_t version = 0;
+  };
+  CacheStamp stamp(AppId app, const CellSet& cells) const;
+  bool stamp_valid(const CacheStamp& s) const {
+    return s.version == (s.shard == RegistryService::kAllShards
+                             ? cache_version()
+                             : shard_version(s.shard));
+  }
+
+  /// Monotonic version of the whole ownership cache (bumped on every
+  /// mutation of any shard); per-shard stamps are the finer-grained tool.
   std::uint64_t cache_version() const {
     return cache_version_.load(std::memory_order_acquire);
+  }
+  std::uint64_t shard_version(std::uint32_t shard) const {
+    return shard_versions_[shard].load(std::memory_order_acquire);
   }
 
   std::uint64_t cache_hits() const { return hits_; }
@@ -250,6 +462,11 @@ class RegistryService::Client {
   /// Lookups that failed outright (all attempts lost, or fast-failed
   /// inside a backoff window).
   std::uint64_t rpc_failures() const { return rpc_failures_; }
+  /// Lease machinery: revalidation RPCs forced by lease expiry, and hits
+  /// served from stale cache inside the grace window while the master was
+  /// unreachable (Chubby's jeopardy).
+  std::uint64_t lease_renewals() const { return lease_renewals_; }
+  std::uint64_t stale_serves() const { return stale_serves_; }
 
  private:
   friend class RegistryService;
@@ -258,9 +475,6 @@ class RegistryService::Client {
   /// Returns false when the lookup must fail (exhausted or backing off).
   bool rpc_admitted(std::size_t request_bytes, TimePoint now);
 
-  RegistryService& service_;
-  HiveId self_;
-  std::mutex mutex_;
   struct CellCacheKey {
     AppId app;
     CellKey cell;
@@ -273,18 +487,14 @@ class RegistryService::Client {
       return h;
     }
   };
-  std::unordered_map<CellCacheKey, BeeId, CellCacheKeyHash> cell_to_bee_;
-  std::unordered_map<BeeId, HiveId> bee_hive_;
-  // Last transfers_expected the master reported per bee. Served on cache
-  // hits: a hit must carry the fence of the decision that created the
-  // entry, or messages could slip past in-flight merge transfers.
-  std::unordered_map<BeeId, std::uint64_t> bee_expected_;
-  /// Memo of the last successful cache-hit resolve. Steady-state dispatch
-  /// resolves the same (app, cells) over and over; repeating the full hit
-  /// path costs a cache-key construction plus three hash lookups per
-  /// message. The memo is valid only while `cache_version_` is unchanged —
-  /// every mutation of the three cache maps above bumps the version, so a
-  /// merge, migration or invalidation can never serve a stale outcome.
+
+  /// Memo of the last successful cache-hit resolve against one shard.
+  /// Steady-state dispatch resolves the same (app, cells) over and over;
+  /// repeating the full hit path costs a cache-key construction plus three
+  /// hash lookups per message. A memo is valid only while its shard's
+  /// version is unchanged — every mutation against the shard bumps it, so
+  /// a merge, migration or invalidation can never serve a stale outcome —
+  /// and traffic against other shards leaves it untouched.
   struct ResolveMemo {
     bool valid = false;
     std::uint64_t version = 0;
@@ -292,16 +502,55 @@ class RegistryService::Client {
     CellSet cells;
     ResolveOutcome out;
   };
-  ResolveMemo memo_;
-  /// Atomic (not plain) solely for the lock-free cache_version() reader;
-  /// all writes still happen under mutex_.
+
+  enum class LeaseState { kFresh, kStale, kDead };
+
+  /// Cache lookup + memo maintenance; client mutex held.
+  std::optional<ResolveOutcome> try_cache_locked(AppId app,
+                                                 const CellSet& cells,
+                                                 std::uint32_t primary);
+  /// Weakest lease across the shards in `mask`; client mutex held.
+  LeaseState lease_state_locked(std::uint64_t mask, TimePoint now) const;
+  void apply_lease_locked(std::uint32_t shard, std::uint64_t term,
+                          TimePoint expiry);
+  /// Drops every cached entry resolved against `shard` (term change).
+  void purge_shard_locked(std::uint32_t shard);
+  void bump_shard_locked(std::uint32_t shard);
+
+  RegistryService& service_;
+  HiveId self_;
+  std::mutex mutex_;
+  std::unordered_map<CellCacheKey, BeeId, CellCacheKeyHash> cell_to_bee_;
+  std::unordered_map<BeeId, HiveId> bee_hive_;
+  // Last transfers_expected the master reported per bee. Served on cache
+  // hits: a hit must carry the fence of the decision that created the
+  // entry, or messages could slip past in-flight merge transfers.
+  std::unordered_map<BeeId, std::uint64_t> bee_expected_;
+  std::vector<ResolveMemo> memos_;  ///< one per service shard
+  // Client-held leases, indexed by shard; written under mutex_.
+  std::vector<std::uint64_t> lease_term_;
+  std::vector<TimePoint> lease_expiry_;
+  /// Atomic (not plain) solely for the lock-free stamp readers; all
+  /// writes still happen under mutex_.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> shard_versions_;
   std::atomic<std::uint64_t> cache_version_{0};
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t rpc_retries_ = 0;
   std::uint64_t rpc_failures_ = 0;
+  std::uint64_t lease_renewals_ = 0;
+  std::uint64_t stale_serves_ = 0;
   TimePoint backoff_until_ = 0;
   Duration backoff_ = kBackoffInitial;
 };
+
+class MetricsRegistry;
+
+/// Registers the per-shard contention gauges (beehive_registry_ops_total,
+/// _lock_waits_total, _lock_wait_us_total, _invalidations_total, all
+/// labeled {shard=<n>}) for `svc` on `reg`. Shared by ThreadCluster and
+/// SimCluster; `svc` must outlive `reg`'s scrapes.
+void register_registry_shard_metrics(MetricsRegistry& reg,
+                                     const RegistryService& svc);
 
 }  // namespace beehive

@@ -60,6 +60,7 @@ SimCluster::SimCluster(ClusterConfig config, const AppSet& apps)
         "beehive_channel_hotspot_share", {},
         [this] { return meter_.hotspot_share(); },
         "Fraction of inter-hive traffic involving the busiest hive.");
+    register_registry_shard_metrics(*metrics_, registry_);
   }
   // Registry RPC attempts traverse the same lossy network as frames.
   registry_.set_rpc_fault_hook([this](HiveId requester) {
@@ -181,6 +182,14 @@ HealthReport SimCluster::health() const {
     HiveHealth h = hive->health();
     h.suspected = !hive_alive(h.hive);
     report.hives.push_back(h);
+  }
+  report.registry_shards.reserve(registry_.shard_count());
+  for (std::uint32_t s = 0; s < registry_.shard_count(); ++s) {
+    const RegistryShardStats stats = registry_.shard_stats(s);
+    report.registry_shards.push_back({s, stats.ops, stats.lock_waits,
+                                      stats.lock_wait_ns / 1000,
+                                      stats.invalidations, stats.resolves,
+                                      stats.lease_term});
   }
   return report;
 }

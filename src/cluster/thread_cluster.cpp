@@ -69,6 +69,7 @@ ThreadCluster::ThreadCluster(ThreadClusterConfig config, const AppSet& apps)
         "beehive_channel_hotspot_share", {},
         [this] { return meter_.hotspot_share(); },
         "Fraction of inter-hive traffic involving the busiest hive.");
+    register_registry_shard_metrics(*metrics_, registry_);
     if (config_.tracing) {
       // Critical-path blame totals over the slowest assembled traces
       // (DESIGN.md §11). Assembly is too heavy per scrape; blame_scrape
@@ -256,6 +257,14 @@ HealthReport ThreadCluster::health(
     h.suspected = std::find(suspected.begin(), suspected.end(), h.hive) !=
                   suspected.end();
     report.hives.push_back(h);
+  }
+  report.registry_shards.reserve(registry_.shard_count());
+  for (std::uint32_t s = 0; s < registry_.shard_count(); ++s) {
+    const RegistryShardStats stats = registry_.shard_stats(s);
+    report.registry_shards.push_back({s, stats.ops, stats.lock_waits,
+                                      stats.lock_wait_ns / 1000,
+                                      stats.invalidations, stats.resolves,
+                                      stats.lease_term});
   }
   return report;
 }

@@ -6,6 +6,7 @@
 // invocation is externally invisible (atomic handler semantics).
 #pragma once
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,13 @@ class AppContext {
     decisions_.push_back(std::move(decision));
   }
 
+  /// Reports one optimizer round's summary (mode, bees scored, wall-clock
+  /// latency). Buffered like emissions; the hive exports it as the
+  /// beehive_placement_round_us / beehive_placement_rounds_total metrics.
+  /// The wall-clock duration lives only in metrics — never in state or
+  /// traces — so deterministic replays stay bit-identical.
+  void note_round(PlacementRoundNote note) { round_note_ = std::move(note); }
+
   AppId app() const { return app_; }
   BeeId self() const { return bee_; }
   HiveId hive() const { return hive_; }
@@ -85,6 +93,7 @@ class AppContext {
     return migration_orders_;
   }
   std::vector<PlacementDecision>& decisions() { return decisions_; }
+  std::optional<PlacementRoundNote>& round_note() { return round_note_; }
 
  private:
   Txn txn_;
@@ -96,6 +105,7 @@ class AppContext {
   std::vector<MessageEnvelope> emitted_;
   std::vector<std::pair<BeeId, HiveId>> migration_orders_;
   std::vector<PlacementDecision> decisions_;
+  std::optional<PlacementRoundNote> round_note_;
 };
 
 }  // namespace beehive

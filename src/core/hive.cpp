@@ -157,6 +157,39 @@ void Hive::register_metrics() {
       "beehive_degraded", labels,
       "1 while the hive advertises its degraded credit window");
 
+  // Optimizer-round latency by mode (DESIGN.md §13): non-zero only on the
+  // hive hosting the collector bee. The full/incremental split is what the
+  // incremental optimizer exists to improve, so it scrapes per mode.
+  const auto round_gauges = [&](const char* mode, PlacementRoundStats* st) {
+    MetricLabels mode_labels = labels;
+    mode_labels.emplace_back("mode", mode);
+    reg->gauge_fn(
+        "beehive_placement_round_us", mode_labels,
+        [st]() {
+          return static_cast<double>(
+              st->last_us.load(std::memory_order_relaxed));
+        },
+        "Wall-clock microseconds of the latest optimizer round (view "
+        "assembly + scoring) in this mode");
+    reg->gauge_fn(
+        "beehive_placement_rounds_total", mode_labels,
+        [st]() {
+          return static_cast<double>(
+              st->rounds.load(std::memory_order_relaxed));
+        },
+        "Optimizer rounds completed in this mode", /*counter_semantics=*/true);
+    reg->gauge_fn(
+        "beehive_placement_scored_total", mode_labels,
+        [st]() {
+          return static_cast<double>(
+              st->scored.load(std::memory_order_relaxed));
+        },
+        "Bees scored by optimizer rounds in this mode",
+        /*counter_semantics=*/true);
+  };
+  round_gauges("full", &round_full_);
+  round_gauges("incremental", &round_incremental_);
+
   // Tail-latency attribution (DESIGN.md §11): silent trace loss must be
   // visible, so ring overwrites + sampler budget rejections scrape live.
   if (config_.tracer != nullptr) {
@@ -198,13 +231,13 @@ void Hive::inject_batch(std::span<MessageEnvelope> batch) {
     // the memo amortizes is paid once per run.
     if (memo_.valid && !memo_in_use_ && memo_.type == batch[i].type() &&
         bees_epoch_ == memo_.bees_epoch &&
-        registry_client_.cache_version() == memo_.registry_version) {
+        registry_client_.stamp_valid(memo_.registry_stamp)) {
       std::uint64_t n = 0;
       memo_in_use_ = true;
       while (i < batch.size() && memo_.valid &&
              batch[i].type() == memo_.type &&
              bees_epoch_ == memo_.bees_epoch &&
-             registry_client_.cache_version() == memo_.registry_version) {
+             registry_client_.stamp_valid(memo_.registry_stamp)) {
         MessageEnvelope& env = batch[i];
         CellSet cells = memo_.binding->map(env);
         if (!(cells == memo_.cells)) break;
@@ -267,7 +300,7 @@ void Hive::route(const MessageEnvelope& env) {
 
 bool Hive::route_memoized(const MessageEnvelope& env) {
   if (bees_epoch_ != memo_.bees_epoch ||
-      registry_client_.cache_version() != memo_.registry_version) {
+      !registry_client_.stamp_valid(memo_.registry_stamp)) {
     memo_.valid = false;  // a merge/migration/invalidation happened: rebuild
     return false;
   }
@@ -287,7 +320,6 @@ bool Hive::route_memoized(const MessageEnvelope& env) {
 
 void Hive::maybe_install_memo(App& app, const HandlerBinding& binding,
                               CellSet cells, const ResolveOutcome& out) {
-  (void)app;
   if (memo_in_use_) return;  // a live handler borrows the current memo
   if (binding.kind != HandlerBinding::Kind::kMapped) return;
   if (apps_.subscriber_count(binding.msg_type) != 1) return;
@@ -297,7 +329,7 @@ void Hive::maybe_install_memo(App& app, const HandlerBinding& binding,
   memo_.type = binding.msg_type;
   memo_.binding = &binding;
   memo_.cells = std::move(cells);
-  memo_.registry_version = registry_client_.cache_version();
+  memo_.registry_stamp = registry_client_.stamp(app.id(), memo_.cells);
   memo_.bees_epoch = bees_epoch_;
   memo_.bee = bee;
   memo_.transfers_expected = out.transfers_expected;
@@ -603,6 +635,15 @@ void Hive::process(Bee& bee, const MessageEnvelope& env,
     request_migration(target_bee, to_hive);
   }
   if (!ctx.decisions().empty()) record_decisions(env, ctx.decisions());
+  if (ctx.round_note().has_value()) {
+    const PlacementRoundNote& note = *ctx.round_note();
+    PlacementRoundStats& stats =
+        note.mode == "full" ? round_full_ : round_incremental_;
+    stats.last_us.store(note.duration_us, std::memory_order_relaxed);
+    stats.rounds.fetch_add(1, std::memory_order_relaxed);
+    stats.scored.fetch_add(note.scored, std::memory_order_relaxed);
+    stats.moves.fetch_add(note.moves, std::memory_order_relaxed);
+  }
 }
 
 void Hive::record_decisions(const MessageEnvelope& env,

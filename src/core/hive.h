@@ -283,8 +283,9 @@ class Hive {
   // compare, then jumps straight to deliver_local with the memoized
   // handler and a policy borrowing the memoized cells. Every bee-table
   // mutation bumps `bees_epoch_` and every registry-cache mutation bumps
-  // the client's cache_version, so merges, migrations and invalidations
-  // can never serve a stale route.
+  // the version stamp of the shard it touched, so merges, migrations and
+  // invalidations can never serve a stale route — while writes against
+  // OTHER registry shards leave the memo valid (per-shard CacheStamp).
 
   /// Attempts the memoized route; returns false (and may invalidate the
   /// memo) when the slow path must run.
@@ -398,7 +399,9 @@ class Hive {
     MsgTypeId type = 0;
     const HandlerBinding* binding = nullptr;
     CellSet cells;  ///< the Map result the memo was built on
-    std::uint64_t registry_version = 0;
+    /// Per-shard registry stamp: only writes against the shard this route
+    /// resolved on invalidate the memo (lock-free check per message).
+    RegistryService::Client::CacheStamp registry_stamp;
     std::uint64_t bees_epoch = 0;
     Bee* bee = nullptr;
     std::uint64_t transfers_expected = 0;
@@ -472,6 +475,17 @@ class Hive {
     std::atomic<std::uint64_t> stalled_frames{0};
   };
   HealthSnapshot health_;
+  /// Latest optimizer-round summary per mode (ctx.note_round). Atomics:
+  /// the collector bee writes on its dispatch thread, scrapes read from
+  /// the metrics thread. Wall-clock only — never fed back into state.
+  struct PlacementRoundStats {
+    std::atomic<std::uint64_t> last_us{0};
+    std::atomic<std::uint64_t> rounds{0};
+    std::atomic<std::uint64_t> scored{0};
+    std::atomic<std::uint64_t> moves{0};
+  };
+  PlacementRoundStats round_full_;
+  PlacementRoundStats round_incremental_;
   /// True while the hive advertises its degraded credit window.
   std::atomic<bool> degraded_{false};
   /// Set when a bounded kBlockSender mailbox hits its limit; cleared at

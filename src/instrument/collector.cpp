@@ -1,6 +1,7 @@
 #include "instrument/collector.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "core/context.h"
@@ -72,7 +73,8 @@ CellSet collector_cells() {
       {std::string(CollectorApp::kLatencyDict), std::string(kAllKeys)},
       {std::string(CollectorApp::kTransportDict), std::string(kAllKeys)},
       {std::string(CollectorApp::kDecisionsDict), std::string(kAllKeys)},
-      {std::string(CollectorApp::kPressureDict), std::string(kAllKeys)}};
+      {std::string(CollectorApp::kPressureDict), std::string(kAllKeys)},
+      {std::string(CollectorApp::kDirtyDict), std::string(kAllKeys)}};
 }
 
 void bump_counter(Txn& txn, std::string_view dict, const std::string& key,
@@ -164,6 +166,12 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
             agg.add_inbound(src.from_hive, src.count);
           }
           ctx.state().put_as(bees, bee_key(sample.bee), agg);
+          if (sample.msgs_in > 0 || sample.cost_us > 0) {
+            // The traffic-matrix (or cost) row changed: mark the bee dirty
+            // so the next incremental round re-scores it.
+            ctx.state().put_as(CollectorApp::kDirtyDict,
+                               bee_key(sample.bee), HiveCells{1});
+          }
 
           // Cumulative provenance analytics (never windowed).
           const std::string app_prefix = std::to_string(sample.app) + ":";
@@ -186,14 +194,31 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
       });
 
   // Optimization round: view -> strategy -> migration orders, then clear
-  // the window (entries rebuild from the next reports, which also ages out
-  // bees that merged away).
+  // the consumed window entries (they rebuild from the next reports).
+  // Every Nth round is FULL: it sweeps the whole bee table (which also
+  // ages out bees that merged away) and acts as the drift guard. The
+  // rounds in between are INCREMENTAL: they iterate only the dirty marks
+  // and point-look-up those aggregate rows, so round cost scales with the
+  // active set, not the bee population. Both modes see identical window
+  // data for every bee with traffic, so they pick the same moves — the
+  // logged PlacementRound carries mode+scored to make that checkable.
   every(
       config.optimize_period,
       [](const MessageEnvelope&) { return collector_cells(); },
-      [strategy, n_hives, bees](AppContext& ctx, const MessageEnvelope&) {
+      [strategy, n_hives, bees,
+       full_every = config.full_round_every](AppContext& ctx,
+                                             const MessageEnvelope&) {
+        const std::string dict(CollectorApp::kDecisionsDict);
+        const std::string dirty_dict(CollectorApp::kDirtyDict);
+        HiveCells tick =
+            ctx.state().get_as<HiveCells>(dict, "tick").value_or(HiveCells{});
+        const bool full = full_every <= 1 || tick.cells % full_every == 0;
+        ctx.state().put_as(dict, "tick", HiveCells{tick.cells + 1});
+        const auto wall_start = std::chrono::steady_clock::now();
+
         ClusterView view;
         view.n_hives = n_hives;
+        view.mode = full ? RoundMode::kFull : RoundMode::kIncremental;
         ctx.state().for_each(
             std::string(kHivesDict),
             [&view](const std::string& key, const Bytes& value) {
@@ -208,26 +233,50 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
               view.hive_pressure[hive] = p.pressure;
               if (p.degraded) view.hive_degraded[hive] = true;
             });
-        std::vector<std::string> keys;
-        ctx.state().for_each(
-            bees, [&view, &keys](const std::string& key, const Bytes& value) {
-              BeeAgg agg = decode_from_bytes<BeeAgg>(value);
-              BeeView bee;
-              bee.bee = agg.bee;
-              bee.app = agg.app;
-              bee.hive = agg.hive;
-              bee.pinned = agg.pinned;
-              bee.cells = agg.cells;
-              bee.msgs_in = agg.msgs_in_window;
-              bee.handler_invocations = agg.handler_invocations;
-              bee.handler_failures = agg.handler_failures;
-              bee.cost_us = agg.cost_us_window;
-              for (const auto& [hive, count] : agg.inbound_by_hive) {
-                bee.inbound_by_hive[hive] += count;
-              }
-              view.bees.push_back(std::move(bee));
-              keys.push_back(key);
-            });
+        auto view_bee = [&view](BeeAgg agg, bool dirty) {
+          BeeView bee;
+          bee.bee = agg.bee;
+          bee.app = agg.app;
+          bee.hive = agg.hive;
+          bee.pinned = agg.pinned;
+          bee.dirty = dirty;
+          bee.cells = agg.cells;
+          bee.msgs_in = agg.msgs_in_window;
+          bee.handler_invocations = agg.handler_invocations;
+          bee.handler_failures = agg.handler_failures;
+          bee.cost_us = agg.cost_us_window;
+          for (const auto& [hive, count] : agg.inbound_by_hive) {
+            bee.inbound_by_hive[hive] += count;
+          }
+          view.bees.push_back(std::move(bee));
+        };
+        std::vector<std::string> keys;        // consumed agg rows
+        std::vector<std::string> dirty_keys;  // consumed dirty marks
+        if (full) {
+          ctx.state().for_each(
+              bees,
+              [&](const std::string& key, const Bytes& value) {
+                BeeAgg agg = decode_from_bytes<BeeAgg>(value);
+                const bool dirty =
+                    agg.msgs_in_window > 0 || agg.cost_us_window > 0;
+                view_bee(std::move(agg), dirty);
+                keys.push_back(key);
+              });
+          ctx.state().for_each(dirty_dict,
+                               [&dirty_keys](const std::string& key,
+                                             const Bytes&) {
+                                 dirty_keys.push_back(key);
+                               });
+        } else {
+          ctx.state().for_each(
+              dirty_dict, [&](const std::string& key, const Bytes&) {
+                dirty_keys.push_back(key);
+                auto agg = ctx.state().get_as<BeeAgg>(bees, key);
+                if (!agg.has_value()) return;  // merged away mid-window
+                view_bee(std::move(*agg), /*dirty=*/true);
+                keys.push_back(key);
+              });
+        }
         LatencyFold fold;
         ctx.state().for_each(
             std::string(CollectorApp::kLatencyDict),
@@ -237,14 +286,21 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
         view.latency = fold.finish();
 
         std::vector<PlacementDecision> decision_log;
-        for (const MigrationDecision& d :
-             strategy->decide_explained(view, &decision_log)) {
+        std::vector<MigrationDecision> moves =
+            strategy->decide_explained(view, &decision_log);
+        // The measured latency covers view assembly + scoring — the part
+        // incremental rounds shrink. It flows only into metrics (via
+        // note_round), never into state, keeping replays deterministic.
+        const auto wall_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        for (const MigrationDecision& d : moves) {
           ctx.order_migration(d.bee, d.to);
         }
         if (!decision_log.empty()) {
           // Persist the explained round (bounded history) and hand the
           // records to the hive for tracing/flight-recording.
-          const std::string dict(CollectorApp::kDecisionsDict);
           HiveCells next =
               ctx.state().get_as<HiveCells>(dict, "next").value_or(
                   HiveCells{});
@@ -252,6 +308,8 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
           round.round = next.cells;
           round.at = ctx.now();
           round.strategy = std::string(strategy->name());
+          round.mode = full ? "full" : "incremental";
+          round.scored = view.bees.size();
           round.decisions = decision_log;
           ctx.state().put_as(dict, "r" + std::to_string(round.round), round);
           next.cells += 1;
@@ -265,8 +323,13 @@ CollectorApp::CollectorApp(std::shared_ptr<PlacementStrategy> strategy,
             ctx.note_decision(std::move(d));
           }
         }
+        ctx.note_round({full ? "full" : "incremental", view.bees.size(),
+                        static_cast<std::uint64_t>(wall_us), moves.size()});
         for (const std::string& key : keys) {
           ctx.state().erase(bees, key);
+        }
+        for (const std::string& key : dirty_keys) {
+          ctx.state().erase(dirty_dict, key);
         }
       });
 }
@@ -325,7 +388,7 @@ std::vector<PlacementRound> CollectorApp::decisions_from_store(
   std::vector<PlacementRound> rounds;
   if (const Dict* d = store.find_dict(kDecisionsDict)) {
     d->for_each([&rounds](const std::string& key, const Bytes& value) {
-      if (key == "next") return;
+      if (key == "next" || key == "tick") return;
       rounds.push_back(decode_from_bytes<PlacementRound>(value));
     });
   }

@@ -86,6 +86,14 @@ struct BeeAgg {
 
 struct CollectorConfig {
   Duration optimize_period = 5 * kSecond;
+  /// Run a full optimization round (re-score every bee) every Nth round;
+  /// the rounds in between are incremental — they re-score only the dirty
+  /// set (bees whose traffic-matrix or cost rows changed since the last
+  /// round), which at large bee counts is the difference between O(bees)
+  /// and O(active bees) per round. 1 (or 0) = every round full. The
+  /// periodic full round is the drift guard: it also ages out rows of
+  /// bees that merged away, which incremental rounds never visit.
+  std::uint64_t full_round_every = 8;
 };
 
 class CollectorApp : public App {
@@ -116,6 +124,11 @@ class CollectorApp : public App {
   /// Latest queue-pressure score per hive (one cell per hive, overwritten
   /// each report) — the signal CostPressureStrategy folds into its ranking.
   static constexpr std::string_view kPressureDict = "stats.pressure";
+  /// Dirty-set marks: one cell per bee whose "stats.bees" row changed
+  /// since the last optimization round (keyed like kBeesDict). Incremental
+  /// rounds iterate THIS dict — O(active bees) — and point-look-up only
+  /// the marked aggregate rows, never sweeping the full bee table.
+  static constexpr std::string_view kDirtyDict = "stats.dirty";
 
   /// Rebuilds the optimizer's input from a collector bee's state store
   /// (used by tests and by benches for analytics output).

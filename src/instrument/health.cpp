@@ -64,6 +64,19 @@ std::string HealthReport::to_json() const {
            ", \"degraded\": " + (h.degraded ? "true" : "false") +
            ", \"trace_dropped\": " + std::to_string(h.trace_dropped) + "}";
   }
+  out += "\n  ],\n  \"registry_shards\": [";
+  first = true;
+  for (const RegistryShardHealth& s : registry_shards) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"shard\": " + std::to_string(s.shard) +
+           ", \"ops\": " + std::to_string(s.ops) +
+           ", \"lock_waits\": " + std::to_string(s.lock_waits) +
+           ", \"lock_wait_us\": " + std::to_string(s.lock_wait_us) +
+           ", \"invalidations\": " + std::to_string(s.invalidations) +
+           ", \"resolves\": " + std::to_string(s.resolves) +
+           ", \"lease_term\": " + std::to_string(s.lease_term) + "}";
+  }
   out += "\n  ]\n}\n";
   return out;
 }

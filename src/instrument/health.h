@@ -48,9 +48,23 @@ struct HiveHealth {
   double score() const;
 };
 
+/// One registry shard's contention snapshot as carried in health reports
+/// (fed from RegistryService::shard_stats; DESIGN.md §13).
+struct RegistryShardHealth {
+  std::uint32_t shard = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t lock_waits = 0;
+  std::uint64_t lock_wait_us = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t resolves = 0;
+  std::uint64_t lease_term = 0;
+};
+
 struct HealthReport {
   TimePoint at = 0;
   std::vector<HiveHealth> hives;
+  /// Per-shard registry contention; empty when the cluster didn't fill it.
+  std::vector<RegistryShardHealth> registry_shards;
 
   /// Lowest hive score (100 when empty) — the cluster's headline number.
   double min_score() const;

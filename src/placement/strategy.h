@@ -27,6 +27,11 @@ struct BeeView {
   AppId app = 0;
   HiveId hive = 0;
   bool pinned = false;
+  /// False when this bee's traffic-matrix row (messages, profiler cost)
+  /// did not change since the last optimization round. Incremental rounds
+  /// (ClusterView::mode) skip clean bees entirely: a clean bee has zero
+  /// window traffic, so no strategy could have produced a move for it.
+  bool dirty = true;
   std::uint64_t cells = 0;
   std::uint64_t msgs_in = 0;
   std::uint64_t handler_invocations = 0;
@@ -50,8 +55,27 @@ struct LatencyView {
   std::uint64_t handler_p99 = 0;
 };
 
+/// How an optimization round scores the view. A full round re-scores every
+/// bee; an incremental round re-scores only the dirty set (bees whose
+/// traffic-matrix rows changed since the last round). Because a clean bee
+/// has no window traffic, both modes pick the same moves over the same
+/// window data — periodic full rounds remain as the drift guard, and the
+/// decision log records the mode so the equivalence is checkable.
+enum class RoundMode { kFull, kIncremental };
+
+/// Summary of one optimizer round, buffered through AppContext::note_round
+/// so the hosting hive can export round latency without the wall-clock
+/// measurement ever entering deterministic state.
+struct PlacementRoundNote {
+  std::string mode;  ///< "full" | "incremental"
+  std::uint64_t scored = 0;
+  std::uint64_t duration_us = 0;
+  std::uint64_t moves = 0;
+};
+
 struct ClusterView {
   std::size_t n_hives = 0;
+  RoundMode mode = RoundMode::kFull;
   std::map<HiveId, std::uint64_t> hive_cells;
   /// Latest queue-pressure score per hive in [0,1) (LocalMetricsReport);
   /// absent hives read as 0 (unpressured).
@@ -150,12 +174,20 @@ struct PlacementRound {
   std::uint64_t round = 0;
   TimePoint at = 0;
   std::string strategy;
+  /// "full" | "incremental": whether this round re-scored every bee or
+  /// only the dirty set. Lets tests/benches verify incremental rounds
+  /// pick the same moves as the periodic full rounds.
+  std::string mode = "full";
+  /// How many bees this round actually scored (the view size it saw).
+  std::uint64_t scored = 0;
   std::vector<PlacementDecision> decisions;
 
   void encode(ByteWriter& w) const {
     w.varint(round);
     w.i64(at);
     w.str(strategy);
+    w.str(mode);
+    w.varint(scored);
     w.varint(decisions.size());
     for (const PlacementDecision& d : decisions) d.encode(w);
   }
@@ -164,6 +196,8 @@ struct PlacementRound {
     p.round = r.varint();
     p.at = r.i64();
     p.strategy = r.str();
+    p.mode = r.str();
+    p.scored = r.varint();
     std::uint64_t n = r.varint();
     for (std::uint64_t i = 0; i < n; ++i) {
       p.decisions.push_back(PlacementDecision::decode(r));

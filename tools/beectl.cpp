@@ -268,6 +268,15 @@ struct HiveRow {
   bool suspected = false;
 };
 
+struct ShardRow {
+  std::uint64_t shard = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t lock_waits = 0;
+  std::uint64_t lock_wait_us = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t lease_term = 0;
+};
+
 struct BeeRow {
   std::uint64_t bee = 0;
   std::string app;
@@ -302,12 +311,30 @@ std::size_t render_frame(const Options& opt, bool clear_screen) {
       http_get(opt.host, opt.port, "/status.json", status_status);
 
   std::vector<HiveRow> hives;
+  std::vector<ShardRow> shards;
   std::map<std::uint64_t, double> hive_pressure;
   double min_score = 100.0;
   if (health_status == 200) {
     Json root;
     if (JsonParser(health_body).parse(root)) {
       min_score = root.number("min_score", 100.0);
+      if (const Json* arr = root.find("registry_shards");
+          arr != nullptr && arr->kind == Json::Kind::kArray) {
+        for (const Json& s : arr->items) {
+          ShardRow row;
+          row.shard = static_cast<std::uint64_t>(s.number("shard"));
+          row.ops = static_cast<std::uint64_t>(s.number("ops"));
+          row.lock_waits =
+              static_cast<std::uint64_t>(s.number("lock_waits"));
+          row.lock_wait_us =
+              static_cast<std::uint64_t>(s.number("lock_wait_us"));
+          row.invalidations =
+              static_cast<std::uint64_t>(s.number("invalidations"));
+          row.lease_term =
+              static_cast<std::uint64_t>(s.number("lease_term"));
+          shards.push_back(row);
+        }
+      }
       if (const Json* arr = root.find("hives");
           arr != nullptr && arr->kind == Json::Kind::kArray) {
         for (const Json& h : arr->items) {
@@ -435,6 +462,22 @@ std::size_t render_frame(const Options& opt, bool clear_screen) {
                 credits, flags.c_str());
   }
   if (hives.empty()) std::printf("  (no hive rows yet)\n");
+
+  if (!shards.empty()) {
+    // Registry contention by shard (DESIGN.md §13): a single hot shard
+    // (lock waits piling up) is the signal to re-hash or raise the count.
+    std::printf("\n%-5s %12s %8s %10s %8s %6s\n", "SHARD", "OPS", "LOCKW",
+                "WAIT_US", "INVAL", "LEASE");
+    for (const ShardRow& s : shards) {
+      std::printf("%-5llu %12llu %8llu %10llu %8llu %6llu\n",
+                  static_cast<unsigned long long>(s.shard),
+                  static_cast<unsigned long long>(s.ops),
+                  static_cast<unsigned long long>(s.lock_waits),
+                  static_cast<unsigned long long>(s.lock_wait_us),
+                  static_cast<unsigned long long>(s.invalidations),
+                  static_cast<unsigned long long>(s.lease_term));
+    }
+  }
 
   std::printf("\n%-20s %-18s %5s %6s %6s %8s %10s %9s %s\n", "BEE", "APP",
               "HIVE", "CELLS", "QUEUE", "MSGS/W", "COST_US", "P99_US", "");
